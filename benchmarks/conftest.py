@@ -1,0 +1,28 @@
+"""Shared benchmark utilities.
+
+Every bench regenerates one paper artifact (a table or figure), writes
+the paper-vs-measured comparison under ``results/``, and times the
+regeneration with pytest-benchmark (single round — these are experiment
+drivers, not microbenchmarks).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir: pathlib.Path, name: str, text: str) -> None:
+    path = results_dir / name
+    path.write_text(text)
+    # Also surface in the pytest -s output for convenience.
+    print(f"\n[{name}]\n{text}")

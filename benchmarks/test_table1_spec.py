@@ -1,0 +1,96 @@
+"""Table 1: characterization of the SPEC CFP2006 hot loops.
+
+Regenerates every modeled row — Percent Packed (the static-compiler
+model), Average Concurrency, unit- and non-unit-stride Percent Vec. Ops
+and Average Vec. Size — and prints them next to the paper's values.
+Absolute magnitudes differ (reduced problem sizes, modeled kernels); the
+asserted content is each row's *shape* per ``Table1Row`` expectations.
+"""
+
+from repro.workloads import get_workload
+from repro.workloads.spec import EXCLUDED_BENCHMARKS, TABLE1_ROWS
+from repro.workloads.spec.table1 import row_matches
+
+from benchmarks.conftest import write_result
+
+
+def regenerate_table1():
+    cache = {}
+    rows = []
+    for key, row in TABLE1_ROWS.items():
+        if row.workload not in cache:
+            cache[row.workload] = get_workload(row.workload).analyze()
+        report = cache[row.workload]
+        loop = next(l for l in report.loops if l.loop_name == row.loop)
+        rows.append((key, row, loop))
+    return rows
+
+
+def test_table1(benchmark, results_dir):
+    rows = benchmark.pedantic(regenerate_table1, rounds=1, iterations=1)
+    header = (
+        f"{'benchmark / paper loop':44} "
+        f"{'packed%':>16} {'concur':>18} {'unit%':>16} {'u.size':>16} "
+        f"{'nonunit%':>16} {'n.size':>16}"
+    )
+    lines = [
+        "Table 1 reproduction — each cell: measured (paper)",
+        header,
+        "-" * len(header),
+    ]
+    failures = []
+    for key, row, loop in rows:
+        p_packed, p_concur, p_unit, p_usz, p_nonunit, p_nsz = row.paper
+
+        def cell(measured, paper, fmt="{:.1f}"):
+            return f"{fmt.format(measured)} ({fmt.format(paper)})"
+
+        lines.append(
+            f"{key:44} "
+            f"{cell(loop.percent_packed, p_packed):>16} "
+            f"{cell(loop.avg_concurrency, p_concur):>18} "
+            f"{cell(loop.percent_vec_unit, p_unit):>16} "
+            f"{cell(loop.avg_vec_size_unit, p_usz):>16} "
+            f"{cell(loop.percent_vec_nonunit, p_nonunit):>16} "
+            f"{cell(loop.avg_vec_size_nonunit, p_nsz):>16}"
+        )
+        if row.note:
+            lines.append(f"{'':46}note: {row.note}")
+        if not row_matches(row, loop.percent_packed, loop.percent_vec_unit,
+                           loop.percent_vec_nonunit):
+            failures.append(key)
+    lines.append("")
+    for name, why in EXCLUDED_BENCHMARKS.items():
+        lines.append(f"excluded: {name} — {why}")
+    write_result(results_dir, "table1.txt", "\n".join(lines) + "\n")
+    assert not failures, f"shape mismatches: {failures}"
+
+
+def test_table1_gap_rows_exist(benchmark, results_dir):
+    """The paper's headline: rows where the compiler packs ~nothing but
+    the dynamic analysis finds major potential.  At least five modeled
+    benchmarks must show that gap."""
+
+    def gap_rows():
+        out = []
+        cache = {}
+        for key, row in TABLE1_ROWS.items():
+            if row.workload not in cache:
+                cache[row.workload] = get_workload(row.workload).analyze()
+            loop = next(
+                l for l in cache[row.workload].loops
+                if l.loop_name == row.loop
+            )
+            potential = max(loop.percent_vec_unit, loop.percent_vec_nonunit)
+            if loop.percent_packed < 5.0 and potential > 40.0:
+                out.append((key, loop.percent_packed, potential))
+        return out
+
+    gaps = benchmark.pedantic(gap_rows, rounds=1, iterations=1)
+    benchmarks_with_gap = {key.split("/")[0] for key, _, _ in gaps}
+    lines = ["Rows with a compiler-vs-potential gap "
+             "(packed < 5%, potential > 40%):"]
+    lines += [f"  {key}: packed {p:.1f}%, potential {pot:.1f}%"
+              for key, p, pot in gaps]
+    write_result(results_dir, "table1_gaps.txt", "\n".join(lines) + "\n")
+    assert len(benchmarks_with_gap) >= 5

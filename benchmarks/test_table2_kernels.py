@@ -1,0 +1,63 @@
+"""Table 2: the standalone computation kernels.
+
+- 2-D Gauss-Seidel stencil: paper reports 0% packed, 22.2% unit / 46.1,
+  77.4% non-unit / 9.3.
+- 2-D PDE grid solver: 0% packed, ~100% unit-stride potential.
+
+Absolute partition sizes scale with the (reduced) problem size; the
+asserted shape is the packed/unit/non-unit split.
+"""
+
+import pytest
+
+from repro.workloads import get_workload
+
+from benchmarks.conftest import write_result
+
+PAPER = {
+    "gauss_seidel": dict(packed=0.0, unit=22.2, unit_sz=46.1,
+                         nonunit=77.4, nonunit_sz=9.3, concur=226.0),
+    "pde_solver": dict(packed=0.0, unit=100.0, unit_sz=820.8,
+                       nonunit=0.0, nonunit_sz=0.0, concur=231426.0),
+}
+
+PARAMS = {
+    "gauss_seidel": {"n": 24, "t": 2},
+    "pde_solver": {"block": 10, "grid": 3},
+}
+
+
+def regenerate_table2():
+    out = {}
+    for name in PAPER:
+        report = get_workload(name).analyze(**PARAMS[name])
+        out[name] = report.loops[0]
+    return out
+
+
+def test_table2(benchmark, results_dir):
+    rows = benchmark.pedantic(regenerate_table2, rounds=1, iterations=1)
+    lines = ["Table 2 reproduction — measured (paper)"]
+    for name, loop in rows.items():
+        paper = PAPER[name]
+        lines.append(
+            f"{name:14} packed {loop.percent_packed:5.1f} "
+            f"({paper['packed']:.1f})  "
+            f"concur {loop.avg_concurrency:8.1f} ({paper['concur']:.1f})  "
+            f"unit {loop.percent_vec_unit:5.1f} ({paper['unit']:.1f}) "
+            f"/ {loop.avg_vec_size_unit:6.1f} ({paper['unit_sz']:.1f})  "
+            f"nonunit {loop.percent_vec_nonunit:5.1f} "
+            f"({paper['nonunit']:.1f}) "
+            f"/ {loop.avg_vec_size_nonunit:5.1f} ({paper['nonunit_sz']:.1f})"
+        )
+    write_result(results_dir, "table2.txt", "\n".join(lines) + "\n")
+
+    gs = rows["gauss_seidel"]
+    assert gs.percent_packed == 0.0
+    assert gs.percent_vec_unit == pytest.approx(22.2, abs=1.5)
+    assert gs.percent_vec_nonunit > 60.0
+
+    pde = rows["pde_solver"]
+    assert pde.percent_packed == 0.0
+    assert pde.percent_vec_unit > 95.0
+    assert pde.percent_vec_nonunit < 5.0

@@ -1,0 +1,78 @@
+"""Table 4: performance of the manually transformed case studies.
+
+For each of the five §4.4 case studies, simulate original and
+transformed versions under the three machine models and report the
+speedups next to the paper's measurements.  The asserted shape: every
+transformation wins on every machine, milc wins big, and the AVX machine
+gains at least as much as SSE wherever vector width is the lever.
+"""
+
+from repro.simd import MACHINES
+from repro.simd.simulate import simulate_speedup
+from repro.workloads.casestudies import (
+    bwaves_jacobian_source,
+    bwaves_transformed_source,
+    gromacs_source,
+    gromacs_transformed_source,
+    milc_source,
+    milc_transformed_source,
+)
+from repro.workloads.kernels import (
+    gauss_seidel_source,
+    gauss_seidel_split_source,
+    pde_solver_hoisted_source,
+    pde_solver_source,
+)
+
+from benchmarks.conftest import write_result
+
+#: (name, original, transformed, paper speedups per machine)
+CASES = [
+    ("Gauss-Seidel", gauss_seidel_source(n=24, t=2),
+     gauss_seidel_split_source(n=24, t=2),
+     {"xeon_e5630": 1.98, "core_i7_2600k": 2.07, "phenom_1100t": 1.21}),
+    ("2-D PDE Solver", pde_solver_source(block=10, grid=8),
+     pde_solver_hoisted_source(block=10, grid=8),
+     {"xeon_e5630": 2.9, "core_i7_2600k": 2.5, "phenom_1100t": 2.3}),
+    ("410.bwaves", bwaves_jacobian_source(),
+     bwaves_transformed_source(),
+     {"xeon_e5630": 1.40, "core_i7_2600k": 1.30, "phenom_1100t": 1.31}),
+    ("433.milc", milc_source(sites=96), milc_transformed_source(sites=96),
+     {"xeon_e5630": 2.10, "core_i7_2600k": 3.76, "phenom_1100t": 2.85}),
+    ("435.gromacs", gromacs_source(), gromacs_transformed_source(),
+     {"xeon_e5630": 1.27, "core_i7_2600k": 1.16, "phenom_1100t": 1.19}),
+]
+
+
+def regenerate_table4():
+    out = {}
+    for name, orig, transformed, paper in CASES:
+        per_machine = {}
+        for mname, machine in MACHINES.items():
+            per_machine[mname] = simulate_speedup(orig, transformed,
+                                                  machine)
+        out[name] = (per_machine, paper)
+    return out
+
+
+def test_table4(benchmark, results_dir):
+    rows = benchmark.pedantic(regenerate_table4, rounds=1, iterations=1)
+    lines = ["Table 4 reproduction — simulated speedup (paper measured)"]
+    for name, (measured, paper) in rows.items():
+        cells = "  ".join(
+            f"{mname}: {measured[mname]:4.2f}x ({paper[mname]:.2f}x)"
+            for mname in MACHINES
+        )
+        lines.append(f"{name:16} {cells}")
+    lines.append("")
+    lines.append("Shape: every transformation must win on every machine; "
+                 "absolute factors depend on the cost model.")
+    write_result(results_dir, "table4.txt", "\n".join(lines) + "\n")
+
+    for name, (measured, _) in rows.items():
+        for mname, speedup in measured.items():
+            assert speedup > 1.0, f"{name} on {mname}: {speedup:.2f}"
+    # milc's layout fix is the big win, as in the paper.
+    milc = rows["433.milc"][0]
+    assert milc["xeon_e5630"] > 1.5
+    assert milc["core_i7_2600k"] > milc["xeon_e5630"]

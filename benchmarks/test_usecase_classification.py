@@ -1,0 +1,58 @@
+"""Use-case 2/3 artifact (paper §1, §4.2, §4.4): the expert-triage table.
+
+Classifies every case-study and kernel workload into the paper's action
+categories (already vectorized / static transform / control flow /
+layout / runtime-dependent / no potential) and checks the §4.4
+narratives land where the paper put them.
+"""
+
+from repro.analysis.opportunities import OpportunityKind, classify_program
+from repro.frontend import parse_source
+from repro.frontend.lower import lower
+from repro.interp import Interpreter
+from repro.vectorizer import analyze_program_loops
+from repro.workloads import get_workload
+
+from benchmarks.conftest import write_result
+
+#: workload -> (params, expected kind of its first analyzed loop)
+EXPECTED = {
+    "gauss_seidel": ({}, OpportunityKind.STATIC_TRANSFORM),
+    "pde_solver": ({"block": 8, "grid": 3}, OpportunityKind.CONTROL_FLOW),
+    "bwaves_jacobian": ({}, None),  # layout or static — both defensible
+    "milc_su3mv": ({"sites": 48}, OpportunityKind.LAYOUT),
+    "gromacs_inner": ({}, OpportunityKind.RUNTIME_DEPENDENT),
+    "cactus_leapfrog": ({}, OpportunityKind.ALREADY_VECTORIZED),
+    "povray_bbox": ({}, OpportunityKind.CONTROL_FLOW),
+    "utdsp_fir_pointer": ({}, OpportunityKind.RUNTIME_DEPENDENT),
+}
+
+
+def classify_all():
+    out = {}
+    for name, (params, expected) in EXPECTED.items():
+        workload = get_workload(name)
+        source = workload.source(**params)
+        program, analyzer = parse_source(source)
+        module = lower(analyzer, name)
+        decisions = analyze_program_loops(program, analyzer)
+        interp = Interpreter(module)
+        interp.run(workload.entry)
+        reports = workload.analyze(**params).loops
+        opportunities = classify_program(reports, decisions, module,
+                                         interp.dyn_parent)
+        out[name] = (opportunities[0], expected)
+    return out
+
+
+def test_usecase_classification(benchmark, results_dir):
+    rows = benchmark.pedantic(classify_all, rounds=1, iterations=1)
+    lines = ["Expert-triage classification (paper use cases, §4.4)"]
+    failures = []
+    for name, (opp, expected) in rows.items():
+        lines.append(f"{name:22} {opp.row()}")
+        if expected is not None and opp.kind is not expected:
+            failures.append(f"{name}: {opp.kind} != {expected}")
+    write_result(results_dir, "usecase_classification.txt",
+                 "\n".join(lines) + "\n")
+    assert not failures, failures

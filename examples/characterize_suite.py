@@ -1,0 +1,51 @@
+"""Characterizing a code base (paper use-case 1, §1).
+
+An ISV-style sweep: run the dynamic analysis over a collection of
+kernels and rank them by latent vectorization potential versus what the
+static compiler already achieves — separating "needs algorithm rewrite"
+from "needs code changes only" from "already handled".
+
+Run:  python examples/characterize_suite.py
+"""
+
+from repro.workloads import get_workload
+
+SUITE = [
+    ("cactus_leapfrog", {}),
+    ("gauss_seidel", {}),
+    ("milc_su3mv", {"sites": 48}),
+    ("namd_pairlist", {}),
+    ("soplex_sparse_update", {}),
+    ("utdsp_iir_array", {}),
+    ("utdsp_fir_pointer", {}),
+]
+
+
+def classify(row) -> str:
+    """The paper's triage: where should engineering effort go?"""
+    latent = max(row.percent_vec_unit, row.percent_vec_nonunit)
+    if row.percent_packed >= 60.0:
+        return "already vectorized — leave alone"
+    if latent >= 60.0 and row.percent_vec_unit >= 40.0:
+        return "code changes should unlock vectorization"
+    if latent >= 40.0:
+        return "data-layout transformation candidate"
+    return "low inherent potential — algorithmic rewrite needed"
+
+
+def main() -> None:
+    print(f"{'workload':24} {'loop':12} {'packed':>7} {'unit':>6} "
+          f"{'nonunit':>8}  verdict")
+    print("-" * 100)
+    for name, params in SUITE:
+        report = get_workload(name).analyze(**params)
+        for row in report.loops:
+            print(
+                f"{name:24} {row.loop_name:12} "
+                f"{row.percent_packed:6.1f}% {row.percent_vec_unit:5.1f}% "
+                f"{row.percent_vec_nonunit:7.1f}%  {classify(row)}"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Quickstart: analyze the vectorization potential of one loop.
+
+Compiles a small mini-C kernel, runs the dynamic analysis on its hot
+loop, and contrasts the result with the static vectorizer's verdict —
+the paper's core workflow in ~40 lines.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis.pipeline import analyze_loop, compile_source
+from repro.analysis.report import LoopReport
+from repro.frontend import parse_source
+from repro.vectorizer import analyze_program_loops
+
+# A loop with a loop-carried dependence through A[i-1]... except the
+# first two additions only touch row i-1, so *part* of the computation is
+# vectorizable — exactly the paper's Gauss-Seidel insight.
+SOURCE = """
+double A[32][32];
+
+int main() {
+  int i, j, t;
+  for (i = 0; i < 32; i++)
+    for (j = 0; j < 32; j++)
+      A[i][j] = 0.01 * (double)(i + j);
+  sweep: for (t = 0; t < 2; t++)
+    for (i = 1; i < 31; i++)
+      for (j = 1; j < 31; j++)
+        A[i][j] = (A[i-1][j-1] + A[i-1][j] + A[i-1][j+1]
+                 + A[i][j-1] + A[i][j]) * 0.2;
+  return 0;
+}
+"""
+
+
+def main() -> None:
+    # 1. What does a static vectorizer (the icc model) say?
+    program, analyzer = parse_source(SOURCE)
+    decisions = analyze_program_loops(program, analyzer)
+    print("Static vectorizer verdicts:")
+    for decision in decisions:
+        verdict = "VECTORIZED" if decision.vectorized else "refused"
+        reasons = f"  ({'; '.join(decision.reasons)})" if decision.reasons \
+            else ""
+        print(f"  {decision.name:12} {verdict}{reasons}")
+
+    # 2. What does the dynamic trace-based analysis find?
+    module = compile_source(SOURCE)
+    report = analyze_loop(module, "sweep")
+    print()
+    print("Dynamic analysis of loop 'sweep':")
+    print(f"  candidate FP operations : {report.total_candidate_ops}")
+    print(f"  average concurrency     : {report.avg_concurrency:.1f}")
+    print(f"  unit-stride vec ops     : {report.percent_vec_unit:.1f}% "
+          f"(avg group {report.avg_vec_size_unit:.1f})")
+    print(f"  non-unit-stride vec ops : {report.percent_vec_nonunit:.1f}% "
+          f"(avg group {report.avg_vec_size_nonunit:.1f})")
+    print()
+    print(LoopReport.header())
+    print(report.row())
+    print()
+    print("Reading: the compiler refuses the whole loop, but the dynamic")
+    print("DDG shows a sizeable fraction of the additions is independent")
+    print("and contiguous — a loop split would unlock it (paper §4.4).")
+
+
+if __name__ == "__main__":
+    main()

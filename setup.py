@@ -1,0 +1,18 @@
+"""Legacy setup shim: the build environment has no `wheel` package, so
+PEP 517 editable installs fail; `pip install -e .` falls back to this."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "vectra: dynamic trace-based analysis of vectorization potential "
+        "(PLDI 2012 reproduction)"
+    ),
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy"],
+    entry_points={"console_scripts": ["vectra=repro.tools.cli:main"]},
+)

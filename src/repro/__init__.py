@@ -1,0 +1,43 @@
+"""vectra — dynamic trace-based analysis of vectorization potential.
+
+A from-scratch Python reproduction of Holewinski et al., *Dynamic
+Trace-Based Analysis of Vectorization Potential of Applications*,
+PLDI 2012.
+
+High-level entry points (each re-exported from :mod:`repro.analysis.pipeline`
+once the full pipeline is importable):
+
+- :func:`compile_source` — mini-C source text to an IR :class:`~repro.ir.Module`.
+- :func:`run_and_trace` — execute a module and collect a dynamic trace.
+- :func:`analyze_loop` / :func:`analyze_module` — the paper's analysis:
+  per-static-instruction parallel partitions, stride subpartitions, and the
+  Table-1 metrics.
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import VectraError
+
+__all__ = ["VectraError", "__version__"]
+
+_PIPELINE_NAMES = frozenset(
+    {
+        "compile_source",
+        "run_and_trace",
+        "analyze_loop",
+        "analyze_module",
+        "analyze_kernel",
+        "LoopReport",
+    }
+)
+
+
+def __getattr__(name):
+    # Lazy re-exports so `import repro` stays cheap and avoids import cycles.
+    if name in _PIPELINE_NAMES:
+        from repro.analysis import pipeline, report
+
+        if name == "LoopReport":
+            return report.LoopReport
+        return getattr(pipeline, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,30 @@
+"""The paper's dynamic analyses and baselines.
+
+- :mod:`repro.analysis.timestamps` — Algorithm 1: per-static-instruction
+  timestamping and maximal parallel partitions.
+- :mod:`repro.analysis.stride` — §3.2 unit/zero-stride subpartitioning.
+- :mod:`repro.analysis.nonunit` — §3.3 fixed non-unit-stride waitlist scan.
+- :mod:`repro.analysis.metrics` — Table-1 metrics per loop.
+- :mod:`repro.analysis.kumar` / :mod:`repro.analysis.larus` — the two
+  prior-work baselines of §2.1.
+- :mod:`repro.analysis.reductions` — the paper's future-work extension:
+  reduction-chain detection and dependence relaxation.
+- :mod:`repro.analysis.pipeline` — end-to-end drivers.
+"""
+
+from repro.analysis.timestamps import compute_timestamps, parallel_partitions
+from repro.analysis.stride import unit_stride_subpartitions
+from repro.analysis.nonunit import nonunit_stride_subpartitions
+from repro.analysis.metrics import loop_metrics, instruction_metrics
+from repro.analysis.report import LoopReport, InstructionReport
+
+__all__ = [
+    "compute_timestamps",
+    "parallel_partitions",
+    "unit_stride_subpartitions",
+    "nonunit_stride_subpartitions",
+    "loop_metrics",
+    "instruction_metrics",
+    "LoopReport",
+    "InstructionReport",
+]

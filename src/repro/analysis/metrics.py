@@ -1,0 +1,152 @@
+"""Table-1 metric computation over one loop's DDG (paper §4.1).
+
+- *Average Concurrency*: mean parallel-partition size over the partitions
+  of **all** candidate instructions (singletons included).
+- *Percent Vec. Ops (unit)*: operations in non-singleton unit-stride
+  subpartitions, as a percentage of all candidate operations in the graph.
+- *Average Vec. Size (unit)*: mean size of those subpartitions.
+- *Percent / Average (non-unit)*: same pair, for fixed non-unit-stride
+  subpartitions formed from the leftovers (§3.3).
+
+Only non-singleton parallel partitions are subdivided by stride — members
+of singleton partitions are on dependence chains and not vectorizable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis.candidates import candidate_sids
+from repro.analysis.nonunit import nonunit_stride_subpartitions
+from repro.analysis.stride import unit_stride_subpartitions
+from repro.analysis.timestamps import parallel_partitions
+from repro.analysis.report import InstructionReport, LoopReport
+from repro.ddg.graph import DDG
+from repro.ir.module import Module
+
+
+def _elem_size(module: Optional[Module], sid: int, default: int = 8) -> int:
+    if module is None:
+        return default
+    instr = module.instruction(sid)
+    if instr.result is not None:
+        return instr.result.type.sizeof()
+    return default
+
+
+def _line_of(module: Optional[Module], sid: int) -> int:
+    if module is None:
+        return 0
+    return module.instruction(sid).line
+
+
+def _mnemonic_of(module: Optional[Module], sid: int, ddg: DDG) -> str:
+    if module is not None:
+        return module.instruction(sid).mnemonic
+    from repro.ir.instructions import OPCODE_INFO, Opcode
+
+    for s, opcode in zip(ddg.sids, ddg.opcodes):
+        if s == sid:
+            return OPCODE_INFO[Opcode(opcode)].mnemonic
+    return "?"
+
+
+def instruction_metrics(
+    ddg: DDG,
+    sid: int,
+    module: Optional[Module] = None,
+    elem_size: Optional[int] = None,
+    relax_reductions: bool = False,
+) -> InstructionReport:
+    """Run the full per-instruction analysis: Algorithm 1, unit-stride
+    subpartitioning, and the non-unit-stride waitlist scan.
+
+    With ``relax_reductions``, dependences through detected reduction
+    accumulators are ignored (the paper's future-work extension),
+    modeling a reduction-vectorizing compiler.
+    """
+    if elem_size is None:
+        elem_size = _elem_size(module, sid)
+    if relax_reductions:
+        from repro.analysis.reductions import reduction_relaxed_partitions
+
+        partitions = reduction_relaxed_partitions(ddg, sid)
+    else:
+        partitions = parallel_partitions(ddg, sid)
+    num_instances = sum(len(p) for p in partitions.values())
+    unit_sizes: List[int] = []
+    nonunit_sizes: List[int] = []
+    unit_ops = 0
+    nonunit_ops = 0
+    for members in partitions.values():
+        if len(members) < 2:
+            continue
+        subs = unit_stride_subpartitions(ddg, members, elem_size)
+        leftovers: List[int] = []
+        for sub in subs:
+            unit_sizes.append(len(sub))
+            if len(sub) >= 2:
+                unit_ops += len(sub)
+            else:
+                leftovers.extend(sub)
+        if leftovers:
+            nsubs = nonunit_stride_subpartitions(ddg, leftovers)
+            for sub in nsubs:
+                nonunit_sizes.append(len(sub))
+                if len(sub) >= 2:
+                    nonunit_ops += len(sub)
+    return InstructionReport(
+        sid=sid,
+        mnemonic=_mnemonic_of(module, sid, ddg),
+        line=_line_of(module, sid),
+        num_instances=num_instances,
+        num_partitions=len(partitions),
+        avg_partition_size=(
+            num_instances / len(partitions) if partitions else 0.0
+        ),
+        unit_vec_ops=unit_ops,
+        unit_subpartition_sizes=unit_sizes,
+        nonunit_vec_ops=nonunit_ops,
+        nonunit_subpartition_sizes=nonunit_sizes,
+    )
+
+
+def loop_metrics(
+    ddg: DDG,
+    module: Optional[Module] = None,
+    loop_name: str = "",
+    include_integer: bool = False,
+    relax_reductions: bool = False,
+) -> LoopReport:
+    """Aggregate the paper's loop-level metrics over all candidate
+    instructions in the graph."""
+    report = LoopReport(loop_name=loop_name)
+    total_ops = 0
+    total_partitions = 0
+    unit_ops = 0
+    nonunit_ops = 0
+    unit_sizes: List[int] = []
+    nonunit_sizes: List[int] = []
+    for sid in candidate_sids(ddg, include_integer):
+        ir = instruction_metrics(ddg, sid, module,
+                                 relax_reductions=relax_reductions)
+        report.instructions.append(ir)
+        total_ops += ir.num_instances
+        total_partitions += ir.num_partitions
+        unit_ops += ir.unit_vec_ops
+        nonunit_ops += ir.nonunit_vec_ops
+        unit_sizes.extend(s for s in ir.unit_subpartition_sizes if s >= 2)
+        nonunit_sizes.extend(
+            s for s in ir.nonunit_subpartition_sizes if s >= 2
+        )
+    report.total_candidate_ops = total_ops
+    if total_partitions:
+        report.avg_concurrency = total_ops / total_partitions
+    if total_ops:
+        report.percent_vec_unit = 100.0 * unit_ops / total_ops
+        report.percent_vec_nonunit = 100.0 * nonunit_ops / total_ops
+    if unit_sizes:
+        report.avg_vec_size_unit = sum(unit_sizes) / len(unit_sizes)
+    if nonunit_sizes:
+        report.avg_vec_size_nonunit = sum(nonunit_sizes) / len(nonunit_sizes)
+    return report

@@ -1,0 +1,49 @@
+"""§3.3 — fixed non-unit constant-stride analysis.
+
+Instances left in singleton subpartitions by the unit-stride scan may
+still be combinable at some fixed non-unit stride — evidence that a data
+layout transformation (array transposition, AoS -> SoA) would unlock
+vectorization.  The paper's waitlist scan: sort the instances, walk the
+list accepting any instance whose stride from the previously accepted one
+matches the subpartition's current stride (established by its first pair);
+mismatching instances go to a waitlist that is rescanned, in order, to
+form the next subpartition — until no instances remain.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.analysis.stride import access_tuples, _tuple_stride
+
+
+def nonunit_stride_subpartitions(
+    ddg,
+    singletons: Sequence[int],
+) -> List[List[int]]:
+    """Group ``singletons`` (node indices of one static instruction and one
+    timestamp) into fixed-stride subpartitions via the waitlist scan."""
+    if not singletons:
+        return []
+    work: List[Tuple[Tuple[int, ...], int]] = sorted(
+        zip(access_tuples(ddg, singletons), singletons),
+        key=lambda kv: kv[0],
+    )
+    subpartitions: List[List[int]] = []
+    while work:
+        first_tuple, first_node = work[0]
+        current = [first_node]
+        current_tuple = first_tuple
+        current_stride = None
+        waitlist: List[Tuple[Tuple[int, ...], int]] = []
+        for tup, node in work[1:]:
+            stride = _tuple_stride(current_tuple, tup)
+            if current_stride is None or stride == current_stride:
+                current_stride = stride
+                current.append(node)
+                current_tuple = tup
+            else:
+                waitlist.append((tup, node))
+        subpartitions.append(current)
+        work = waitlist
+    return subpartitions

@@ -1,0 +1,229 @@
+"""Missed-opportunity classification — the paper's compiler-writer use
+case (§1, use case 3; §4.2).
+
+For every loop where the dynamic analysis finds potential the static
+vectorizer does not exploit, cross-reference the vectorizer's machine-
+readable refusal reasons with the dynamic metrics and classify *why* the
+opportunity is missed:
+
+- ``STATIC_TRANSFORM``: all refusal causes are statically analyzable
+  (loop-carried dependences among affine accesses, scalar recurrences)
+  while part of the computation is provably independent — the
+  Gauss-Seidel case, where "all the information needed to transform the
+  code is actually derivable from purely static analysis" (§4.4).
+- ``CONTROL_FLOW``: data-dependent branching blocks the vectorizer; the
+  PDE-solver case (hoisting / if-conversion territory).
+- ``LAYOUT``: the refusal is non-unit stride, or the dynamic potential
+  is predominantly at fixed non-unit stride — a data-layout
+  transformation (milc, bwaves) is indicated.
+- ``RUNTIME_DEPENDENT``: irregular subscripts or possible aliasing —
+  vectorization needs information beyond static analysis (gromacs,
+  where correctness rests on properties of the input data).
+- ``ALREADY_VECTORIZED`` / ``NO_POTENTIAL``: nothing for the compiler
+  writer here.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.analysis.report import LoopReport
+from repro.vectorizer.autovec import LoopDecision
+
+
+class OpportunityKind(enum.Enum):
+    ALREADY_VECTORIZED = "already-vectorized"
+    NO_POTENTIAL = "no-potential"
+    STATIC_TRANSFORM = "static-transform"
+    CONTROL_FLOW = "control-flow"
+    LAYOUT = "layout-transformation"
+    RUNTIME_DEPENDENT = "runtime-dependent"
+
+
+@dataclass
+class Opportunity:
+    """One classified loop."""
+
+    loop_name: str
+    kind: OpportunityKind
+    potential: float  # max of unit / non-unit %VecOps
+    packed: float
+    reasons: List[str]
+    advice: str
+
+    def row(self) -> str:
+        return (
+            f"{self.loop_name:20} {self.kind.value:22} "
+            f"potential {self.potential:5.1f}%  packed {self.packed:5.1f}%  "
+            f"{self.advice}"
+        )
+
+
+_ADVICE = {
+    OpportunityKind.ALREADY_VECTORIZED: "leave alone",
+    OpportunityKind.NO_POTENTIAL: "algorithmic rewrite required",
+    OpportunityKind.STATIC_TRANSFORM:
+        "compiler-transformable: loop distribution / reordering "
+        "(Gauss-Seidel pattern, §4.4)",
+    OpportunityKind.CONTROL_FLOW:
+        "hoist or specialize the branch (PDE-solver pattern, §4.4)",
+    OpportunityKind.LAYOUT:
+        "change the data layout: transpose / AoS->SoA (§3.3, milc)",
+    OpportunityKind.RUNTIME_DEPENDENT:
+        "needs runtime or domain knowledge (gromacs pattern, §4.4)",
+}
+
+#: Refusal-reason fragments that imply the blocker is only visible (or
+#: resolvable) at run time.
+_RUNTIME_MARKERS = ("data-dependent", "alias", "pointer")
+_CONTROL_MARKERS = ("control flow", "break", "select", "return inside")
+_LAYOUT_MARKERS = ("non-unit stride",)
+_STATIC_MARKERS = (
+    "loop-carried dependence",
+    "scalar recurrence",
+    "same location every iteration",
+    "weak SIV",
+    "symbolic subscript",
+    "non-affine",
+)
+
+_POTENTIAL_THRESHOLD = 20.0
+
+
+def classify_loop(
+    report: LoopReport,
+    decision: Optional[LoopDecision],
+) -> Opportunity:
+    """Classify one analyzed loop given its vectorizer decision."""
+    potential = max(report.percent_vec_unit, report.percent_vec_nonunit)
+    reasons = list(decision.reasons) if decision is not None else []
+
+    if decision is not None and decision.vectorized:
+        kind = OpportunityKind.ALREADY_VECTORIZED
+    elif report.percent_packed >= 60.0:
+        kind = OpportunityKind.ALREADY_VECTORIZED
+    elif potential < _POTENTIAL_THRESHOLD:
+        kind = OpportunityKind.NO_POTENTIAL
+    else:
+        kind = _classify_refusal(report, reasons)
+
+    return Opportunity(
+        loop_name=report.loop_name,
+        kind=kind,
+        potential=potential,
+        packed=report.percent_packed,
+        reasons=reasons,
+        advice=_ADVICE[kind],
+    )
+
+
+def _classify_refusal(report: LoopReport,
+                      reasons: Sequence[str]) -> OpportunityKind:
+    text = " | ".join(reasons).lower()
+
+    def has(markers) -> bool:
+        return any(m in text for m in markers)
+
+    if has(_RUNTIME_MARKERS):
+        return OpportunityKind.RUNTIME_DEPENDENT
+    if has(_CONTROL_MARKERS):
+        return OpportunityKind.CONTROL_FLOW
+    if has(_LAYOUT_MARKERS):
+        return OpportunityKind.LAYOUT
+    if has(_STATIC_MARKERS):
+        # Purely static blockers (the Gauss-Seidel pattern) — unless the
+        # dynamic potential itself asks for a layout change *and* the
+        # unit-stride share is negligible.
+        if (
+            report.percent_vec_nonunit > report.percent_vec_unit
+            and report.percent_vec_unit < _POTENTIAL_THRESHOLD / 2
+        ):
+            return OpportunityKind.LAYOUT
+        return OpportunityKind.STATIC_TRANSFORM
+    # No informative refusal recorded for this loop (outer loop or
+    # missing decision): decide from the dynamic shape alone.
+    if report.percent_vec_nonunit > report.percent_vec_unit:
+        return OpportunityKind.LAYOUT
+    return OpportunityKind.STATIC_TRANSFORM
+
+
+def subtree_reasons(module, decisions: Sequence[LoopDecision],
+                    loop_name: str,
+                    dyn_parent=None) -> List[str]:
+    """Refusal reasons of a loop and all loops nested in it.
+
+    An outer loop's own decision usually says only "contains an inner
+    loop"; the informative refusals live on the nest's inner loops.
+    ``dyn_parent`` (loop id -> observed dynamic parent id, from an
+    interpreter run) extends the nesting across function calls — e.g.
+    the PDE solver's branchy loops live in a function called from the
+    analyzed grid loop.
+    """
+    from repro.vectorizer.autovec import decisions_by_name
+
+    by_name = decisions_by_name(list(decisions))
+    root = module.loop_by_name(loop_name)
+    if root is None:
+        d = by_name.get(loop_name)
+        return list(d.reasons) if d is not None else []
+    ids = {root.loop_id}
+    changed = True
+    while changed:
+        changed = False
+        for info in module.loops.values():
+            if info.loop_id in ids:
+                continue
+            parents = {info.parent_id}
+            if dyn_parent is not None:
+                parents.add(dyn_parent.get(info.loop_id))
+            if parents & ids:
+                ids.add(info.loop_id)
+                changed = True
+    reasons: List[str] = []
+    for loop_id in sorted(ids):
+        info = module.loops[loop_id]
+        d = by_name.get(f"{info.function}:{info.header_line}") or (
+            by_name.get(info.label) if info.label else None
+        )
+        if d is not None:
+            for reason in d.reasons:
+                if reason not in reasons and reason != (
+                    "contains an inner loop"
+                ):
+                    reasons.append(reason)
+    return reasons
+
+
+def classify_program(
+    reports: Sequence[LoopReport],
+    decisions: Sequence[LoopDecision],
+    module=None,
+    dyn_parent=None,
+) -> List[Opportunity]:
+    """Classify every reported loop of a program.
+
+    With ``module`` given, an outer loop is judged by the union of its
+    subtree's refusal reasons (static nesting, plus dynamic nesting
+    through calls when ``dyn_parent`` is supplied).
+    """
+    from repro.vectorizer.autovec import decisions_by_name
+
+    by_name = decisions_by_name(list(decisions))
+    out = []
+    for report in reports:
+        decision = by_name.get(report.loop_name)
+        opp = classify_loop(report, decision)
+        if module is not None and opp.kind not in (
+            OpportunityKind.ALREADY_VECTORIZED,
+            OpportunityKind.NO_POTENTIAL,
+        ):
+            merged = subtree_reasons(module, decisions, report.loop_name,
+                                     dyn_parent)
+            if merged:
+                opp.reasons = merged
+                opp.kind = _classify_refusal(report, merged)
+                opp.advice = _ADVICE[opp.kind]
+        out.append(opp)
+    return out

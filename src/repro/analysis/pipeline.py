@@ -1,0 +1,142 @@
+"""End-to-end drivers: source text in, Table-1-style reports out.
+
+The flow mirrors the paper's methodology (§4.1):
+
+1. compile and run the program, collecting a cycle profile;
+2. select hot loops (>=10% of cycles, innermost-first selection rule);
+3. for each hot loop, re-run with a loop-window sink to collect the
+   subtrace of one representative dynamic instance;
+4. build the DDG, run Algorithm 1 + the stride analyses, and attach the
+   static-vectorizer Percent Packed for comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.metrics import loop_metrics
+from repro.analysis.report import BenchmarkReport, LoopReport
+from repro.ddg.build import build_ddg
+from repro.errors import AnalysisError
+from repro.frontend import parse_source
+from repro.frontend.driver import compile_source
+from repro.frontend.lower import lower
+from repro.interp.interpreter import Interpreter, run_and_trace
+from repro.ir.module import Module
+from repro.ir.verifier import verify_module
+from repro.profiler.costmodel import CostModel
+from repro.profiler.hotloops import hot_loops, profile_loops
+from repro.vectorizer.autovec import VectorizerConfig, analyze_program_loops
+from repro.vectorizer.packed import percent_packed
+
+__all__ = [
+    "compile_source",
+    "run_and_trace",
+    "analyze_loop",
+    "analyze_module",
+    "analyze_program",
+    "analyze_kernel",
+]
+
+
+def analyze_loop(
+    module: Module,
+    loop_name: str,
+    entry: str = "main",
+    args: Sequence = (),
+    instance: int = 0,
+    include_integer: bool = False,
+    relax_reductions: bool = False,
+) -> LoopReport:
+    """Dynamic analysis of one loop: trace one instance, build the DDG,
+    compute the paper's metrics.  ``loop_name`` is a label or
+    ``function:line``."""
+    info = module.loop_by_name(loop_name)
+    if info is None:
+        known = ", ".join(li.name for li in module.loops.values())
+        raise AnalysisError(
+            f"no loop named {loop_name!r}; known loops: {known}"
+        )
+    trace = run_and_trace(module, entry, args, loop=info.loop_id,
+                          instances={instance})
+    if not trace.records:
+        raise AnalysisError(
+            f"loop {loop_name!r} instance {instance} never executed"
+        )
+    sub = trace.subtrace(info.loop_id, 0)
+    ddg = build_ddg(sub)
+    report = loop_metrics(ddg, module, loop_name, include_integer,
+                          relax_reductions)
+    return report
+
+
+def analyze_program(
+    source: str,
+    benchmark: str = "",
+    entry: str = "main",
+    args: Sequence = (),
+    threshold: float = 0.10,
+    instance: int = 0,
+    cost_model: Optional[CostModel] = None,
+    vec_config: Optional[VectorizerConfig] = None,
+    include_integer: bool = False,
+) -> BenchmarkReport:
+    """The full §4.1 methodology for one program."""
+    program, analyzer = parse_source(source)
+    module = lower(analyzer, benchmark or "module")
+    verify_module(module)
+    if vec_config is None:
+        vec_config = VectorizerConfig()
+    decisions = analyze_program_loops(program, analyzer, vec_config)
+
+    interp = Interpreter(module)
+    interp.run(entry, args)
+    profiles = profile_loops(module, interp, cost_model)
+    hot = hot_loops(module, interp, threshold, cost_model)
+
+    report = BenchmarkReport(benchmark=benchmark)
+    for prof in hot:
+        info = module.loops[prof.loop_id]
+        loop_report = analyze_loop(
+            module, info.name, entry, args, instance, include_integer
+        )
+        loop_report.benchmark = benchmark
+        loop_report.percent_cycles = prof.percent_cycles
+        loop_report.percent_packed = percent_packed(
+            module, interp, decisions, prof.loop_id, vec_config, profiles
+        )
+        report.loops.append(loop_report)
+    return report
+
+
+def analyze_module(
+    module: Module,
+    entry: str = "main",
+    args: Sequence = (),
+    threshold: float = 0.10,
+    instance: int = 0,
+    include_integer: bool = False,
+) -> BenchmarkReport:
+    """Hot-loop analysis without a source AST (no Percent Packed column)."""
+    interp = Interpreter(module)
+    interp.run(entry, args)
+    hot = hot_loops(module, interp, threshold)
+    report = BenchmarkReport(benchmark=module.name)
+    for prof in hot:
+        info = module.loops[prof.loop_id]
+        loop_report = analyze_loop(
+            module, info.name, entry, args, instance, include_integer
+        )
+        loop_report.benchmark = module.name
+        loop_report.percent_cycles = prof.percent_cycles
+        report.loops.append(loop_report)
+    return report
+
+
+def analyze_kernel(name: str, **params) -> BenchmarkReport:
+    """Analyze a registered workload kernel by name (see
+    :mod:`repro.workloads`)."""
+    from repro.workloads.loader import get_workload
+
+    workload = get_workload(name)
+    return workload.analyze(**params)

@@ -1,0 +1,84 @@
+"""Reduction-chain detection and dependence relaxation.
+
+The paper treats reduction updates (``s += a[i]``) as dependence chains —
+correctly non-vectorizable under its model — but notes that icc *does*
+vectorize reductions, and proposes as future work "to identify and remove
+dependence edges that are due to updates of reduction variables" (§3,
+§4.1).  This module implements that extension:
+
+- :func:`detect_reduction_chains` finds candidate instructions whose
+  instances accumulate into a fixed memory location (store target equals
+  one of the operand source addresses);
+- :func:`reduction_relaxed_partitions` re-runs Algorithm 1 with the
+  store->load dependence edges of those accumulator locations removed,
+  exposing the additional parallelism a reduction-aware vectorizer gets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.timestamps import parallel_partitions
+from repro.ddg.graph import DDG
+from repro.ir.instructions import Opcode
+
+_LOAD = int(Opcode.LOAD)
+_STORE = int(Opcode.STORE)
+
+#: Only associative accumulations qualify (fadd/fsub chains; a product
+#: reduction via fmul also qualifies mathematically and is included).
+_REDUCIBLE = frozenset({int(Opcode.FADD), int(Opcode.FSUB), int(Opcode.FMUL)})
+
+
+def detect_reduction_chains(ddg: DDG) -> Dict[int, Set[int]]:
+    """Find accumulator locations per candidate static instruction.
+
+    Returns ``{sid: {accumulator addresses}}`` for instructions where at
+    least two instances both read and write the same address (the
+    ``s += expr`` pattern: operand source address == store target)."""
+    counts: Dict[Tuple[int, int], int] = {}
+    for i, opcode in enumerate(ddg.opcodes):
+        if opcode not in _REDUCIBLE:
+            continue
+        store_addr = ddg.store_addrs[i]
+        if store_addr and store_addr in ddg.addrs[i]:
+            key = (ddg.sids[i], store_addr)
+            counts[key] = counts.get(key, 0) + 1
+    chains: Dict[int, Set[int]] = {}
+    for (sid, addr), count in counts.items():
+        if count >= 2:
+            chains.setdefault(sid, set()).add(addr)
+    return chains
+
+
+def reduction_edges(ddg: DDG, accumulators: Set[int]) -> Set[Tuple[int, int]]:
+    """DDG edges carrying the reduction chain: store->load edges through
+    an accumulator address."""
+    removed: Set[Tuple[int, int]] = set()
+    store_nodes: Dict[int, List[int]] = {}
+    for i, opcode in enumerate(ddg.opcodes):
+        if opcode == _STORE and ddg.mem_addrs[i] in accumulators:
+            store_nodes.setdefault(ddg.mem_addrs[i], []).append(i)
+    stores_flat = {
+        i for nodes in store_nodes.values() for i in nodes
+    }
+    for i, opcode in enumerate(ddg.opcodes):
+        if opcode == _LOAD and ddg.mem_addrs[i] in accumulators:
+            for p in ddg.preds[i]:
+                if p in stores_flat:
+                    removed.add((p, i))
+    return removed
+
+
+def reduction_relaxed_partitions(
+    ddg: DDG, sid: int
+) -> Dict[int, List[int]]:
+    """Algorithm 1 partitions for ``sid`` with its reduction dependences
+    ignored.  If ``sid`` has no detected reduction chain, the result
+    equals the unrelaxed partitioning."""
+    chains = detect_reduction_chains(ddg)
+    accumulators = chains.get(sid)
+    if not accumulators:
+        return parallel_partitions(ddg, sid)
+    removed = reduction_edges(ddg, accumulators)
+    return parallel_partitions(ddg, sid, removed_edges=removed)

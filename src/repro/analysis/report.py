@@ -1,0 +1,88 @@
+"""Report dataclasses and text formatting for analysis results.
+
+:class:`LoopReport` corresponds to one row of the paper's Table 1 (or
+Table 2/3): the loop's share of execution, how much of it the static
+compiler packed, and the dynamic analysis metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class InstructionReport:
+    """Per-static-instruction analysis detail."""
+
+    sid: int
+    mnemonic: str
+    line: int
+    num_instances: int
+    num_partitions: int
+    avg_partition_size: float
+    unit_vec_ops: int
+    unit_subpartition_sizes: List[int] = field(default_factory=list)
+    nonunit_vec_ops: int = 0
+    nonunit_subpartition_sizes: List[int] = field(default_factory=list)
+
+    @property
+    def avg_unit_size(self) -> float:
+        sizes = [s for s in self.unit_subpartition_sizes if s >= 2]
+        return sum(sizes) / len(sizes) if sizes else 0.0
+
+    @property
+    def avg_nonunit_size(self) -> float:
+        sizes = [s for s in self.nonunit_subpartition_sizes if s >= 2]
+        return sum(sizes) / len(sizes) if sizes else 0.0
+
+
+@dataclass
+class LoopReport:
+    """One analyzed loop — one row of Table 1/2/3."""
+
+    loop_name: str
+    benchmark: str = ""
+    percent_cycles: float = 0.0
+    percent_packed: float = 0.0
+    avg_concurrency: float = 0.0
+    percent_vec_unit: float = 0.0
+    avg_vec_size_unit: float = 0.0
+    percent_vec_nonunit: float = 0.0
+    avg_vec_size_nonunit: float = 0.0
+    total_candidate_ops: int = 0
+    instructions: List[InstructionReport] = field(default_factory=list)
+    notes: str = ""
+
+    def row(self) -> str:
+        """Format as a Table-1-style row."""
+        return (
+            f"{self.benchmark:<18} {self.loop_name:<26} "
+            f"{self.percent_cycles:6.1f}% {self.percent_packed:7.1f}% "
+            f"{self.avg_concurrency:12.1f} "
+            f"{self.percent_vec_unit:7.1f}% {self.avg_vec_size_unit:9.1f} "
+            f"{self.percent_vec_nonunit:7.1f}% {self.avg_vec_size_nonunit:9.1f}"
+        )
+
+    @staticmethod
+    def header() -> str:
+        return (
+            f"{'Benchmark':<18} {'Loop':<26} "
+            f"{'Cycles':>7} {'Packed':>8} "
+            f"{'AvgConcur':>12} "
+            f"{'U.VecOps':>8} {'U.VecSz':>9} "
+            f"{'N.VecOps':>8} {'N.VecSz':>9}"
+        )
+
+
+@dataclass
+class BenchmarkReport:
+    """All analyzed hot loops of one benchmark/workload."""
+
+    benchmark: str
+    loops: List[LoopReport] = field(default_factory=list)
+
+    def table(self) -> str:
+        lines = [LoopReport.header()]
+        lines.extend(loop.row() for loop in self.loops)
+        return "\n".join(lines)

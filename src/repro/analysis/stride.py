@@ -1,0 +1,87 @@
+"""§3.2 — subdividing parallel partitions by contiguous memory access.
+
+Members of a parallel partition are independent, but efficient SIMD
+execution also needs contiguous (unit-stride) or splat (zero-stride)
+operands.  Following the paper: sort the partition's instances by the
+memory addresses of their operands (the *access tuple*: per-operand source
+address plus the address the result was stored to, with artificial address
+0 for values not obtained from memory), then scan, closing the current
+subpartition whenever the observed stride is (1) non-zero and non-unit, or
+(2) different from the previously observed stride.
+
+"Unit" means one element: the distance equals the data-type size.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def access_tuples(ddg, nodes: Sequence[int]) -> List[Tuple[int, ...]]:
+    """The access tuple of each node: operand source addresses + store
+    target (0-padded entries mean "not from memory")."""
+    return [ddg.addrs[i] + (ddg.store_addrs[i],) for i in nodes]
+
+
+def _tuple_stride(
+    prev: Tuple[int, ...], cur: Tuple[int, ...]
+) -> Tuple[int, ...]:
+    return tuple(c - p for p, c in zip(prev, cur))
+
+
+def _is_unit_or_zero(stride: Tuple[int, ...], elem_size: int) -> bool:
+    """Every component either repeats the same address (splat / constant
+    operand) or advances by exactly one element."""
+    return all(s == 0 or s == elem_size for s in stride)
+
+
+def unit_stride_subpartitions(
+    ddg,
+    partition: Sequence[int],
+    elem_size: int,
+) -> List[List[int]]:
+    """Split one parallel partition into unit/zero-stride subpartitions.
+
+    Returns lists of node indices; every member of the input appears in
+    exactly one subpartition.  Singleton outputs are the instances that
+    found no contiguous neighbors — §3.3 reconsiders them.
+    """
+    if not partition:
+        return []
+    keyed = sorted(
+        zip(access_tuples(ddg, partition), partition), key=lambda kv: kv[0]
+    )
+    subpartitions: List[List[int]] = []
+    current = [keyed[0][1]]
+    current_tuple = keyed[0][0]
+    current_stride = None
+    for tup, node in keyed[1:]:
+        stride = _tuple_stride(current_tuple, tup)
+        acceptable = _is_unit_or_zero(stride, elem_size)
+        if acceptable and (current_stride is None or stride == current_stride):
+            current.append(node)
+            current_tuple = tup
+            current_stride = stride
+        else:
+            subpartitions.append(current)
+            current = [node]
+            current_tuple = tup
+            current_stride = None
+    subpartitions.append(current)
+    return subpartitions
+
+
+def vectorizable_ops(subpartitions: Sequence[Sequence[int]]) -> int:
+    """Operations inside non-singleton subpartitions (potentially packed)."""
+    return sum(len(s) for s in subpartitions if len(s) >= 2)
+
+
+def average_subpartition_size(
+    subpartitions: Sequence[Sequence[int]],
+) -> float:
+    """Mean size of non-singleton subpartitions (the paper's Average
+    Vec. Size)."""
+    sizes = [len(s) for s in subpartitions if len(s) >= 2]
+    if not sizes:
+        return 0.0
+    return sum(sizes) / len(sizes)

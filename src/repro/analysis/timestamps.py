@@ -1,0 +1,94 @@
+"""Algorithm 1: per-static-instruction timestamping (paper §3.1).
+
+For a chosen static instruction *s*, walk the DDG in topological order.
+Each node's timestamp is the maximum of its predecessors' timestamps,
+incremented by one exactly when the node is an instance of *s*.  Then all
+instances of *s* sharing a timestamp form one *parallel partition*.
+
+Guarantees (paper Properties 3.1 / 3.2, property-tested in this repo):
+
+- if any DDG path connects two instances of *s*, their timestamps differ,
+  so members of one partition are mutually independent;
+- every instance gets the smallest feasible timestamp, so the partitions
+  expose the *maximum* available parallelism for *s* under all
+  dependence-preserving reorderings.
+
+Because DDG nodes are stored in execution order (already topological),
+the traversal is a single linear scan.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.ddg.graph import DDG
+
+
+def compute_timestamps(
+    ddg: DDG,
+    target_sid: int,
+    removed_edges: Optional[set] = None,
+) -> List[int]:
+    """Timestamp per node for the analysis of ``target_sid``.
+
+    ``removed_edges`` optionally drops specific (pred, node) pairs — used
+    by the reduction-relaxation extension.
+    """
+    sids = ddg.sids
+    preds = ddg.preds
+    ts = [0] * len(sids)
+    if removed_edges:
+        for i in range(len(sids)):
+            t = 0
+            for p in preds[i]:
+                if (p, i) not in removed_edges and ts[p] > t:
+                    t = ts[p]
+            if sids[i] == target_sid:
+                t += 1
+            ts[i] = t
+        return ts
+    for i in range(len(sids)):
+        t = 0
+        for p in preds[i]:
+            tp = ts[p]
+            if tp > t:
+                t = tp
+        if sids[i] == target_sid:
+            t += 1
+        ts[i] = t
+    return ts
+
+
+def parallel_partitions(
+    ddg: DDG,
+    target_sid: int,
+    timestamps: Optional[Sequence[int]] = None,
+    removed_edges: Optional[set] = None,
+) -> Dict[int, List[int]]:
+    """Partitions of the instances of ``target_sid``: timestamp -> node list.
+
+    Node lists are in execution order.  Every instance of the target
+    appears in exactly one partition.
+    """
+    if timestamps is None:
+        timestamps = compute_timestamps(ddg, target_sid, removed_edges)
+    partitions: Dict[int, List[int]] = {}
+    sids = ddg.sids
+    for i, sid in enumerate(sids):
+        if sid == target_sid:
+            partitions.setdefault(timestamps[i], []).append(i)
+    return partitions
+
+
+def average_partition_size(partitions: Dict[int, List[int]]) -> float:
+    """Mean partition size — the paper's per-instruction parallelism metric."""
+    if not partitions:
+        return 0.0
+    total = sum(len(p) for p in partitions.values())
+    return total / len(partitions)
+
+
+def critical_path_length(partitions: Dict[int, List[int]]) -> int:
+    """Number of partitions = length of the per-instruction dependence
+    chain (the largest timestamp)."""
+    return max(partitions) if partitions else 0

@@ -1,0 +1,46 @@
+"""DDG construction from a dynamic trace.
+
+One linear pass: every non-marker record becomes a node; its recorded
+producer node ids become predecessor edges when the producer is inside the
+trace window (dependences on values produced before the window — e.g. data
+initialized outside the analyzed loop — simply have no edge, matching the
+paper's per-loop subtrace analysis)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.trace.trace import Trace
+from repro.ddg.graph import DDG
+
+
+def build_ddg(trace: Trace) -> DDG:
+    index: Dict[int, int] = {}
+    sids: List[int] = []
+    opcodes: List[int] = []
+    preds: List[Tuple[int, ...]] = []
+    addrs: List[Tuple[int, ...]] = []
+    store_addrs: List[int] = []
+    mem_addrs: List[int] = []
+
+    for rec in trace.records:
+        if rec.is_marker:
+            continue
+        i = len(sids)
+        index[rec.node] = i
+        sids.append(rec.sid)
+        opcodes.append(int(rec.opcode))
+        if rec.deps:
+            ps = tuple(
+                sorted(
+                    {index[d] for d in rec.deps if d in index}
+                )
+            )
+        else:
+            ps = ()
+        preds.append(ps)
+        addrs.append(rec.addrs)
+        store_addrs.append(rec.store_addr)
+        mem_addrs.append(rec.addr)
+
+    return DDG(sids, opcodes, preds, addrs, store_addrs, mem_addrs)

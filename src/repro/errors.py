@@ -1,0 +1,89 @@
+"""Exception hierarchy shared across all vectra subsystems.
+
+Every error raised by the library derives from :class:`VectraError`, so
+callers can catch a single type at the API boundary.  Frontend errors carry
+source locations; runtime errors carry the dynamic instruction context when
+available.
+"""
+
+from __future__ import annotations
+
+
+class VectraError(Exception):
+    """Base class for all errors raised by the repro/vectra library."""
+
+
+class SourceLocation:
+    """A (line, column) position in a mini-C source buffer.
+
+    Lines and columns are 1-based, matching what editors display.
+    """
+
+    __slots__ = ("line", "col")
+
+    def __init__(self, line: int, col: int):
+        self.line = line
+        self.col = col
+
+    def __repr__(self) -> str:
+        return f"{self.line}:{self.col}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, SourceLocation)
+            and self.line == other.line
+            and self.col == other.col
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.line, self.col))
+
+
+class FrontendError(VectraError):
+    """An error detected while processing mini-C source code."""
+
+    def __init__(self, message: str, loc: SourceLocation | None = None):
+        self.loc = loc
+        if loc is not None:
+            message = f"{loc}: {message}"
+        super().__init__(message)
+
+
+class LexError(FrontendError):
+    """Invalid character sequence in the source buffer."""
+
+
+class ParseError(FrontendError):
+    """Source tokens do not form a valid mini-C program."""
+
+
+class SemanticError(FrontendError):
+    """The program parses but violates typing or scoping rules."""
+
+
+class IRError(VectraError):
+    """Malformed IR detected by the builder or verifier."""
+
+
+class InterpError(VectraError):
+    """A run-time fault during IR interpretation (bad address, div by zero,
+    missing function, fuel exhaustion, ...)."""
+
+
+class MemoryError_(InterpError):
+    """An out-of-bounds or unallocated memory access.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class TraceError(VectraError):
+    """Inconsistent trace contents (unbalanced loop markers, bad ids)."""
+
+
+class AnalysisError(VectraError):
+    """An analysis pass was invoked on inputs it cannot handle."""
+
+
+class WorkloadError(VectraError):
+    """Unknown workload name or invalid workload parameters."""

@@ -1,0 +1,18 @@
+"""Mini-C frontend: lexer, parser, semantic analysis, IR lowering.
+
+The language is the C subset the paper's workloads need: ``int`` / ``float``
+/ ``double`` scalars, multi-dimensional arrays, named structs, pointers and
+pointer arithmetic, functions, ``for``/``while``/``do``/``if`` control flow,
+and the usual expression operators.  Loops may carry C labels
+(``hot: for (...)``), which become stable loop names in analysis reports.
+
+Public surface:
+
+- :func:`compile_source` — source text to a verified IR module.
+- :func:`parse_source` — source text to a type-annotated AST (used by the
+  static vectorizer, which analyzes source-level subscripts).
+"""
+
+from repro.frontend.driver import compile_source, parse_source
+
+__all__ = ["compile_source", "parse_source"]

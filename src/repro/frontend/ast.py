@@ -1,0 +1,372 @@
+"""AST node definitions for mini-C.
+
+Expression nodes carry a ``type`` slot that semantic analysis fills with a
+resolved :mod:`repro.ir.types` type.  Statement and declaration nodes carry
+source locations for diagnostics and loop naming.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import SourceLocation
+
+
+class Node:
+    """Base class for every AST node."""
+
+    __slots__ = ("loc",)
+
+    def __init__(self, loc: SourceLocation):
+        self.loc = loc
+
+
+# ---------------------------------------------------------------------------
+# Types as written in source (resolved to IR types by sema).
+# ---------------------------------------------------------------------------
+
+
+class TypeSpec(Node):
+    """A syntactic type: base name, pointer depth, and array extents.
+
+    ``base`` is one of "int", "float", "double", "void", or "struct <name>".
+    ``array_dims`` holds constant expressions, outermost first.
+    """
+
+    __slots__ = ("base", "pointer_depth", "array_dims", "is_const")
+
+    def __init__(
+        self,
+        loc: SourceLocation,
+        base: str,
+        pointer_depth: int = 0,
+        array_dims: Optional[Sequence["Expr"]] = None,
+        is_const: bool = False,
+    ):
+        super().__init__(loc)
+        self.base = base
+        self.pointer_depth = pointer_depth
+        self.array_dims = list(array_dims or [])
+        self.is_const = is_const
+
+
+# ---------------------------------------------------------------------------
+# Expressions.
+# ---------------------------------------------------------------------------
+
+
+class Expr(Node):
+    __slots__ = ("type",)
+
+    def __init__(self, loc: SourceLocation):
+        super().__init__(loc)
+        self.type = None  # filled by sema
+
+
+class IntLit(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, loc, value: int):
+        super().__init__(loc)
+        self.value = value
+
+
+class FloatLit(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, loc, value: float):
+        super().__init__(loc)
+        self.value = value
+
+
+class Ident(Expr):
+    __slots__ = ("name", "symbol")
+
+    def __init__(self, loc, name: str):
+        super().__init__(loc)
+        self.name = name
+        self.symbol = None  # sema: the Symbol this name resolves to
+
+
+class BinOp(Expr):
+    """Arithmetic/relational/logical binary operation (no assignment)."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, loc, op: str, left: Expr, right: Expr):
+        super().__init__(loc)
+        self.op = op
+        self.left = left
+        self.right = right
+
+
+class UnOp(Expr):
+    """Prefix unary: ``-``, ``+``, ``!``, ``~``."""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, loc, op: str, operand: Expr):
+        super().__init__(loc)
+        self.op = op
+        self.operand = operand
+
+
+class Assign(Expr):
+    """``target op= value``; ``op`` is "", "+", "-", "*", "/", or "%"."""
+
+    __slots__ = ("op", "target", "value")
+
+    def __init__(self, loc, op: str, target: Expr, value: Expr):
+        super().__init__(loc)
+        self.op = op
+        self.target = target
+        self.value = value
+
+
+class IncDec(Expr):
+    """``++x`` / ``x++`` / ``--x`` / ``x--``."""
+
+    __slots__ = ("op", "target", "prefix")
+
+    def __init__(self, loc, op: str, target: Expr, prefix: bool):
+        super().__init__(loc)
+        self.op = op
+        self.target = target
+        self.prefix = prefix
+
+
+class Cond(Expr):
+    """Ternary ``c ? t : f``."""
+
+    __slots__ = ("cond", "then", "els")
+
+    def __init__(self, loc, cond: Expr, then: Expr, els: Expr):
+        super().__init__(loc)
+        self.cond = cond
+        self.then = then
+        self.els = els
+
+
+class Call(Expr):
+    __slots__ = ("name", "args")
+
+    def __init__(self, loc, name: str, args: List[Expr]):
+        super().__init__(loc)
+        self.name = name
+        self.args = args
+
+
+class Index(Expr):
+    """``base[index]`` where base is an array or pointer."""
+
+    __slots__ = ("base", "index")
+
+    def __init__(self, loc, base: Expr, index: Expr):
+        super().__init__(loc)
+        self.base = base
+        self.index = index
+
+
+class Member(Expr):
+    """``base.field`` (arrow=False) or ``base->field`` (arrow=True)."""
+
+    __slots__ = ("base", "field", "arrow")
+
+    def __init__(self, loc, base: Expr, field: str, arrow: bool):
+        super().__init__(loc)
+        self.base = base
+        self.field = field
+        self.arrow = arrow
+
+
+class Deref(Expr):
+    __slots__ = ("operand",)
+
+    def __init__(self, loc, operand: Expr):
+        super().__init__(loc)
+        self.operand = operand
+
+
+class AddrOf(Expr):
+    __slots__ = ("operand",)
+
+    def __init__(self, loc, operand: Expr):
+        super().__init__(loc)
+        self.operand = operand
+
+
+class CastExpr(Expr):
+    __slots__ = ("target_spec", "operand")
+
+    def __init__(self, loc, target_spec: TypeSpec, operand: Expr):
+        super().__init__(loc)
+        self.target_spec = target_spec
+        self.operand = operand
+
+
+class SizeofExpr(Expr):
+    __slots__ = ("target_spec",)
+
+    def __init__(self, loc, target_spec: TypeSpec):
+        super().__init__(loc)
+        self.target_spec = target_spec
+
+
+# ---------------------------------------------------------------------------
+# Statements and declarations.
+# ---------------------------------------------------------------------------
+
+
+class Stmt(Node):
+    __slots__ = ()
+
+
+class Block(Stmt):
+    __slots__ = ("stmts",)
+
+    def __init__(self, loc, stmts: List[Stmt]):
+        super().__init__(loc)
+        self.stmts = stmts
+
+
+class ExprStmt(Stmt):
+    __slots__ = ("expr",)
+
+    def __init__(self, loc, expr: Expr):
+        super().__init__(loc)
+        self.expr = expr
+
+
+class If(Stmt):
+    __slots__ = ("cond", "then", "els")
+
+    def __init__(self, loc, cond: Expr, then: Stmt, els: Optional[Stmt]):
+        super().__init__(loc)
+        self.cond = cond
+        self.then = then
+        self.els = els
+
+
+class For(Stmt):
+    """``for (init; cond; step) body`` with an optional C label.
+
+    ``init`` is a VarDecl, an ExprStmt, or None.
+    """
+
+    __slots__ = ("init", "cond", "step", "body", "label")
+
+    def __init__(self, loc, init, cond: Optional[Expr],
+                 step: Optional[Expr], body: Stmt, label: str = ""):
+        super().__init__(loc)
+        self.init = init
+        self.cond = cond
+        self.step = step
+        self.body = body
+        self.label = label
+
+
+class While(Stmt):
+    __slots__ = ("cond", "body", "label")
+
+    def __init__(self, loc, cond: Expr, body: Stmt, label: str = ""):
+        super().__init__(loc)
+        self.cond = cond
+        self.body = body
+        self.label = label
+
+
+class DoWhile(Stmt):
+    __slots__ = ("cond", "body", "label")
+
+    def __init__(self, loc, cond: Expr, body: Stmt, label: str = ""):
+        super().__init__(loc)
+        self.cond = cond
+        self.body = body
+        self.label = label
+
+
+class Return(Stmt):
+    __slots__ = ("value",)
+
+    def __init__(self, loc, value: Optional[Expr]):
+        super().__init__(loc)
+        self.value = value
+
+
+class Break(Stmt):
+    __slots__ = ()
+
+
+class Continue(Stmt):
+    __slots__ = ()
+
+
+class VarDecl(Stmt):
+    """One declared variable (multi-declarator lines are split by the
+    parser into several VarDecl nodes)."""
+
+    __slots__ = ("name", "spec", "init", "is_global", "symbol")
+
+    def __init__(self, loc, name: str, spec: TypeSpec, init: Optional[Expr],
+                 is_global: bool = False):
+        super().__init__(loc)
+        self.name = name
+        self.spec = spec
+        self.init = init
+        self.is_global = is_global
+        self.symbol = None  # filled by sema
+
+
+class DeclGroup(Stmt):
+    """Several VarDecls from one multi-declarator line (``int i, j;``).
+
+    Unlike a Block, a DeclGroup does not open a scope.
+    """
+
+    __slots__ = ("decls",)
+
+    def __init__(self, loc, decls: List["VarDecl"]):
+        super().__init__(loc)
+        self.decls = decls
+
+
+class StructDecl(Node):
+    __slots__ = ("name", "fields")
+
+    def __init__(self, loc, name: str, fields):
+        super().__init__(loc)
+        self.name = name
+        self.fields = fields  # list of (name, TypeSpec)
+
+
+class Param(Node):
+    __slots__ = ("name", "spec", "symbol")
+
+    def __init__(self, loc, name: str, spec: TypeSpec):
+        super().__init__(loc)
+        self.name = name
+        self.spec = spec
+        self.symbol = None
+
+
+class FuncDef(Node):
+    __slots__ = ("name", "params", "return_spec", "body")
+
+    def __init__(self, loc, name: str, params: List[Param],
+                 return_spec: TypeSpec, body: Block):
+        super().__init__(loc)
+        self.name = name
+        self.params = params
+        self.return_spec = return_spec
+        self.body = body
+
+
+class Program(Node):
+    __slots__ = ("structs", "globals", "functions")
+
+    def __init__(self, loc, structs: List[StructDecl],
+                 globals: List[VarDecl], functions: List[FuncDef]):
+        super().__init__(loc)
+        self.structs = structs
+        self.globals = globals
+        self.functions = functions

@@ -1,0 +1,32 @@
+"""Frontend driver: source text in, verified IR module (or typed AST) out."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.frontend import ast
+from repro.frontend.lower import lower
+from repro.frontend.parser import parse
+from repro.frontend.sema import SemanticAnalyzer, analyze
+from repro.ir.module import Module
+from repro.ir.verifier import verify_module
+
+
+def parse_source(source: str) -> Tuple[ast.Program, SemanticAnalyzer]:
+    """Parse and type-check; returns the annotated AST and its analyzer.
+
+    The static vectorizer consumes this form: it reasons about source-level
+    array subscripts, which the IR has already flattened into address
+    arithmetic.
+    """
+    program = parse(source)
+    analyzer = analyze(program)
+    return program, analyzer
+
+
+def compile_source(source: str, name: str = "module") -> Module:
+    """Compile mini-C source text to a verified IR module."""
+    _, analyzer = parse_source(source)
+    module = lower(analyzer, name)
+    verify_module(module)
+    return module

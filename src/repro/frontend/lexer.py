@@ -1,0 +1,147 @@
+"""Hand-written lexer for mini-C.
+
+Supports decimal and hex integer literals, C float literals (with optional
+exponent and ``f`` suffix), ``//`` and ``/* */`` comments, and the
+punctuator set in :mod:`repro.frontend.tokens`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import LexError, SourceLocation
+from repro.frontend.tokens import KEYWORDS, PUNCTUATORS, Token, TokenKind
+
+_IDENT_START = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_"
+)
+_IDENT_CONT = _IDENT_START | frozenset("0123456789")
+_DIGITS = frozenset("0123456789")
+_HEX_DIGITS = _DIGITS | frozenset("abcdefABCDEF")
+
+
+class Lexer:
+    """Tokenizes a source buffer in a single forward pass."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    def _loc(self) -> SourceLocation:
+        return SourceLocation(self.line, self.col)
+
+    def _peek(self, offset: int = 0) -> str:
+        i = self.pos + offset
+        return self.source[i] if i < len(self.source) else ""
+
+    def _advance(self, n: int = 1) -> None:
+        for _ in range(n):
+            if self.pos < len(self.source):
+                if self.source[self.pos] == "\n":
+                    self.line += 1
+                    self.col = 1
+                else:
+                    self.col += 1
+                self.pos += 1
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.source):
+            c = self._peek()
+            if c in " \t\r\n":
+                self._advance()
+            elif c == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif c == "/" and self._peek(1) == "*":
+                start = self._loc()
+                self._advance(2)
+                while not (self._peek() == "*" and self._peek(1) == "/"):
+                    if self.pos >= len(self.source):
+                        raise LexError("unterminated block comment", start)
+                    self._advance()
+                self._advance(2)
+            else:
+                return
+
+    def _lex_number(self) -> Token:
+        loc = self._loc()
+        start = self.pos
+        if self._peek() == "0" and self._peek(1) in ("x", "X"):
+            self._advance(2)
+            if self._peek() not in _HEX_DIGITS:
+                raise LexError("malformed hex literal", loc)
+            while self._peek() in _HEX_DIGITS:
+                self._advance()
+            text = self.source[start : self.pos]
+            return Token(TokenKind.INT_LIT, text, loc, int(text, 16))
+
+        is_float = False
+        while self._peek() in _DIGITS:
+            self._advance()
+        if self._peek() == "." and self._peek(1) in _DIGITS:
+            is_float = True
+            self._advance()
+            while self._peek() in _DIGITS:
+                self._advance()
+        elif self._peek() == ".":
+            # Trailing dot as in `1.` — still a float literal.
+            is_float = True
+            self._advance()
+        if self._peek() in ("e", "E"):
+            save = self.pos
+            self._advance()
+            if self._peek() in ("+", "-"):
+                self._advance()
+            if self._peek() in _DIGITS:
+                is_float = True
+                while self._peek() in _DIGITS:
+                    self._advance()
+            else:
+                # Not an exponent after all (e.g. identifier follows).
+                self.pos = save
+        text = self.source[start : self.pos]
+        if self._peek() in ("f", "F") and is_float:
+            self._advance()  # suffix consumed; value stays a Python float
+        if is_float:
+            return Token(TokenKind.FLOAT_LIT, text, loc, float(text))
+        return Token(TokenKind.INT_LIT, text, loc, int(text, 10))
+
+    def _lex_ident(self) -> Token:
+        loc = self._loc()
+        start = self.pos
+        while self._peek() in _IDENT_CONT:
+            self._advance()
+        text = self.source[start : self.pos]
+        kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+        return Token(kind, text, loc)
+
+    def next_token(self) -> Token:
+        self._skip_trivia()
+        loc = self._loc()
+        if self.pos >= len(self.source):
+            return Token(TokenKind.EOF, "", loc)
+        c = self._peek()
+        if c in _DIGITS or (c == "." and self._peek(1) in _DIGITS):
+            return self._lex_number()
+        if c in _IDENT_START:
+            return self._lex_ident()
+        for punct in PUNCTUATORS:
+            if self.source.startswith(punct, self.pos):
+                self._advance(len(punct))
+                return Token(TokenKind.PUNCT, punct, loc)
+        raise LexError(f"unexpected character {c!r}", loc)
+
+    def tokenize(self) -> List[Token]:
+        """Lex the whole buffer; the result always ends with one EOF token."""
+        out: List[Token] = []
+        while True:
+            tok = self.next_token()
+            out.append(tok)
+            if tok.kind is TokenKind.EOF:
+                return out
+
+
+def tokenize(source: str) -> List[Token]:
+    return Lexer(source).tokenize()

@@ -1,0 +1,681 @@
+"""AST -> IR lowering.
+
+Lowering style is deliberately ``-O0``-like: every named variable lives in
+memory (an ``alloca`` slot or a global), and every access is an explicit
+load/store.  This is faithful to the paper's setting — their LLVM
+instrumentation observes memory traffic — and it is *safe* for the
+analysis because the DDG tracks flow dependences only: re-use of a scalar
+slot across loop iterations creates anti/output dependences, which the
+paper (and we) deliberately ignore, so no spurious serialization results.
+
+Address computation is explicit integer arithmetic feeding ``ptradd``;
+the dynamic analysis later sees real byte addresses for every load/store,
+which is what the stride subpartitioning consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import SemanticError
+from repro.frontend import ast
+from repro.frontend.sema import INTRINSIC_SIGNATURES, SemanticAnalyzer, Symbol
+from repro.ir.builder import IRBuilder
+from repro.ir.function import BasicBlock, LoopInfo
+from repro.ir.module import GlobalVar, Module
+from repro.ir.types import (
+    DOUBLE,
+    INT32,
+    INT64,
+    ArrayType,
+    FloatType,
+    IntType,
+    PointerType,
+    StructType,
+    Type,
+    VoidType,
+)
+from repro.ir.values import Constant, GlobalRef, Operand
+
+
+class _LoopContext:
+    """Break/continue targets for one lowered loop."""
+
+    __slots__ = ("info", "latch", "exit")
+
+    def __init__(self, info: LoopInfo, latch: BasicBlock, exit_bb: BasicBlock):
+        self.info = info
+        self.latch = latch
+        self.exit = exit_bb
+
+
+class Lowerer:
+    """Lowers a type-annotated program into an IR module."""
+
+    def __init__(self, analyzer: SemanticAnalyzer, name: str = "module"):
+        self.analyzer = analyzer
+        self.module = Module(name)
+        self.builder = IRBuilder(self.module)
+        self._locals: Dict[int, Operand] = {}  # id(Symbol) -> address operand
+        self._loop_stack: List[_LoopContext] = []
+        self._dead_counter = 0
+
+    # -- entry ------------------------------------------------------------
+
+    def run(self) -> Module:
+        for struct in self.analyzer.structs.values():
+            self.module.add_struct(struct)
+        for vd in self.analyzer.program.globals:
+            sym = vd.symbol
+            init = None
+            if sym.const_value is not None:
+                init = [sym.const_value]
+            self.module.add_global(GlobalVar(vd.name, sym.type, init))
+        for fd in self.analyzer.program.functions:
+            self._lower_function(fd)
+        return self.module
+
+    # -- helpers ---------------------------------------------------------
+
+    def _addr_of_symbol(self, sym: Symbol) -> Operand:
+        if sym.kind == "global":
+            return GlobalRef(sym.name, PointerType(sym.type))
+        return self._locals[id(sym)]
+
+    def _convert(self, value: Operand, to_type: Type) -> Operand:
+        """Insert a cast when the value's type differs from ``to_type``."""
+        from_type = value.type
+        if from_type == to_type:
+            return value
+        if isinstance(from_type, PointerType) and isinstance(
+            to_type, PointerType
+        ):
+            # Pointer-to-pointer conversion is a retyping, not a run-time op,
+            # but downstream loads need the right pointee size: use CAST.
+            return self.builder.cast(value, to_type)
+        if isinstance(value, Constant):
+            # Fold constant conversions at compile time.
+            if isinstance(to_type, FloatType):
+                folded = float(value.value)
+                if to_type.bits == 32:
+                    folded = _round_f32(folded)
+                return Constant(folded, to_type)
+            if isinstance(to_type, IntType):
+                return Constant(_wrap_int(int(value.value), to_type.bits),
+                                to_type)
+        return self.builder.cast(value, to_type)
+
+    def _to_bool(self, value: Operand) -> Operand:
+        """Produce an i32 0/1 from any scalar."""
+        t = value.type
+        if isinstance(t, FloatType):
+            return self.builder.fcmp("ne", value, Constant(0.0, t))
+        zero = Constant(0, t if isinstance(t, IntType) else INT64)
+        return self.builder.icmp("ne", value, zero)
+
+    def _position_dead_block(self) -> None:
+        """Continue emission into an unreachable block after a terminator."""
+        block = self.builder.new_block(f"dead{self._dead_counter}_")
+        self._dead_counter += 1
+        self.builder.position_at(block)
+
+    # -- functions ---------------------------------------------------------
+
+    def _lower_function(self, fd: ast.FuncDef) -> None:
+        sig = self.analyzer.functions[fd.name]
+        b = self.builder
+        params = list(zip([p.name for p in fd.params], sig.param_types))
+        b.start_function(fd.name, params, sig.return_type)
+        self._locals = {}
+        # Spill parameters to allocas so their addresses exist (and so
+        # assignment to parameters works uniformly).
+        fn = b.function
+        for p, reg in zip(fd.params, fn.param_regs):
+            slot = b.alloca(reg.type, p.name)
+            b.store(reg, slot)
+            self._locals[id(p.symbol)] = slot
+        # Hoist every local's alloca to the entry block (as clang -O0
+        # does).  A slot allocated inside a loop body would otherwise get
+        # a fresh, strided address each iteration, distorting the
+        # zero-stride operand classification of the stride analysis.
+        for decl in _collect_var_decls(fd.body):
+            sym = decl.symbol
+            slot = b.alloca(sym.type, decl.name)
+            self._locals[id(sym)] = slot
+        self._lower_block(fd.body)
+        if not b.is_terminated:
+            self._emit_default_return(sig.return_type)
+        # Terminate any dead blocks the lowering left open.
+        current = b.block
+        for block in fn.blocks:
+            if block.terminator is None:
+                b.position_at(block)
+                self._emit_default_return(sig.return_type)
+        b.position_at(current)
+        b.finish_function()
+
+    def _emit_default_return(self, return_type: Type) -> None:
+        if isinstance(return_type, VoidType):
+            self.builder.ret()
+        elif isinstance(return_type, FloatType):
+            self.builder.ret(Constant(0.0, return_type))
+        else:
+            self.builder.ret(Constant(0, return_type))
+
+    # -- statements ------------------------------------------------------
+
+    def _lower_block(self, block: ast.Block) -> None:
+        for stmt in block.stmts:
+            self._lower_stmt(stmt)
+
+    def _lower_stmt(self, stmt: ast.Stmt) -> None:
+        self.builder.current_line = stmt.loc.line
+        if isinstance(stmt, ast.Block):
+            self._lower_block(stmt)
+        elif isinstance(stmt, ast.VarDecl):
+            self._lower_local_decl(stmt)
+        elif isinstance(stmt, ast.DeclGroup):
+            for decl in stmt.decls:
+                self._lower_local_decl(decl)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._rvalue(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            self._lower_if(stmt)
+        elif isinstance(stmt, ast.For):
+            self._lower_for(stmt)
+        elif isinstance(stmt, ast.While):
+            self._lower_while(stmt)
+        elif isinstance(stmt, ast.DoWhile):
+            self._lower_do_while(stmt)
+        elif isinstance(stmt, ast.Return):
+            self._lower_return(stmt)
+        elif isinstance(stmt, ast.Break):
+            self.builder.jump(self._loop_stack[-1].exit)
+            self._position_dead_block()
+        elif isinstance(stmt, ast.Continue):
+            self.builder.jump(self._loop_stack[-1].latch)
+            self._position_dead_block()
+        else:
+            raise SemanticError(
+                f"cannot lower statement {type(stmt).__name__}", stmt.loc
+            )
+
+    def _lower_local_decl(self, vd: ast.VarDecl) -> None:
+        sym = vd.symbol
+        slot = self._locals[id(sym)]  # alloca hoisted to function entry
+        if vd.init is not None:
+            value = self._rvalue(vd.init)
+            value = self._convert(value, _storable(sym.type))
+            self.builder.store(value, slot)
+
+    def _lower_if(self, stmt: ast.If) -> None:
+        b = self.builder
+        cond = self._to_bool(self._rvalue(stmt.cond))
+        then_bb = b.new_block("then")
+        end_bb = b.new_block("endif")
+        else_bb = b.new_block("else") if stmt.els is not None else end_bb
+        b.cbranch(cond, then_bb, else_bb)
+        b.position_at(then_bb)
+        self._lower_stmt(stmt.then)
+        if not b.is_terminated:
+            b.jump(end_bb)
+        if stmt.els is not None:
+            b.position_at(else_bb)
+            self._lower_stmt(stmt.els)
+            if not b.is_terminated:
+                b.jump(end_bb)
+        b.position_at(end_bb)
+
+    def _loop_scaffold(self, label: str, line: int):
+        depth = len(self._loop_stack) + 1
+        parent = self._loop_stack[-1].info.loop_id if self._loop_stack else None
+        info = self.builder.new_loop(line, depth, parent, label)
+        return info
+
+    def _lower_for(self, stmt: ast.For) -> None:
+        b = self.builder
+        if stmt.init is not None:
+            self._lower_stmt(stmt.init)
+        info = self._loop_scaffold(stmt.label, stmt.loc.line)
+        header = b.new_block("head")
+        body_bb = b.new_block("body")
+        latch = b.new_block("latch")
+        exit_bb = b.new_block("exit")
+        b.loop_enter(info)
+        b.jump(header)
+        b.position_at(header)
+        if stmt.cond is not None:
+            cond = self._to_bool(self._rvalue(stmt.cond))
+            b.cbranch(cond, body_bb, exit_bb)
+        else:
+            b.jump(body_bb)
+        b.position_at(body_bb)
+        self._loop_stack.append(_LoopContext(info, latch, exit_bb))
+        self._lower_stmt(stmt.body)
+        self._loop_stack.pop()
+        if not b.is_terminated:
+            b.jump(latch)
+        b.position_at(latch)
+        if stmt.step is not None:
+            self._rvalue(stmt.step)
+        b.loop_next(info)
+        b.jump(header)
+        b.position_at(exit_bb)
+        b.loop_exit(info)
+
+    def _lower_while(self, stmt: ast.While) -> None:
+        b = self.builder
+        info = self._loop_scaffold(stmt.label, stmt.loc.line)
+        header = b.new_block("whead")
+        body_bb = b.new_block("wbody")
+        latch = b.new_block("wlatch")
+        exit_bb = b.new_block("wexit")
+        b.loop_enter(info)
+        b.jump(header)
+        b.position_at(header)
+        cond = self._to_bool(self._rvalue(stmt.cond))
+        b.cbranch(cond, body_bb, exit_bb)
+        b.position_at(body_bb)
+        self._loop_stack.append(_LoopContext(info, latch, exit_bb))
+        self._lower_stmt(stmt.body)
+        self._loop_stack.pop()
+        if not b.is_terminated:
+            b.jump(latch)
+        b.position_at(latch)
+        b.loop_next(info)
+        b.jump(header)
+        b.position_at(exit_bb)
+        b.loop_exit(info)
+
+    def _lower_do_while(self, stmt: ast.DoWhile) -> None:
+        b = self.builder
+        info = self._loop_scaffold(stmt.label, stmt.loc.line)
+        body_bb = b.new_block("dbody")
+        latch = b.new_block("dlatch")
+        exit_bb = b.new_block("dexit")
+        b.loop_enter(info)
+        b.jump(body_bb)
+        b.position_at(body_bb)
+        self._loop_stack.append(_LoopContext(info, latch, exit_bb))
+        self._lower_stmt(stmt.body)
+        self._loop_stack.pop()
+        if not b.is_terminated:
+            b.jump(latch)
+        b.position_at(latch)
+        cond = self._to_bool(self._rvalue(stmt.cond))
+        b.loop_next(info)
+        b.cbranch(cond, body_bb, exit_bb)
+        b.position_at(exit_bb)
+        b.loop_exit(info)
+
+    def _lower_return(self, stmt: ast.Return) -> None:
+        fn = self.builder.function
+        value = None
+        if stmt.value is not None:
+            value = self._rvalue(stmt.value)
+            value = self._convert(value, fn.return_type)
+        # Keep loop markers balanced: a return from inside loops must close
+        # every active loop region before leaving the function.
+        for ctx in reversed(self._loop_stack):
+            self.builder.loop_exit(ctx.info)
+        if value is not None:
+            self.builder.ret(value)
+        else:
+            self.builder.ret()
+        self._position_dead_block()
+
+    # -- lvalues (addresses) ------------------------------------------------
+
+    def _lvalue(self, expr: ast.Expr) -> Operand:
+        """Lower an lvalue expression to its address (a pointer operand)."""
+        if isinstance(expr, ast.Ident):
+            return self._addr_of_symbol(expr.symbol)
+        if isinstance(expr, ast.Index):
+            return self._index_address(expr)
+        if isinstance(expr, ast.Member):
+            return self._member_address(expr)
+        if isinstance(expr, ast.Deref):
+            ptr = self._rvalue(expr.operand)
+            want = PointerType(expr.type)
+            if ptr.type != want:
+                ptr = self.builder.cast(ptr, want)
+            return ptr
+        raise SemanticError("expression is not an lvalue", expr.loc)
+
+    def _index_address(self, expr: ast.Index) -> Operand:
+        b = self.builder
+        base_type = expr.base.type
+        if isinstance(base_type, ArrayType):
+            base_addr = self._lvalue(expr.base)
+            elem = base_type.elem
+        else:  # pointer (possibly decayed array)
+            base_addr = self._rvalue(expr.base)
+            assert isinstance(base_type, (PointerType, ArrayType))
+            elem = (
+                base_type.pointee
+                if isinstance(base_type, PointerType)
+                else base_type.elem
+            )
+        index = self._convert(self._rvalue(expr.index), INT64)
+        size = Constant(elem.sizeof(), INT64)
+        if isinstance(index, Constant):
+            offset: Operand = Constant(index.value * elem.sizeof(), INT64)
+        else:
+            offset = b.mul(index, size)
+        return b.ptradd(base_addr, offset, PointerType(elem))
+
+    def _member_address(self, expr: ast.Member) -> Operand:
+        b = self.builder
+        if expr.arrow:
+            base_addr = self._rvalue(expr.base)
+            struct = expr.base.type.pointee
+        else:
+            base_addr = self._lvalue(expr.base)
+            struct = expr.base.type
+        assert isinstance(struct, StructType)
+        offset = struct.field_offset(expr.field)
+        ftype = struct.field_type(expr.field)
+        return b.ptradd(base_addr, Constant(offset, INT64), PointerType(ftype))
+
+    # -- rvalues ------------------------------------------------------------
+
+    def _rvalue(self, expr: ast.Expr) -> Operand:
+        method = getattr(self, f"_rv_{type(expr).__name__}")
+        return method(expr)
+
+    def _rv_IntLit(self, expr: ast.IntLit) -> Operand:
+        return Constant(expr.value, expr.type)
+
+    def _rv_FloatLit(self, expr: ast.FloatLit) -> Operand:
+        return Constant(expr.value, expr.type)
+
+    def _rv_Ident(self, expr: ast.Ident) -> Operand:
+        sym = expr.symbol
+        if isinstance(sym.type, ArrayType):
+            # Array-to-pointer decay: the value *is* the address.
+            addr = self._addr_of_symbol(sym)
+            want = PointerType(sym.type.elem)
+            if addr.type != want:
+                addr = self.builder.cast(addr, want)
+            return addr
+        addr = self._addr_of_symbol(sym)
+        return self.builder.load(addr)
+
+    def _rv_BinOp(self, expr: ast.BinOp) -> Operand:
+        op = expr.op
+        if op in ("&&", "||"):
+            return self._short_circuit(expr)
+        b = self.builder
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            left = self._rvalue(expr.left)
+            right = self._rvalue(expr.right)
+            common = _compare_type(left.type, right.type)
+            left = self._convert(left, common)
+            right = self._convert(right, common)
+            pred = {"==": "eq", "!=": "ne", "<": "lt", "<=": "le",
+                    ">": "gt", ">=": "ge"}[op]
+            if isinstance(common, FloatType):
+                return b.fcmp(pred, left, right)
+            return b.icmp(pred, left, right)
+
+        left = self._rvalue(expr.left)
+        right = self._rvalue(expr.right)
+        lt, rt = left.type, right.type
+        # Pointer arithmetic.
+        if op in ("+", "-") and isinstance(lt, PointerType):
+            if isinstance(rt, PointerType):  # pointer difference
+                diff = b.sub(self._ptr_to_int(left), self._ptr_to_int(right))
+                return b.sdiv(diff, Constant(lt.pointee.sizeof(), INT64))
+            offset = self._scaled_offset(right, lt.pointee, negate=(op == "-"))
+            return b.ptradd(left, offset, lt)
+        if op == "+" and isinstance(rt, PointerType):
+            offset = self._scaled_offset(left, rt.pointee, negate=False)
+            return b.ptradd(right, offset, rt)
+
+        result_type = expr.type
+        left = self._convert(left, result_type)
+        right = self._convert(right, result_type)
+        if isinstance(result_type, FloatType):
+            emit = {"+": b.fadd, "-": b.fsub, "*": b.fmul, "/": b.fdiv}[op]
+            return emit(left, right)
+        emit = {
+            "+": b.add, "-": b.sub, "*": b.mul, "/": b.sdiv, "%": b.srem,
+            "&": b.and_, "|": b.or_, "^": b.xor, "<<": b.shl, ">>": b.ashr,
+        }[op]
+        return emit(left, right)
+
+    def _ptr_to_int(self, ptr: Operand) -> Operand:
+        return self.builder.cast(ptr, INT64)
+
+    def _scaled_offset(self, index: Operand, pointee: Type,
+                       negate: bool) -> Operand:
+        b = self.builder
+        index = self._convert(index, INT64)
+        size = pointee.sizeof()
+        if isinstance(index, Constant):
+            value = index.value * size
+            return Constant(-value if negate else value, INT64)
+        offset = b.mul(index, Constant(size, INT64))
+        if negate:
+            offset = b.sub(Constant(0, INT64), offset)
+        return offset
+
+    def _short_circuit(self, expr: ast.BinOp) -> Operand:
+        b = self.builder
+        slot = b.alloca(INT32)
+        left = self._to_bool(self._rvalue(expr.left))
+        rhs_bb = b.new_block("sc_rhs")
+        done_bb = b.new_block("sc_done")
+        short_bb = b.new_block("sc_short")
+        if expr.op == "&&":
+            b.cbranch(left, rhs_bb, short_bb)
+            short_value = Constant(0, INT32)
+        else:
+            b.cbranch(left, short_bb, rhs_bb)
+            short_value = Constant(1, INT32)
+        b.position_at(short_bb)
+        b.store(short_value, slot)
+        b.jump(done_bb)
+        b.position_at(rhs_bb)
+        right = self._to_bool(self._rvalue(expr.right))
+        b.store(right, slot)
+        b.jump(done_bb)
+        b.position_at(done_bb)
+        return b.load(slot)
+
+    def _rv_UnOp(self, expr: ast.UnOp) -> Operand:
+        b = self.builder
+        if expr.op == "!":
+            value = self._to_bool(self._rvalue(expr.operand))
+            return b.xor(value, Constant(1, INT32))
+        value = self._rvalue(expr.operand)
+        if expr.op == "+":
+            return self._convert(value, expr.type)
+        value = self._convert(value, expr.type)
+        if expr.op == "~":
+            return b.xor(value, Constant(-1, expr.type))
+        # Negation lowers to subtraction from zero, so FP negate counts as
+        # an fsub candidate instruction, as it would in LLVM IR.
+        if isinstance(expr.type, FloatType):
+            return b.fsub(Constant(0.0, expr.type), value)
+        return b.sub(Constant(0, expr.type), value)
+
+    def _rv_Assign(self, expr: ast.Assign) -> Operand:
+        b = self.builder
+        target_type = _storable(expr.target.type)
+        addr = self._lvalue(expr.target)
+        if expr.op:
+            old = b.load(addr)
+            if isinstance(target_type, PointerType):
+                rhs = self._rvalue(expr.value)
+                offset = self._scaled_offset(rhs, target_type.pointee,
+                                             negate=(expr.op == "-"))
+                new = b.ptradd(old, offset, target_type)
+            else:
+                rhs = self._rvalue(expr.value)
+                compute_type = expr.type  # target type per C semantics
+                old_c = self._convert(old, compute_type)
+                rhs_c = self._convert(rhs, compute_type)
+                if isinstance(compute_type, FloatType):
+                    emit = {"+": b.fadd, "-": b.fsub, "*": b.fmul,
+                            "/": b.fdiv}[expr.op]
+                else:
+                    emit = {"+": b.add, "-": b.sub, "*": b.mul,
+                            "/": b.sdiv, "%": b.srem}[expr.op]
+                new = self._convert(emit(old_c, rhs_c), target_type)
+        else:
+            new = self._convert(self._rvalue(expr.value), target_type)
+        b.store(new, addr)
+        return new
+
+    def _rv_IncDec(self, expr: ast.IncDec) -> Operand:
+        b = self.builder
+        target_type = _storable(expr.target.type)
+        addr = self._lvalue(expr.target)
+        old = b.load(addr)
+        if isinstance(target_type, PointerType):
+            step = target_type.pointee.sizeof()
+            delta = Constant(step if expr.op == "+" else -step, INT64)
+            new = b.ptradd(old, delta, target_type)
+        elif isinstance(target_type, FloatType):
+            one = Constant(1.0, target_type)
+            new = b.fadd(old, one) if expr.op == "+" else b.fsub(old, one)
+        else:
+            one = Constant(1, target_type)
+            new = b.add(old, one) if expr.op == "+" else b.sub(old, one)
+        b.store(new, addr)
+        return new if expr.prefix else old
+
+    def _rv_Cond(self, expr: ast.Cond) -> Operand:
+        b = self.builder
+        result_type = expr.type
+        slot = b.alloca(result_type)
+        cond = self._to_bool(self._rvalue(expr.cond))
+        then_bb = b.new_block("sel_t")
+        else_bb = b.new_block("sel_f")
+        done_bb = b.new_block("sel_d")
+        b.cbranch(cond, then_bb, else_bb)
+        b.position_at(then_bb)
+        b.store(self._convert(self._rvalue(expr.then), result_type), slot)
+        b.jump(done_bb)
+        b.position_at(else_bb)
+        b.store(self._convert(self._rvalue(expr.els), result_type), slot)
+        b.jump(done_bb)
+        b.position_at(done_bb)
+        return b.load(slot)
+
+    def _rv_Call(self, expr: ast.Call) -> Operand:
+        b = self.builder
+        if expr.name in INTRINSIC_SIGNATURES:
+            args = [
+                self._convert(self._rvalue(a), DOUBLE) for a in expr.args
+            ]
+            return b.call(expr.name, args, DOUBLE)
+        sig = self.analyzer.functions[expr.name]
+        args = []
+        for a, pt in zip(expr.args, sig.param_types):
+            value = self._rvalue(a)
+            args.append(self._convert(value, pt))
+        result = b.call(expr.name, args, sig.return_type)
+        if result is None:
+            return Constant(0, INT32)  # void call used as expression
+        return result
+
+    def _rv_Index(self, expr: ast.Index) -> Operand:
+        if isinstance(expr.type, ArrayType):
+            # Sub-array rvalue decays to a pointer to its first element.
+            addr = self._index_address(expr)
+            return self.builder.cast(addr, PointerType(expr.type.elem))
+        return self.builder.load(self._index_address(expr))
+
+    def _rv_Member(self, expr: ast.Member) -> Operand:
+        if isinstance(expr.type, ArrayType):
+            addr = self._member_address(expr)
+            return self.builder.cast(addr, PointerType(expr.type.elem))
+        return self.builder.load(self._member_address(expr))
+
+    def _rv_Deref(self, expr: ast.Deref) -> Operand:
+        return self.builder.load(self._lvalue(expr))
+
+    def _rv_AddrOf(self, expr: ast.AddrOf) -> Operand:
+        addr = self._lvalue(expr.operand)
+        want = expr.type
+        if addr.type != want:
+            addr = self.builder.cast(addr, want)
+        return addr
+
+    def _rv_CastExpr(self, expr: ast.CastExpr) -> Operand:
+        value = self._rvalue(expr.operand)
+        return self._convert(value, expr.type)
+
+    def _rv_SizeofExpr(self, expr: ast.SizeofExpr) -> Operand:
+        t = self.analyzer.resolve_spec(expr.target_spec)
+        return Constant(t.sizeof(), INT64)
+
+
+def _round_f32(value: float) -> float:
+    """Round a Python float to binary32 precision."""
+    import struct
+
+    return struct.unpack("f", struct.pack("f", value))[0]
+
+
+def _collect_var_decls(stmt: ast.Stmt):
+    """All VarDecls lexically inside ``stmt``, in source order."""
+    out = []
+
+    def walk(node):
+        if isinstance(node, ast.Block):
+            for s in node.stmts:
+                walk(s)
+        elif isinstance(node, ast.DeclGroup):
+            out.extend(node.decls)
+        elif isinstance(node, ast.VarDecl):
+            out.append(node)
+        elif isinstance(node, ast.If):
+            walk(node.then)
+            if node.els is not None:
+                walk(node.els)
+        elif isinstance(node, ast.For):
+            if node.init is not None:
+                walk(node.init)
+            walk(node.body)
+        elif isinstance(node, (ast.While, ast.DoWhile)):
+            walk(node.body)
+
+    walk(stmt)
+    return out
+
+
+def _wrap_int(value: int, bits: int) -> int:
+    """Wrap a Python int to a signed two's-complement value of ``bits``."""
+    mask = (1 << bits) - 1
+    value &= mask
+    if value >= 1 << (bits - 1):
+        value -= 1 << bits
+    return value
+
+
+def _storable(t: Type) -> Type:
+    """The type actually stored for an assignment target (decayed)."""
+    if isinstance(t, ArrayType):
+        return PointerType(t.elem)
+    return t
+
+
+def _compare_type(a: Type, b: Type) -> Type:
+    if isinstance(a, PointerType) or isinstance(b, PointerType):
+        return INT64
+    if isinstance(a, FloatType) or isinstance(b, FloatType):
+        bits = max(
+            a.bits if isinstance(a, FloatType) else 0,
+            b.bits if isinstance(b, FloatType) else 0,
+        )
+        return DOUBLE if bits == 64 else FloatType(32)
+    bits = max(a.bits, b.bits, 32)
+    return INT64 if bits == 64 else INT32
+
+
+def lower(analyzer: SemanticAnalyzer, name: str = "module") -> Module:
+    """Lower an analyzed program to a fresh IR module."""
+    return Lowerer(analyzer, name).run()

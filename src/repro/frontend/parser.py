@@ -1,0 +1,528 @@
+"""Recursive-descent parser for mini-C.
+
+Produces the AST defined in :mod:`repro.frontend.ast`.  The grammar is a
+conventional C expression grammar with these restrictions: declarations use
+simple declarators (``type *... name [dims]...``), there is no comma
+operator, and function pointers / typedefs are not supported.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ParseError
+from repro.frontend import ast
+from repro.frontend.lexer import tokenize
+from repro.frontend.tokens import Token, TokenKind
+
+_TYPE_KEYWORDS = frozenset({"int", "float", "double", "void", "struct", "const"})
+
+_ASSIGN_OPS = {"=": "", "+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%"}
+
+
+class Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        i = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[i]
+
+    def _advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind is not TokenKind.EOF:
+            self.pos += 1
+        return tok
+
+    def _check_punct(self, text: str) -> bool:
+        return self._peek().is_punct(text)
+
+    def _accept_punct(self, text: str) -> bool:
+        if self._check_punct(text):
+            self._advance()
+            return True
+        return False
+
+    def _expect_punct(self, text: str) -> Token:
+        tok = self._peek()
+        if not tok.is_punct(text):
+            raise ParseError(f"expected {text!r}, found {tok.text!r}", tok.loc)
+        return self._advance()
+
+    def _accept_keyword(self, text: str) -> bool:
+        if self._peek().is_keyword(text):
+            self._advance()
+            return True
+        return False
+
+    def _expect_ident(self) -> Token:
+        tok = self._peek()
+        if tok.kind is not TokenKind.IDENT:
+            raise ParseError(f"expected identifier, found {tok.text!r}", tok.loc)
+        return self._advance()
+
+    def _at_type(self, offset: int = 0) -> bool:
+        tok = self._peek(offset)
+        return tok.kind is TokenKind.KEYWORD and tok.text in _TYPE_KEYWORDS
+
+    # -- types -------------------------------------------------------------
+
+    def _parse_base_type(self) -> ast.TypeSpec:
+        tok = self._peek()
+        is_const = False
+        if tok.is_keyword("const"):
+            is_const = True
+            self._advance()
+            tok = self._peek()
+        if tok.is_keyword("struct"):
+            self._advance()
+            name_tok = self._expect_ident()
+            spec = ast.TypeSpec(tok.loc, f"struct {name_tok.text}",
+                                is_const=is_const)
+            return spec
+        if tok.kind is TokenKind.KEYWORD and tok.text in (
+            "int", "float", "double", "void",
+        ):
+            self._advance()
+            return ast.TypeSpec(tok.loc, tok.text, is_const=is_const)
+        raise ParseError(f"expected type, found {tok.text!r}", tok.loc)
+
+    def _parse_pointers(self, spec: ast.TypeSpec) -> ast.TypeSpec:
+        while self._accept_punct("*"):
+            spec.pointer_depth += 1
+        return spec
+
+    def _parse_array_suffix(self, spec: ast.TypeSpec) -> ast.TypeSpec:
+        while self._accept_punct("["):
+            dim = self._parse_expr()
+            self._expect_punct("]")
+            spec.array_dims.append(dim)
+        return spec
+
+    # -- top level ---------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        loc = self._peek().loc
+        structs: List[ast.StructDecl] = []
+        globals_: List[ast.VarDecl] = []
+        functions: List[ast.FuncDef] = []
+        while self._peek().kind is not TokenKind.EOF:
+            if (
+                self._peek().is_keyword("struct")
+                and self._peek(2).is_punct("{")
+            ):
+                structs.append(self._parse_struct_decl())
+                continue
+            base = self._parse_base_type()
+            spec = ast.TypeSpec(base.loc, base.base, base.pointer_depth,
+                                is_const=base.is_const)
+            self._parse_pointers(spec)
+            name_tok = self._expect_ident()
+            if self._check_punct("("):
+                functions.append(self._parse_func_def(spec, name_tok))
+            else:
+                globals_.extend(self._parse_var_decls(base, spec, name_tok,
+                                                      is_global=True))
+        return ast.Program(loc, structs, globals_, functions)
+
+    def _parse_struct_decl(self) -> ast.StructDecl:
+        start = self._advance()  # 'struct'
+        name_tok = self._expect_ident()
+        self._expect_punct("{")
+        fields = []
+        while not self._accept_punct("}"):
+            base = self._parse_base_type()
+            while True:
+                spec = ast.TypeSpec(base.loc, base.base, base.pointer_depth,
+                                    is_const=base.is_const)
+                self._parse_pointers(spec)
+                fname = self._expect_ident().text
+                self._parse_array_suffix(spec)
+                fields.append((fname, spec))
+                if not self._accept_punct(","):
+                    break
+            self._expect_punct(";")
+        self._expect_punct(";")
+        return ast.StructDecl(start.loc, name_tok.text, fields)
+
+    def _parse_var_decls(self, base: ast.TypeSpec, first_spec: ast.TypeSpec,
+                         first_name: Token, is_global: bool) -> List[ast.VarDecl]:
+        """Parse the rest of ``type d1, d2, ...;`` given the first declarator."""
+        decls = []
+        spec, name_tok = first_spec, first_name
+        while True:
+            self._parse_array_suffix(spec)
+            init = None
+            if self._accept_punct("="):
+                init = self._parse_assignment()
+            decls.append(
+                ast.VarDecl(name_tok.loc, name_tok.text, spec, init, is_global)
+            )
+            if not self._accept_punct(","):
+                break
+            spec = ast.TypeSpec(base.loc, base.base, 0, is_const=base.is_const)
+            self._parse_pointers(spec)
+            name_tok = self._expect_ident()
+        self._expect_punct(";")
+        return decls
+
+    def _parse_func_def(self, return_spec: ast.TypeSpec,
+                        name_tok: Token) -> ast.FuncDef:
+        self._expect_punct("(")
+        params: List[ast.Param] = []
+        if not self._check_punct(")"):
+            if self._peek().is_keyword("void") and self._peek(1).is_punct(")"):
+                self._advance()
+            else:
+                while True:
+                    base = self._parse_base_type()
+                    spec = ast.TypeSpec(base.loc, base.base, base.pointer_depth,
+                                        is_const=base.is_const)
+                    self._parse_pointers(spec)
+                    pname = self._expect_ident()
+                    # Array parameters decay to pointers; keep dims for sema.
+                    self._parse_array_suffix(spec)
+                    params.append(ast.Param(pname.loc, pname.text, spec))
+                    if not self._accept_punct(","):
+                        break
+        self._expect_punct(")")
+        body = self._parse_block()
+        return ast.FuncDef(name_tok.loc, name_tok.text, params,
+                           return_spec, body)
+
+    # -- statements ------------------------------------------------------------
+
+    def _parse_block(self) -> ast.Block:
+        start = self._expect_punct("{")
+        stmts: List[ast.Stmt] = []
+        while not self._accept_punct("}"):
+            stmts.append(self._parse_stmt())
+        return ast.Block(start.loc, stmts)
+
+    def _parse_stmt(self) -> ast.Stmt:
+        tok = self._peek()
+        if tok.is_punct("{"):
+            return self._parse_block()
+        if tok.is_keyword("if"):
+            return self._parse_if()
+        if tok.is_keyword("for"):
+            return self._parse_for("")
+        if tok.is_keyword("while"):
+            return self._parse_while("")
+        if tok.is_keyword("do"):
+            return self._parse_do_while("")
+        if (
+            tok.kind is TokenKind.IDENT
+            and self._peek(1).is_punct(":")
+            and (
+                self._peek(2).is_keyword("for")
+                or self._peek(2).is_keyword("while")
+                or self._peek(2).is_keyword("do")
+            )
+        ):
+            label = self._advance().text
+            self._advance()  # ':'
+            if self._peek().is_keyword("for"):
+                return self._parse_for(label)
+            if self._peek().is_keyword("while"):
+                return self._parse_while(label)
+            return self._parse_do_while(label)
+        if tok.is_keyword("return"):
+            self._advance()
+            value = None
+            if not self._check_punct(";"):
+                value = self._parse_expr()
+            self._expect_punct(";")
+            return ast.Return(tok.loc, value)
+        if tok.is_keyword("break"):
+            self._advance()
+            self._expect_punct(";")
+            return ast.Break(tok.loc)
+        if tok.is_keyword("continue"):
+            self._advance()
+            self._expect_punct(";")
+            return ast.Continue(tok.loc)
+        if self._at_type():
+            return self._parse_local_decl()
+        if tok.is_punct(";"):
+            self._advance()
+            return ast.Block(tok.loc, [])
+        expr = self._parse_expr()
+        self._expect_punct(";")
+        return ast.ExprStmt(tok.loc, expr)
+
+    def _parse_local_decl(self) -> ast.Stmt:
+        base = self._parse_base_type()
+        spec = ast.TypeSpec(base.loc, base.base, 0, is_const=base.is_const)
+        self._parse_pointers(spec)
+        name_tok = self._expect_ident()
+        decls = self._parse_var_decls(base, spec, name_tok, is_global=False)
+        if len(decls) == 1:
+            return decls[0]
+        return ast.DeclGroup(decls[0].loc, list(decls))
+
+    def _parse_if(self) -> ast.If:
+        start = self._advance()  # 'if'
+        self._expect_punct("(")
+        cond = self._parse_expr()
+        self._expect_punct(")")
+        then = self._parse_stmt()
+        els = None
+        if self._accept_keyword("else"):
+            els = self._parse_stmt()
+        return ast.If(start.loc, cond, then, els)
+
+    def _parse_for(self, label: str) -> ast.For:
+        start = self._advance()  # 'for'
+        self._expect_punct("(")
+        init = None
+        if self._at_type():
+            init = self._parse_local_decl()
+        elif not self._check_punct(";"):
+            expr = self._parse_expr()
+            self._expect_punct(";")
+            init = ast.ExprStmt(expr.loc, expr)
+        else:
+            self._advance()  # ';'
+        cond = None
+        if not self._check_punct(";"):
+            cond = self._parse_expr()
+        self._expect_punct(";")
+        step = None
+        if not self._check_punct(")"):
+            step = self._parse_expr()
+        self._expect_punct(")")
+        body = self._parse_stmt()
+        return ast.For(start.loc, init, cond, step, body, label)
+
+    def _parse_while(self, label: str) -> ast.While:
+        start = self._advance()
+        self._expect_punct("(")
+        cond = self._parse_expr()
+        self._expect_punct(")")
+        body = self._parse_stmt()
+        return ast.While(start.loc, cond, body, label)
+
+    def _parse_do_while(self, label: str) -> ast.DoWhile:
+        start = self._advance()
+        body = self._parse_stmt()
+        if not self._accept_keyword("while"):
+            raise ParseError("expected 'while' after do-body", self._peek().loc)
+        self._expect_punct("(")
+        cond = self._parse_expr()
+        self._expect_punct(")")
+        self._expect_punct(";")
+        return ast.DoWhile(start.loc, cond, body, label)
+
+    # -- expressions (precedence climbing via nested methods) ------------------
+
+    def _parse_expr(self) -> ast.Expr:
+        return self._parse_assignment()
+
+    def _parse_assignment(self) -> ast.Expr:
+        left = self._parse_ternary()
+        tok = self._peek()
+        if tok.kind is TokenKind.PUNCT and tok.text in _ASSIGN_OPS:
+            self._advance()
+            value = self._parse_assignment()
+            return ast.Assign(tok.loc, _ASSIGN_OPS[tok.text], left, value)
+        return left
+
+    def _parse_ternary(self) -> ast.Expr:
+        cond = self._parse_logical_or()
+        if self._check_punct("?"):
+            tok = self._advance()
+            then = self._parse_expr()
+            self._expect_punct(":")
+            els = self._parse_ternary()
+            return ast.Cond(tok.loc, cond, then, els)
+        return cond
+
+    def _parse_logical_or(self) -> ast.Expr:
+        left = self._parse_logical_and()
+        while self._check_punct("||"):
+            tok = self._advance()
+            right = self._parse_logical_and()
+            left = ast.BinOp(tok.loc, "||", left, right)
+        return left
+
+    def _parse_logical_and(self) -> ast.Expr:
+        left = self._parse_bitor()
+        while self._check_punct("&&"):
+            tok = self._advance()
+            right = self._parse_bitor()
+            left = ast.BinOp(tok.loc, "&&", left, right)
+        return left
+
+    def _parse_bitor(self) -> ast.Expr:
+        left = self._parse_bitxor()
+        while self._check_punct("|") and not self._check_punct("||"):
+            tok = self._advance()
+            right = self._parse_bitxor()
+            left = ast.BinOp(tok.loc, "|", left, right)
+        return left
+
+    def _parse_bitxor(self) -> ast.Expr:
+        left = self._parse_bitand()
+        while self._check_punct("^"):
+            tok = self._advance()
+            right = self._parse_bitand()
+            left = ast.BinOp(tok.loc, "^", left, right)
+        return left
+
+    def _parse_bitand(self) -> ast.Expr:
+        left = self._parse_equality()
+        while self._check_punct("&") and not self._check_punct("&&"):
+            tok = self._advance()
+            right = self._parse_equality()
+            left = ast.BinOp(tok.loc, "&", left, right)
+        return left
+
+    def _parse_equality(self) -> ast.Expr:
+        left = self._parse_relational()
+        while self._peek().text in ("==", "!=") and (
+            self._peek().kind is TokenKind.PUNCT
+        ):
+            tok = self._advance()
+            right = self._parse_relational()
+            left = ast.BinOp(tok.loc, tok.text, left, right)
+        return left
+
+    def _parse_relational(self) -> ast.Expr:
+        left = self._parse_shift()
+        while self._peek().text in ("<", "<=", ">", ">=") and (
+            self._peek().kind is TokenKind.PUNCT
+        ):
+            tok = self._advance()
+            right = self._parse_shift()
+            left = ast.BinOp(tok.loc, tok.text, left, right)
+        return left
+
+    def _parse_shift(self) -> ast.Expr:
+        left = self._parse_additive()
+        while self._peek().text in ("<<", ">>") and (
+            self._peek().kind is TokenKind.PUNCT
+        ):
+            tok = self._advance()
+            right = self._parse_additive()
+            left = ast.BinOp(tok.loc, tok.text, left, right)
+        return left
+
+    def _parse_additive(self) -> ast.Expr:
+        left = self._parse_multiplicative()
+        while self._peek().text in ("+", "-") and (
+            self._peek().kind is TokenKind.PUNCT
+        ):
+            tok = self._advance()
+            right = self._parse_multiplicative()
+            left = ast.BinOp(tok.loc, tok.text, left, right)
+        return left
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        left = self._parse_unary()
+        while self._peek().text in ("*", "/", "%") and (
+            self._peek().kind is TokenKind.PUNCT
+        ):
+            tok = self._advance()
+            right = self._parse_unary()
+            left = ast.BinOp(tok.loc, tok.text, left, right)
+        return left
+
+    def _is_cast_ahead(self) -> bool:
+        """True when the next tokens form ``( type ... )``."""
+        return self._check_punct("(") and self._at_type(1)
+
+    def _parse_unary(self) -> ast.Expr:
+        tok = self._peek()
+        if tok.is_punct("-") or tok.is_punct("+") or tok.is_punct("!") or (
+            tok.is_punct("~")
+        ):
+            self._advance()
+            operand = self._parse_unary()
+            return ast.UnOp(tok.loc, tok.text, operand)
+        if tok.is_punct("*"):
+            self._advance()
+            operand = self._parse_unary()
+            return ast.Deref(tok.loc, operand)
+        if tok.is_punct("&"):
+            self._advance()
+            operand = self._parse_unary()
+            return ast.AddrOf(tok.loc, operand)
+        if tok.is_punct("++") or tok.is_punct("--"):
+            self._advance()
+            target = self._parse_unary()
+            return ast.IncDec(tok.loc, tok.text[0], target, prefix=True)
+        if tok.is_keyword("sizeof"):
+            self._advance()
+            self._expect_punct("(")
+            spec = self._parse_base_type()
+            self._parse_pointers(spec)
+            self._expect_punct(")")
+            return ast.SizeofExpr(tok.loc, spec)
+        if self._is_cast_ahead():
+            self._advance()  # '('
+            spec = self._parse_base_type()
+            self._parse_pointers(spec)
+            self._expect_punct(")")
+            operand = self._parse_unary()
+            return ast.CastExpr(tok.loc, spec, operand)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            tok = self._peek()
+            if tok.is_punct("["):
+                self._advance()
+                index = self._parse_expr()
+                self._expect_punct("]")
+                expr = ast.Index(tok.loc, expr, index)
+            elif tok.is_punct("."):
+                self._advance()
+                field = self._expect_ident().text
+                expr = ast.Member(tok.loc, expr, field, arrow=False)
+            elif tok.is_punct("->"):
+                self._advance()
+                field = self._expect_ident().text
+                expr = ast.Member(tok.loc, expr, field, arrow=True)
+            elif tok.is_punct("++") or tok.is_punct("--"):
+                self._advance()
+                expr = ast.IncDec(tok.loc, tok.text[0], expr, prefix=False)
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        tok = self._peek()
+        if tok.kind is TokenKind.INT_LIT:
+            self._advance()
+            return ast.IntLit(tok.loc, tok.value)
+        if tok.kind is TokenKind.FLOAT_LIT:
+            self._advance()
+            return ast.FloatLit(tok.loc, tok.value)
+        if tok.kind is TokenKind.IDENT:
+            self._advance()
+            if self._check_punct("("):
+                self._advance()
+                args: List[ast.Expr] = []
+                if not self._check_punct(")"):
+                    while True:
+                        args.append(self._parse_assignment())
+                        if not self._accept_punct(","):
+                            break
+                self._expect_punct(")")
+                return ast.Call(tok.loc, tok.text, args)
+            return ast.Ident(tok.loc, tok.text)
+        if tok.is_punct("("):
+            self._advance()
+            expr = self._parse_expr()
+            self._expect_punct(")")
+            return expr
+        raise ParseError(f"unexpected token {tok.text!r}", tok.loc)
+
+
+def parse(source: str) -> ast.Program:
+    """Parse mini-C source text into an (unchecked) AST."""
+    return Parser(tokenize(source)).parse_program()

@@ -1,0 +1,568 @@
+"""Semantic analysis: scoping, type resolution, and type checking.
+
+Annotates the AST in place:
+
+- every :class:`~repro.frontend.ast.Expr` gets a resolved ``.type``;
+- every :class:`~repro.frontend.ast.Ident` gets a ``.symbol``;
+- every declaration gets a :class:`Symbol` describing its storage.
+
+The checker implements the C conversion rules the workloads rely on:
+integer/float usual arithmetic conversions, array-to-pointer decay in
+rvalue contexts, and pointer arithmetic scaled by pointee size (the scaling
+itself happens in lowering; sema only types it).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import SemanticError
+from repro.frontend import ast
+from repro.ir.types import (
+    DOUBLE,
+    FLOAT,
+    INT32,
+    INT64,
+    VOID,
+    ArrayType,
+    FloatType,
+    IntType,
+    PointerType,
+    StructType,
+    Type,
+)
+
+#: Math intrinsics callable without declaration: double -> double except pow
+#: and fmin/fmax which take two doubles.
+INTRINSIC_SIGNATURES: Dict[str, int] = {
+    "exp": 1,
+    "sqrt": 1,
+    "fabs": 1,
+    "sin": 1,
+    "cos": 1,
+    "log": 1,
+    "floor": 1,
+    "pow": 2,
+    "fmin": 2,
+    "fmax": 2,
+}
+
+
+class Symbol:
+    """A named entity: global, local, or parameter."""
+
+    __slots__ = ("name", "type", "kind", "is_const", "const_value")
+
+    def __init__(self, name: str, type: Type, kind: str,
+                 is_const: bool = False, const_value=None):
+        self.name = name
+        self.type = type
+        self.kind = kind  # "global" | "local" | "param"
+        self.is_const = is_const
+        self.const_value = const_value
+
+    def __repr__(self) -> str:
+        return f"<sym {self.name}: {self.type!r} ({self.kind})>"
+
+
+class FuncSig:
+    __slots__ = ("name", "param_types", "return_type")
+
+    def __init__(self, name: str, param_types: List[Type], return_type: Type):
+        self.name = name
+        self.param_types = param_types
+        self.return_type = return_type
+
+
+class Scope:
+    def __init__(self, parent: Optional["Scope"] = None):
+        self.parent = parent
+        self.symbols: Dict[str, Symbol] = {}
+
+    def declare(self, sym: Symbol, loc) -> Symbol:
+        if sym.name in self.symbols:
+            raise SemanticError(f"redeclaration of {sym.name!r}", loc)
+        self.symbols[sym.name] = sym
+        return sym
+
+    def lookup(self, name: str) -> Optional[Symbol]:
+        scope: Optional[Scope] = self
+        while scope is not None:
+            if name in scope.symbols:
+                return scope.symbols[name]
+            scope = scope.parent
+        return None
+
+
+def _is_arith(t: Type) -> bool:
+    return isinstance(t, (IntType, FloatType))
+
+
+def _common_type(a: Type, b: Type) -> Type:
+    """Usual arithmetic conversions for two arithmetic types."""
+    if isinstance(a, FloatType) or isinstance(b, FloatType):
+        bits = max(
+            a.bits if isinstance(a, FloatType) else 0,
+            b.bits if isinstance(b, FloatType) else 0,
+        )
+        return DOUBLE if bits == 64 else FLOAT
+    bits = max(a.bits, b.bits, 32)
+    return INT64 if bits == 64 else INT32
+
+
+def _decay(t: Type) -> Type:
+    """Array-to-pointer decay for rvalue use."""
+    if isinstance(t, ArrayType):
+        return PointerType(t.elem)
+    return t
+
+
+class SemanticAnalyzer:
+    """Single-pass checker over a parsed program."""
+
+    def __init__(self, program: ast.Program):
+        self.program = program
+        self.structs: Dict[str, StructType] = {}
+        self.functions: Dict[str, FuncSig] = {}
+        self.global_scope = Scope()
+        self._scope = self.global_scope
+        self._current_return: Type = VOID
+        self._loop_depth = 0
+
+    # -- entry point ------------------------------------------------------
+
+    def run(self) -> ast.Program:
+        for sd in self.program.structs:
+            self._declare_struct(sd)
+        for vd in self.program.globals:
+            self._check_global(vd)
+        for fd in self.program.functions:
+            self._declare_function(fd)
+        for fd in self.program.functions:
+            self._check_function(fd)
+        if "main" not in self.functions:
+            raise SemanticError("program has no main function",
+                                self.program.loc)
+        return self.program
+
+    # -- types ------------------------------------------------------------------
+
+    def resolve_spec(self, spec: ast.TypeSpec) -> Type:
+        base: Type
+        if spec.base == "int":
+            base = INT32
+        elif spec.base == "float":
+            base = FLOAT
+        elif spec.base == "double":
+            base = DOUBLE
+        elif spec.base == "void":
+            base = VOID
+        elif spec.base.startswith("struct "):
+            name = spec.base.split(" ", 1)[1]
+            if name not in self.structs:
+                raise SemanticError(f"unknown struct {name!r}", spec.loc)
+            base = self.structs[name]
+        else:
+            raise SemanticError(f"unknown type {spec.base!r}", spec.loc)
+        for _ in range(spec.pointer_depth):
+            base = PointerType(base)
+        for dim in reversed(spec.array_dims):
+            count = self._const_int(dim)
+            base = ArrayType(base, count)
+        if base.is_void and not spec.pointer_depth and (
+            spec.array_dims or spec.is_const
+        ):
+            raise SemanticError("invalid use of void", spec.loc)
+        return base
+
+    def _const_int(self, expr: ast.Expr) -> int:
+        """Fold an integer constant expression (array dims)."""
+        if isinstance(expr, ast.IntLit):
+            return expr.value
+        if isinstance(expr, ast.Ident):
+            sym = self._scope.lookup(expr.name)
+            if sym is not None and sym.is_const and sym.const_value is not None:
+                return int(sym.const_value)
+            raise SemanticError(
+                f"{expr.name!r} is not an integer constant", expr.loc
+            )
+        if isinstance(expr, ast.UnOp) and expr.op == "-":
+            return -self._const_int(expr.operand)
+        if isinstance(expr, ast.BinOp) and expr.op in ("+", "-", "*", "/", "%"):
+            left = self._const_int(expr.left)
+            right = self._const_int(expr.right)
+            if expr.op == "+":
+                return left + right
+            if expr.op == "-":
+                return left - right
+            if expr.op == "*":
+                return left * right
+            if expr.op == "/":
+                return left // right
+            return left % right
+        raise SemanticError("expected integer constant expression", expr.loc)
+
+    # -- declarations ------------------------------------------------------
+
+    def _declare_struct(self, sd: ast.StructDecl) -> None:
+        if sd.name in self.structs:
+            raise SemanticError(f"redefinition of struct {sd.name!r}", sd.loc)
+        fields = []
+        for fname, fspec in sd.fields:
+            fields.append((fname, self.resolve_spec(fspec)))
+        self.structs[sd.name] = StructType(sd.name, fields)
+
+    def _check_global(self, vd: ast.VarDecl) -> None:
+        t = self.resolve_spec(vd.spec)
+        if t.is_void:
+            raise SemanticError(f"global {vd.name!r} has void type", vd.loc)
+        const_value = None
+        if vd.init is not None:
+            self._check_expr(vd.init)
+            if isinstance(vd.init, ast.IntLit):
+                const_value = vd.init.value
+            elif isinstance(vd.init, ast.FloatLit):
+                const_value = vd.init.value
+            elif isinstance(vd.init, ast.UnOp) and isinstance(
+                vd.init.operand, (ast.IntLit, ast.FloatLit)
+            ):
+                if vd.init.op == "-":
+                    const_value = -vd.init.operand.value
+            if const_value is None:
+                raise SemanticError(
+                    f"global initializer for {vd.name!r} must be a constant",
+                    vd.loc,
+                )
+        sym = Symbol(vd.name, t, "global", vd.spec.is_const, const_value)
+        self.global_scope.declare(sym, vd.loc)
+        vd.symbol = sym
+
+    def _declare_function(self, fd: ast.FuncDef) -> None:
+        if fd.name in self.functions:
+            raise SemanticError(f"redefinition of function {fd.name!r}", fd.loc)
+        if fd.name in INTRINSIC_SIGNATURES:
+            raise SemanticError(
+                f"{fd.name!r} shadows a math intrinsic", fd.loc
+            )
+        param_types = []
+        for p in fd.params:
+            t = self.resolve_spec(p.spec)
+            param_types.append(_decay(t))
+        self.functions[fd.name] = FuncSig(
+            fd.name, param_types, self.resolve_spec(fd.return_spec)
+        )
+
+    # -- functions / statements --------------------------------------------
+
+    def _check_function(self, fd: ast.FuncDef) -> None:
+        sig = self.functions[fd.name]
+        self._current_return = sig.return_type
+        self._scope = Scope(self.global_scope)
+        for p, ptype in zip(fd.params, sig.param_types):
+            sym = Symbol(p.name, ptype, "param")
+            self._scope.declare(sym, p.loc)
+            p.symbol = sym
+        self._check_block(fd.body, new_scope=False)
+        self._scope = self.global_scope
+
+    def _check_block(self, block: ast.Block, new_scope: bool = True) -> None:
+        if new_scope:
+            self._scope = Scope(self._scope)
+        for stmt in block.stmts:
+            self._check_stmt(stmt)
+        if new_scope:
+            assert self._scope.parent is not None
+            self._scope = self._scope.parent
+
+    def _check_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self._check_block(stmt)
+        elif isinstance(stmt, ast.VarDecl):
+            self._check_local_decl(stmt)
+        elif isinstance(stmt, ast.DeclGroup):
+            for decl in stmt.decls:
+                self._check_local_decl(decl)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._check_expr(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            self._check_cond(stmt.cond)
+            self._check_stmt(stmt.then)
+            if stmt.els is not None:
+                self._check_stmt(stmt.els)
+        elif isinstance(stmt, ast.For):
+            self._scope = Scope(self._scope)
+            if stmt.init is not None:
+                self._check_stmt(stmt.init)
+            if stmt.cond is not None:
+                self._check_cond(stmt.cond)
+            if stmt.step is not None:
+                self._check_expr(stmt.step)
+            self._loop_depth += 1
+            self._check_stmt(stmt.body)
+            self._loop_depth -= 1
+            assert self._scope.parent is not None
+            self._scope = self._scope.parent
+        elif isinstance(stmt, (ast.While, ast.DoWhile)):
+            self._check_cond(stmt.cond)
+            self._loop_depth += 1
+            self._check_stmt(stmt.body)
+            self._loop_depth -= 1
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                t = self._check_expr(stmt.value)
+                if self._current_return.is_void:
+                    raise SemanticError("returning a value from void function",
+                                        stmt.loc)
+                self._require_convertible(t, self._current_return, stmt.loc)
+            elif not self._current_return.is_void:
+                raise SemanticError("missing return value", stmt.loc)
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            if self._loop_depth == 0:
+                raise SemanticError("break/continue outside loop", stmt.loc)
+        else:
+            raise SemanticError(f"unhandled statement {type(stmt).__name__}",
+                                stmt.loc)
+
+    def _check_local_decl(self, vd: ast.VarDecl) -> None:
+        t = self.resolve_spec(vd.spec)
+        if t.is_void:
+            raise SemanticError(f"variable {vd.name!r} has void type", vd.loc)
+        const_value = None
+        if vd.init is not None:
+            it = self._check_expr(vd.init)
+            self._require_convertible(_decay(it), _decay(t), vd.loc)
+            if vd.spec.is_const and isinstance(vd.init, ast.IntLit):
+                const_value = vd.init.value
+        sym = Symbol(vd.name, t, "local", vd.spec.is_const, const_value)
+        self._scope.declare(sym, vd.loc)
+        vd.symbol = sym
+
+    def _check_cond(self, expr: ast.Expr) -> None:
+        t = self._check_expr(expr)
+        if not (_is_arith(t) or isinstance(t, PointerType)):
+            raise SemanticError("condition is not scalar", expr.loc)
+
+    # -- conversions ------------------------------------------------------
+
+    def _require_convertible(self, src: Type, dst: Type, loc) -> None:
+        src = _decay(src)
+        dst = _decay(dst)
+        if src == dst:
+            return
+        if _is_arith(src) and _is_arith(dst):
+            return
+        if isinstance(src, PointerType) and isinstance(dst, PointerType):
+            return  # C would warn on incompatible pointers; we allow
+        if isinstance(src, IntType) and isinstance(dst, PointerType):
+            return  # null-pointer style assignments
+        raise SemanticError(f"cannot convert {src!r} to {dst!r}", loc)
+
+    # -- lvalues ----------------------------------------------------------
+
+    def _is_lvalue(self, expr: ast.Expr) -> bool:
+        if isinstance(expr, ast.Ident):
+            return expr.symbol is not None
+        return isinstance(expr, (ast.Index, ast.Member, ast.Deref))
+
+    # -- expressions --------------------------------------------------------
+
+    def _check_expr(self, expr: ast.Expr) -> Type:
+        method = getattr(self, f"_check_{type(expr).__name__}")
+        t = method(expr)
+        expr.type = t
+        return t
+
+    def _check_IntLit(self, expr: ast.IntLit) -> Type:
+        return INT64 if abs(expr.value) > 2**31 - 1 else INT32
+
+    def _check_FloatLit(self, expr: ast.FloatLit) -> Type:
+        return DOUBLE
+
+    def _check_Ident(self, expr: ast.Ident) -> Type:
+        sym = self._scope.lookup(expr.name)
+        if sym is None:
+            raise SemanticError(f"use of undeclared name {expr.name!r}",
+                                expr.loc)
+        expr.symbol = sym
+        return sym.type
+
+    def _check_BinOp(self, expr: ast.BinOp) -> Type:
+        lt = self._check_expr(expr.left)
+        rt = self._check_expr(expr.right)
+        op = expr.op
+        if op in ("&&", "||"):
+            return INT32
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            return INT32
+        lt_d, rt_d = _decay(lt), _decay(rt)
+        if op in ("+", "-"):
+            if isinstance(lt_d, PointerType) and isinstance(rt_d, IntType):
+                return lt_d
+            if (
+                op == "+"
+                and isinstance(rt_d, PointerType)
+                and isinstance(lt_d, IntType)
+            ):
+                return rt_d
+            if (
+                op == "-"
+                and isinstance(lt_d, PointerType)
+                and isinstance(rt_d, PointerType)
+            ):
+                return INT64
+        if op in ("%", "&", "|", "^", "<<", ">>"):
+            if not (isinstance(lt_d, IntType) and isinstance(rt_d, IntType)):
+                raise SemanticError(f"operator {op!r} requires integers",
+                                    expr.loc)
+            return _common_type(lt_d, rt_d)
+        if not (_is_arith(lt_d) and _is_arith(rt_d)):
+            raise SemanticError(
+                f"invalid operands to {op!r}: {lt!r}, {rt!r}", expr.loc
+            )
+        return _common_type(lt_d, rt_d)
+
+    def _check_UnOp(self, expr: ast.UnOp) -> Type:
+        t = _decay(self._check_expr(expr.operand))
+        if expr.op == "!":
+            return INT32
+        if expr.op == "~":
+            if not isinstance(t, IntType):
+                raise SemanticError("~ requires an integer", expr.loc)
+            return t
+        if not _is_arith(t):
+            raise SemanticError(f"unary {expr.op!r} requires arithmetic type",
+                                expr.loc)
+        return t
+
+    def _check_Assign(self, expr: ast.Assign) -> Type:
+        tt = self._check_expr(expr.target)
+        if not self._is_lvalue(expr.target):
+            raise SemanticError("assignment target is not an lvalue", expr.loc)
+        if isinstance(tt, ArrayType):
+            raise SemanticError("cannot assign to an array", expr.loc)
+        vt = self._check_expr(expr.value)
+        if expr.op:
+            if isinstance(tt, PointerType):
+                if expr.op not in ("+", "-") or not isinstance(
+                    _decay(vt), IntType
+                ):
+                    raise SemanticError("invalid pointer compound assignment",
+                                        expr.loc)
+            elif not (_is_arith(tt) and _is_arith(_decay(vt))):
+                raise SemanticError("invalid compound assignment", expr.loc)
+        else:
+            self._require_convertible(vt, tt, expr.loc)
+        return tt
+
+    def _check_IncDec(self, expr: ast.IncDec) -> Type:
+        t = self._check_expr(expr.target)
+        if not self._is_lvalue(expr.target):
+            raise SemanticError("++/-- target is not an lvalue", expr.loc)
+        if not (_is_arith(t) or isinstance(t, PointerType)):
+            raise SemanticError("++/-- requires scalar type", expr.loc)
+        return t
+
+    def _check_Cond(self, expr: ast.Cond) -> Type:
+        self._check_cond(expr.cond)
+        tt = _decay(self._check_expr(expr.then))
+        et = _decay(self._check_expr(expr.els))
+        if tt == et:
+            return tt
+        if _is_arith(tt) and _is_arith(et):
+            return _common_type(tt, et)
+        raise SemanticError("incompatible ternary arms", expr.loc)
+
+    def _check_Call(self, expr: ast.Call) -> Type:
+        if expr.name in INTRINSIC_SIGNATURES:
+            expected = INTRINSIC_SIGNATURES[expr.name]
+            if len(expr.args) != expected:
+                raise SemanticError(
+                    f"{expr.name} expects {expected} argument(s)", expr.loc
+                )
+            for arg in expr.args:
+                t = _decay(self._check_expr(arg))
+                if not _is_arith(t):
+                    raise SemanticError(
+                        f"{expr.name} requires arithmetic arguments", arg.loc
+                    )
+            return DOUBLE
+        sig = self.functions.get(expr.name)
+        if sig is None:
+            raise SemanticError(f"call to undeclared function {expr.name!r}",
+                                expr.loc)
+        if len(expr.args) != len(sig.param_types):
+            raise SemanticError(
+                f"{expr.name} expects {len(sig.param_types)} argument(s), "
+                f"got {len(expr.args)}",
+                expr.loc,
+            )
+        for arg, pt in zip(expr.args, sig.param_types):
+            at = self._check_expr(arg)
+            self._require_convertible(at, pt, arg.loc)
+        return sig.return_type
+
+    def _check_Index(self, expr: ast.Index) -> Type:
+        bt = self._check_expr(expr.base)
+        it = _decay(self._check_expr(expr.index))
+        if not isinstance(it, IntType):
+            raise SemanticError("array index must be an integer", expr.loc)
+        if isinstance(bt, ArrayType):
+            return bt.elem
+        if isinstance(bt, PointerType):
+            return bt.pointee
+        raise SemanticError(f"cannot index value of type {bt!r}", expr.loc)
+
+    def _check_Member(self, expr: ast.Member) -> Type:
+        bt = self._check_expr(expr.base)
+        if expr.arrow:
+            if not isinstance(bt, PointerType) or not isinstance(
+                bt.pointee, StructType
+            ):
+                raise SemanticError("-> requires pointer to struct", expr.loc)
+            st = bt.pointee
+        else:
+            if not isinstance(bt, StructType):
+                raise SemanticError(". requires a struct value", expr.loc)
+            st = bt
+        if not st.has_field(expr.field):
+            raise SemanticError(
+                f"struct {st.name} has no field {expr.field!r}", expr.loc
+            )
+        return st.field_type(expr.field)
+
+    def _check_Deref(self, expr: ast.Deref) -> Type:
+        t = _decay(self._check_expr(expr.operand))
+        if not isinstance(t, PointerType):
+            raise SemanticError("cannot dereference non-pointer", expr.loc)
+        return t.pointee
+
+    def _check_AddrOf(self, expr: ast.AddrOf) -> Type:
+        t = self._check_expr(expr.operand)
+        if not self._is_lvalue(expr.operand):
+            raise SemanticError("& requires an lvalue", expr.loc)
+        if isinstance(t, ArrayType):
+            # &A where A is an array: treated as pointer to first element,
+            # which is what the workloads use it for.
+            return PointerType(t.elem)
+        return PointerType(t)
+
+    def _check_CastExpr(self, expr: ast.CastExpr) -> Type:
+        t = self.resolve_spec(expr.target_spec)
+        st = _decay(self._check_expr(expr.operand))
+        if t.is_void:
+            raise SemanticError("cast to void is not supported", expr.loc)
+        if not (t.is_scalar and st.is_scalar):
+            raise SemanticError("casts require scalar types", expr.loc)
+        return t
+
+    def _check_SizeofExpr(self, expr: ast.SizeofExpr) -> Type:
+        self.resolve_spec(expr.target_spec)
+        return INT64
+
+
+def analyze(program: ast.Program) -> SemanticAnalyzer:
+    """Type-check ``program`` in place; returns the analyzer for its
+    struct/function tables."""
+    analyzer = SemanticAnalyzer(program)
+    analyzer.run()
+    return analyzer

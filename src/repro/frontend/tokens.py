@@ -1,0 +1,104 @@
+"""Token kinds and the Token record for the mini-C lexer."""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import SourceLocation
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    INT_LIT = "int"
+    FLOAT_LIT = "float"
+    KEYWORD = "keyword"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "int",
+        "float",
+        "double",
+        "void",
+        "struct",
+        "if",
+        "else",
+        "for",
+        "while",
+        "do",
+        "break",
+        "continue",
+        "return",
+        "sizeof",
+        "const",
+    }
+)
+
+# Longest-match-first punctuation table.
+PUNCTUATORS = (
+    "<<=",
+    ">>=",
+    "->",
+    "++",
+    "--",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "<<",
+    ">>",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "=",
+    "<",
+    ">",
+    "!",
+    "&",
+    "|",
+    "^",
+    "~",
+    "?",
+    ":",
+    ";",
+    ",",
+    ".",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+)
+
+
+class Token:
+    """One lexical token with its source location."""
+
+    __slots__ = ("kind", "text", "value", "loc")
+
+    def __init__(self, kind: TokenKind, text: str, loc: SourceLocation, value=None):
+        self.kind = kind
+        self.text = text
+        self.value = value
+        self.loc = loc
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind is TokenKind.PUNCT and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text == text
+
+    def __repr__(self) -> str:
+        return f"<{self.kind.value} {self.text!r} @{self.loc!r}>"

@@ -1,0 +1,5 @@
+"""IR interpreter with dynamic-trace instrumentation."""
+
+from repro.interp.interpreter import Interpreter, run_and_trace, run_module
+
+__all__ = ["Interpreter", "run_and_trace", "run_module"]

@@ -1,0 +1,65 @@
+"""Register-based intermediate representation.
+
+The IR plays the role LLVM IR plays in the paper: the unit of dynamic
+analysis is one IR instruction instance.  Programs are modules of functions;
+functions are CFGs of basic blocks; instructions operate on typed virtual
+registers and a flat byte-addressable memory.
+
+Loop structure is explicit: the frontend emits ``loop.enter`` /
+``loop.next`` / ``loop.exit`` marker instructions so the tracer can
+attribute every dynamic instruction to a loop nest and an iteration vector
+without rediscovering natural loops.
+"""
+
+from repro.ir.types import (
+    IntType,
+    FloatType,
+    VoidType,
+    PointerType,
+    ArrayType,
+    StructType,
+    INT32,
+    INT64,
+    FLOAT,
+    DOUBLE,
+    VOID,
+    sizeof,
+)
+from repro.ir.values import VirtualReg, Constant, GlobalRef, Operand
+from repro.ir.instructions import Instruction, Opcode, OPCODE_INFO
+from repro.ir.function import BasicBlock, Function, LoopInfo
+from repro.ir.module import Module, GlobalVar
+from repro.ir.builder import IRBuilder
+from repro.ir.printer import print_module, print_function
+from repro.ir.verifier import verify_module
+
+__all__ = [
+    "IntType",
+    "FloatType",
+    "VoidType",
+    "PointerType",
+    "ArrayType",
+    "StructType",
+    "INT32",
+    "INT64",
+    "FLOAT",
+    "DOUBLE",
+    "VOID",
+    "sizeof",
+    "VirtualReg",
+    "Constant",
+    "GlobalRef",
+    "Operand",
+    "Instruction",
+    "Opcode",
+    "OPCODE_INFO",
+    "BasicBlock",
+    "Function",
+    "LoopInfo",
+    "Module",
+    "GlobalVar",
+    "IRBuilder",
+    "print_module",
+    "print_function",
+    "verify_module",
+]

@@ -1,0 +1,250 @@
+"""Convenience builder for emitting IR.
+
+The lowering pass (and tests) construct IR exclusively through this class:
+it allocates virtual registers, assigns module-unique static ids, and keeps
+the module's sid -> instruction index up to date.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import IRError
+from repro.ir.function import BasicBlock, Function, LoopInfo
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.module import Module
+from repro.ir.types import (
+    INT32,
+    INT64,
+    PointerType,
+    Type,
+)
+from repro.ir.values import Constant, Operand, VirtualReg
+
+
+class IRBuilder:
+    """Stateful IR emitter positioned at the end of a current block."""
+
+    def __init__(self, module: Module):
+        self.module = module
+        self.function: Optional[Function] = None
+        self.block: Optional[BasicBlock] = None
+        self._next_reg = 0
+        self._next_block = 0
+        self._next_loop = 0
+        self.current_line = 0
+
+    # -- function / block management ---------------------------------------
+
+    def start_function(
+        self,
+        name: str,
+        params: Sequence[Tuple[str, Type]],
+        return_type: Type,
+    ) -> Function:
+        fn = Function(name, params, return_type)
+        self.module.add_function(fn)
+        self.function = fn
+        self._next_reg = 0
+        self._next_block = 0
+        for pname, ptype in params:
+            fn.param_regs.append(self.new_reg(ptype, pname))
+        entry = self.new_block("entry")
+        self.position_at(entry)
+        return fn
+
+    def finish_function(self) -> Function:
+        if self.function is None:
+            raise IRError("no function in progress")
+        fn = self.function
+        fn.num_regs = self._next_reg
+        self.function = None
+        self.block = None
+        return fn
+
+    def new_block(self, hint: str = "bb") -> BasicBlock:
+        if self.function is None:
+            raise IRError("no function in progress")
+        name = f"{hint}{self._next_block}"
+        self._next_block += 1
+        return self.function.add_block(name)
+
+    def position_at(self, block: BasicBlock) -> None:
+        self.block = block
+
+    def new_reg(self, type: Type, name: str = "") -> VirtualReg:
+        reg = VirtualReg(self._next_reg, type, name)
+        self._next_reg += 1
+        return reg
+
+    def new_loop(self, header_line: int, depth: int,
+                 parent_id: Optional[int] = None, label: str = "") -> LoopInfo:
+        if self.function is None:
+            raise IRError("no function in progress")
+        info = LoopInfo(
+            self._next_loop, self.function.name, header_line, depth,
+            parent_id, label,
+        )
+        self._next_loop += 1
+        self.module.add_loop(info)
+        return info
+
+    @property
+    def is_terminated(self) -> bool:
+        return self.block is not None and self.block.terminator is not None
+
+    # -- raw emission --------------------------------------------------------
+
+    def emit(self, opcode: Opcode, result: Optional[VirtualReg] = None,
+             operands: Sequence[Operand] = (), **kwargs) -> Instruction:
+        if self.block is None:
+            raise IRError("builder not positioned at a block")
+        instr = Instruction(
+            self.module.next_sid(), opcode, result, operands,
+            line=kwargs.pop("line", self.current_line), **kwargs,
+        )
+        self.block.append(instr)
+        self.module.register_instruction(instr)
+        return instr
+
+    def _binop(self, opcode: Opcode, a: Operand, b: Operand,
+               type: Optional[Type] = None) -> VirtualReg:
+        result = self.new_reg(type if type is not None else a.type)
+        self.emit(opcode, result, (a, b))
+        return result
+
+    # -- arithmetic ------------------------------------------------------------
+
+    def add(self, a: Operand, b: Operand) -> VirtualReg:
+        return self._binop(Opcode.ADD, a, b)
+
+    def sub(self, a: Operand, b: Operand) -> VirtualReg:
+        return self._binop(Opcode.SUB, a, b)
+
+    def mul(self, a: Operand, b: Operand) -> VirtualReg:
+        return self._binop(Opcode.MUL, a, b)
+
+    def sdiv(self, a: Operand, b: Operand) -> VirtualReg:
+        return self._binop(Opcode.SDIV, a, b)
+
+    def srem(self, a: Operand, b: Operand) -> VirtualReg:
+        return self._binop(Opcode.SREM, a, b)
+
+    def fadd(self, a: Operand, b: Operand) -> VirtualReg:
+        return self._binop(Opcode.FADD, a, b)
+
+    def fsub(self, a: Operand, b: Operand) -> VirtualReg:
+        return self._binop(Opcode.FSUB, a, b)
+
+    def fmul(self, a: Operand, b: Operand) -> VirtualReg:
+        return self._binop(Opcode.FMUL, a, b)
+
+    def fdiv(self, a: Operand, b: Operand) -> VirtualReg:
+        return self._binop(Opcode.FDIV, a, b)
+
+    def and_(self, a: Operand, b: Operand) -> VirtualReg:
+        return self._binop(Opcode.AND, a, b)
+
+    def or_(self, a: Operand, b: Operand) -> VirtualReg:
+        return self._binop(Opcode.OR, a, b)
+
+    def xor(self, a: Operand, b: Operand) -> VirtualReg:
+        return self._binop(Opcode.XOR, a, b)
+
+    def shl(self, a: Operand, b: Operand) -> VirtualReg:
+        return self._binop(Opcode.SHL, a, b)
+
+    def ashr(self, a: Operand, b: Operand) -> VirtualReg:
+        return self._binop(Opcode.ASHR, a, b)
+
+    def icmp(self, pred: str, a: Operand, b: Operand) -> VirtualReg:
+        result = self.new_reg(INT32)
+        self.emit(Opcode.ICMP, result, (a, b), pred=pred)
+        return result
+
+    def fcmp(self, pred: str, a: Operand, b: Operand) -> VirtualReg:
+        result = self.new_reg(INT32)
+        self.emit(Opcode.FCMP, result, (a, b), pred=pred)
+        return result
+
+    def cast(self, value: Operand, to_type: Type) -> VirtualReg:
+        result = self.new_reg(to_type)
+        self.emit(Opcode.CAST, result, (value,))
+        return result
+
+    def select(self, cond: Operand, a: Operand, b: Operand) -> VirtualReg:
+        result = self.new_reg(a.type)
+        self.emit(Opcode.SELECT, result, (cond, a, b))
+        return result
+
+    def copy(self, value: Operand) -> VirtualReg:
+        result = self.new_reg(value.type)
+        self.emit(Opcode.COPY, result, (value,))
+        return result
+
+    # -- memory ------------------------------------------------------------
+
+    def alloca(self, type: Type, name: str = "") -> VirtualReg:
+        result = self.new_reg(PointerType(type), name)
+        self.emit(Opcode.ALLOCA, result, (), alloc_type=type)
+        return result
+
+    def load(self, ptr: Operand) -> VirtualReg:
+        if not isinstance(ptr.type, PointerType):
+            raise IRError(f"load from non-pointer {ptr!r}")
+        result = self.new_reg(ptr.type.pointee)
+        self.emit(Opcode.LOAD, result, (ptr,))
+        return result
+
+    def store(self, value: Operand, ptr: Operand) -> Instruction:
+        if not isinstance(ptr.type, PointerType):
+            raise IRError(f"store to non-pointer {ptr!r}")
+        return self.emit(Opcode.STORE, None, (value, ptr))
+
+    def ptradd(self, ptr: Operand, offset: Operand,
+               result_type: Optional[Type] = None) -> VirtualReg:
+        result = self.new_reg(result_type if result_type is not None else ptr.type)
+        self.emit(Opcode.PTRADD, result, (ptr, offset))
+        return result
+
+    # -- control flow ---------------------------------------------------------
+
+    def jump(self, target: BasicBlock) -> Instruction:
+        return self.emit(Opcode.JUMP, None, (), targets=(target,))
+
+    def cbranch(self, cond: Operand, then_bb: BasicBlock,
+                else_bb: BasicBlock) -> Instruction:
+        return self.emit(Opcode.CBR, None, (cond,), targets=(then_bb, else_bb))
+
+    def ret(self, value: Optional[Operand] = None) -> Instruction:
+        operands = (value,) if value is not None else ()
+        return self.emit(Opcode.RET, None, operands)
+
+    def call(self, callee: str, args: Sequence[Operand],
+             return_type: Type) -> Optional[VirtualReg]:
+        result = None
+        if not return_type.is_void:
+            result = self.new_reg(return_type)
+        self.emit(Opcode.CALL, result, tuple(args), callee=callee)
+        return result
+
+    # -- loop markers ------------------------------------------------------
+
+    def loop_enter(self, info: LoopInfo) -> Instruction:
+        return self.emit(Opcode.LOOP_ENTER, None, (), loop_id=info.loop_id)
+
+    def loop_next(self, info: LoopInfo) -> Instruction:
+        return self.emit(Opcode.LOOP_NEXT, None, (), loop_id=info.loop_id)
+
+    def loop_exit(self, info: LoopInfo) -> Instruction:
+        return self.emit(Opcode.LOOP_EXIT, None, (), loop_id=info.loop_id)
+
+    # -- constants ------------------------------------------------------------
+
+    @staticmethod
+    def const_int(value: int, type: Type = INT64) -> Constant:
+        return Constant(int(value), type)
+
+    @staticmethod
+    def const_float(value: float, type: Type) -> Constant:
+        return Constant(float(value), type)

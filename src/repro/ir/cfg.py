@@ -1,0 +1,178 @@
+"""CFG analyses: successors/predecessors, reachability, dominators, and
+natural-loop detection.
+
+The frontend emits loop structure explicitly (marker instructions), so
+the analyses here serve as an independent *validator*: natural loops
+discovered from back edges must coincide with the frontend's loop
+regions (tested in ``tests/test_cfg.py``), and the verifier-level
+structural facts (every block reachable, single terminator) can be
+cross-checked.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import IRError
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import Opcode
+
+
+def successors(fn: Function) -> Dict[BasicBlock, List[BasicBlock]]:
+    out: Dict[BasicBlock, List[BasicBlock]] = {}
+    for block in fn.blocks:
+        term = block.terminator
+        out[block] = list(term.targets) if term is not None else []
+    return out
+
+
+def predecessors(fn: Function) -> Dict[BasicBlock, List[BasicBlock]]:
+    preds: Dict[BasicBlock, List[BasicBlock]] = {b: [] for b in fn.blocks}
+    for block, succs in successors(fn).items():
+        for succ in succs:
+            preds[succ].append(block)
+    return preds
+
+
+def reachable_blocks(fn: Function) -> Set[BasicBlock]:
+    succ = successors(fn)
+    seen: Set[BasicBlock] = set()
+    stack = [fn.entry]
+    while stack:
+        block = stack.pop()
+        if block in seen:
+            continue
+        seen.add(block)
+        stack.extend(succ[block])
+    return seen
+
+
+def reverse_postorder(fn: Function) -> List[BasicBlock]:
+    succ = successors(fn)
+    order: List[BasicBlock] = []
+    seen: Set[BasicBlock] = set()
+
+    def visit(block: BasicBlock) -> None:
+        seen.add(block)
+        for nxt in succ[block]:
+            if nxt not in seen:
+                visit(nxt)
+        order.append(block)
+
+    visit(fn.entry)
+    order.reverse()
+    return order
+
+
+def dominators(fn: Function) -> Dict[BasicBlock, Set[BasicBlock]]:
+    """Classic iterative dominator computation over reachable blocks."""
+    blocks = reverse_postorder(fn)
+    preds = predecessors(fn)
+    reachable = set(blocks)
+    dom: Dict[BasicBlock, Set[BasicBlock]] = {
+        b: set(blocks) for b in blocks
+    }
+    dom[fn.entry] = {fn.entry}
+    changed = True
+    while changed:
+        changed = False
+        for block in blocks:
+            if block is fn.entry:
+                continue
+            incoming = [p for p in preds[block] if p in reachable]
+            if incoming:
+                new = set.intersection(*(dom[p] for p in incoming))
+            else:
+                new = set()
+            new = new | {block}
+            if new != dom[block]:
+                dom[block] = new
+                changed = True
+    return dom
+
+
+def immediate_dominators(fn: Function) -> Dict[BasicBlock, Optional[BasicBlock]]:
+    dom = dominators(fn)
+    idom: Dict[BasicBlock, Optional[BasicBlock]] = {fn.entry: None}
+    for block, ds in dom.items():
+        if block is fn.entry:
+            continue
+        strict = ds - {block}
+        # The idom is the strict dominator dominated by all others.
+        best = None
+        for cand in strict:
+            if all(cand in dom[o] or o is cand for o in strict):
+                best = cand
+        idom[block] = best
+    return idom
+
+
+class NaturalLoop:
+    """A back-edge-defined loop: header plus body block set."""
+
+    __slots__ = ("header", "blocks", "back_edges")
+
+    def __init__(self, header: BasicBlock):
+        self.header = header
+        self.blocks: Set[BasicBlock] = {header}
+        self.back_edges: List[Tuple[BasicBlock, BasicBlock]] = []
+
+    def __repr__(self) -> str:
+        return f"<natural-loop {self.header.name} ({len(self.blocks)} blocks)>"
+
+
+def natural_loops(fn: Function) -> List[NaturalLoop]:
+    """Detect natural loops from back edges (tail dominated by head)."""
+    dom = dominators(fn)
+    preds = predecessors(fn)
+    loops: Dict[BasicBlock, NaturalLoop] = {}
+    for block in reachable_blocks(fn):
+        term = block.terminator
+        if term is None:
+            continue
+        for target in term.targets:
+            if target in dom.get(block, set()):
+                loop = loops.setdefault(target, NaturalLoop(target))
+                loop.back_edges.append((block, target))
+                # Collect the loop body by walking predecessors from the
+                # latch up to the header.
+                stack = [block]
+                while stack:
+                    b = stack.pop()
+                    if b in loop.blocks:
+                        continue
+                    loop.blocks.add(b)
+                    stack.extend(preds[b])
+    return list(loops.values())
+
+
+def marker_loops(fn: Function) -> Dict[int, Set[BasicBlock]]:
+    """Blocks between each loop's ENTER and EXIT markers, per loop id —
+    the frontend's view of the same structure.
+
+    A block belongs to loop L when it is reachable from L's header
+    without passing L's exit; here we approximate by taking the blocks
+    of the natural loop whose header holds the first branch after L's
+    LOOP_ENTER.  Used only by the cross-validation tests.
+    """
+    enters: Dict[int, BasicBlock] = {}
+    for block in fn.blocks:
+        for instr in block.instructions:
+            if instr.opcode is Opcode.LOOP_ENTER:
+                if instr.loop_id in enters:
+                    raise IRError(
+                        f"loop {instr.loop_id} entered from two blocks"
+                    )
+                enters[instr.loop_id] = block
+    succ = successors(fn)
+    out: Dict[int, Set[BasicBlock]] = {}
+    detected = natural_loops(fn)
+    for loop_id, enter_block in enters.items():
+        # The loop header is the (unique) successor of the marker block.
+        targets = succ[enter_block]
+        header = targets[0] if targets else None
+        match = next(
+            (nl for nl in detected if nl.header is header), None
+        )
+        out[loop_id] = match.blocks if match is not None else set()
+    return out

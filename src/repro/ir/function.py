@@ -1,0 +1,120 @@
+"""Functions, basic blocks, and loop metadata."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import IRError
+from repro.ir.instructions import Instruction
+from repro.ir.types import Type
+from repro.ir.values import VirtualReg
+
+
+class BasicBlock:
+    """A straight-line sequence of instructions ending in a terminator."""
+
+    __slots__ = ("name", "instructions")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.instructions: List[Instruction] = []
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        if self.instructions and self.instructions[-1].is_terminator:
+            return self.instructions[-1]
+        return None
+
+    def append(self, instr: Instruction) -> Instruction:
+        if self.terminator is not None:
+            raise IRError(f"block {self.name} already terminated")
+        self.instructions.append(instr)
+        return instr
+
+    def __repr__(self) -> str:
+        return f"<block {self.name} ({len(self.instructions)} instrs)>"
+
+
+class LoopInfo:
+    """Static description of one source-level loop.
+
+    ``loop_id`` is module-unique; the tracer uses the loop marker
+    pseudo-instructions to attribute dynamic instructions to loops.
+    ``header_line`` identifies the loop in reports, mirroring the paper's
+    "file.c : line" loop naming in Table 1.
+    """
+
+    __slots__ = ("loop_id", "function", "header_line", "depth", "parent_id", "label")
+
+    def __init__(
+        self,
+        loop_id: int,
+        function: str,
+        header_line: int,
+        depth: int,
+        parent_id: Optional[int] = None,
+        label: str = "",
+    ):
+        self.loop_id = loop_id
+        self.function = function
+        self.header_line = header_line
+        self.depth = depth
+        self.parent_id = parent_id
+        self.label = label
+
+    @property
+    def name(self) -> str:
+        """Human-readable loop name, e.g. ``main:12`` (function:line)."""
+        if self.label:
+            return self.label
+        return f"{self.function}:{self.header_line}"
+
+    def __repr__(self) -> str:
+        return f"<loop {self.loop_id} {self.name} depth={self.depth}>"
+
+
+class Function:
+    """A function: ordered basic blocks plus parameter registers."""
+
+    def __init__(
+        self,
+        name: str,
+        params: Sequence[Tuple[str, Type]],
+        return_type: Type,
+    ):
+        self.name = name
+        self.param_regs: List[VirtualReg] = []
+        self.param_types = [t for _, t in params]
+        self.param_names = [n for n, _ in params]
+        self.return_type = return_type
+        self.blocks: List[BasicBlock] = []
+        self._blocks_by_name: Dict[str, BasicBlock] = {}
+        self.num_regs = 0  # filled by the builder
+
+    @property
+    def entry(self) -> BasicBlock:
+        if not self.blocks:
+            raise IRError(f"function {self.name} has no blocks")
+        return self.blocks[0]
+
+    def add_block(self, name: str) -> BasicBlock:
+        if name in self._blocks_by_name:
+            raise IRError(f"duplicate block name {name!r} in {self.name}")
+        block = BasicBlock(name)
+        self.blocks.append(block)
+        self._blocks_by_name[name] = block
+        return block
+
+    def block(self, name: str) -> BasicBlock:
+        try:
+            return self._blocks_by_name[name]
+        except KeyError:
+            raise IRError(f"no block {name!r} in {self.name}") from None
+
+    def all_instructions(self):
+        """Iterate instructions in block order."""
+        for block in self.blocks:
+            yield from block.instructions
+
+    def __repr__(self) -> str:
+        return f"<function {self.name} ({len(self.blocks)} blocks)>"

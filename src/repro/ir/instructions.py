@@ -1,0 +1,241 @@
+"""IR instruction set.
+
+The instruction set is deliberately small and LLVM-flavoured.  The four
+floating-point arithmetic opcodes (``fadd``/``fsub``/``fmul``/``fdiv``)
+are the *candidate instructions* of the paper: the dynamic analysis
+characterizes SIMD potential for exactly these, because they are the
+operations with vector counterparts in SIMD ISAs (paper §3, "Candidate
+Instructions").
+
+Loop structure is communicated to the tracer through pseudo-instructions
+``loop.enter`` / ``loop.next`` / ``loop.exit`` emitted by the frontend.
+They execute as no-ops but appear in the trace as region markers.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Sequence
+
+from repro.errors import IRError
+from repro.ir.types import Type
+from repro.ir.values import Operand, VirtualReg
+
+
+class Opcode(enum.IntEnum):
+    """All IR opcodes.  IntEnum so the interpreter can dispatch on ints."""
+
+    # Integer arithmetic.
+    ADD = 1
+    SUB = 2
+    MUL = 3
+    SDIV = 4
+    SREM = 5
+    # Floating-point arithmetic — the paper's candidate instructions.
+    FADD = 10
+    FSUB = 11
+    FMUL = 12
+    FDIV = 13
+    # Bitwise / logical.
+    AND = 20
+    OR = 21
+    XOR = 22
+    SHL = 23
+    ASHR = 24
+    # Comparisons (predicate stored in `pred`).
+    ICMP = 30
+    FCMP = 31
+    # Value plumbing.
+    CAST = 40
+    SELECT = 41
+    COPY = 42
+    # Memory.
+    ALLOCA = 50
+    LOAD = 51
+    STORE = 52
+    PTRADD = 53
+    # Control flow.
+    JUMP = 60
+    CBR = 61
+    RET = 62
+    CALL = 63
+    # Loop region markers (trace-only semantics).
+    LOOP_ENTER = 70
+    LOOP_NEXT = 71
+    LOOP_EXIT = 72
+
+
+FP_ARITH_OPCODES = frozenset(
+    {Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV}
+)
+
+INT_ARITH_OPCODES = frozenset(
+    {Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.SDIV, Opcode.SREM}
+)
+
+TERMINATOR_OPCODES = frozenset({Opcode.JUMP, Opcode.CBR, Opcode.RET})
+
+MARKER_OPCODES = frozenset(
+    {Opcode.LOOP_ENTER, Opcode.LOOP_NEXT, Opcode.LOOP_EXIT}
+)
+
+CMP_PREDICATES = frozenset({"eq", "ne", "lt", "le", "gt", "ge"})
+
+
+class OpcodeInfo:
+    """Static facts about one opcode, used by the verifier and printer."""
+
+    __slots__ = ("mnemonic", "has_result", "num_operands")
+
+    def __init__(self, mnemonic: str, has_result: bool, num_operands):
+        self.mnemonic = mnemonic
+        self.has_result = has_result
+        self.num_operands = num_operands  # int or None for variadic
+
+
+OPCODE_INFO = {
+    Opcode.ADD: OpcodeInfo("add", True, 2),
+    Opcode.SUB: OpcodeInfo("sub", True, 2),
+    Opcode.MUL: OpcodeInfo("mul", True, 2),
+    Opcode.SDIV: OpcodeInfo("sdiv", True, 2),
+    Opcode.SREM: OpcodeInfo("srem", True, 2),
+    Opcode.FADD: OpcodeInfo("fadd", True, 2),
+    Opcode.FSUB: OpcodeInfo("fsub", True, 2),
+    Opcode.FMUL: OpcodeInfo("fmul", True, 2),
+    Opcode.FDIV: OpcodeInfo("fdiv", True, 2),
+    Opcode.AND: OpcodeInfo("and", True, 2),
+    Opcode.OR: OpcodeInfo("or", True, 2),
+    Opcode.XOR: OpcodeInfo("xor", True, 2),
+    Opcode.SHL: OpcodeInfo("shl", True, 2),
+    Opcode.ASHR: OpcodeInfo("ashr", True, 2),
+    Opcode.ICMP: OpcodeInfo("icmp", True, 2),
+    Opcode.FCMP: OpcodeInfo("fcmp", True, 2),
+    Opcode.CAST: OpcodeInfo("cast", True, 1),
+    Opcode.SELECT: OpcodeInfo("select", True, 3),
+    Opcode.COPY: OpcodeInfo("copy", True, 1),
+    Opcode.ALLOCA: OpcodeInfo("alloca", True, 0),
+    Opcode.LOAD: OpcodeInfo("load", True, 1),
+    Opcode.STORE: OpcodeInfo("store", False, 2),
+    Opcode.PTRADD: OpcodeInfo("ptradd", True, 2),
+    Opcode.JUMP: OpcodeInfo("jump", False, 0),
+    Opcode.CBR: OpcodeInfo("cbr", False, 1),
+    Opcode.RET: OpcodeInfo("ret", False, None),
+    Opcode.CALL: OpcodeInfo("call", True, None),
+    Opcode.LOOP_ENTER: OpcodeInfo("loop.enter", False, 0),
+    Opcode.LOOP_NEXT: OpcodeInfo("loop.next", False, 0),
+    Opcode.LOOP_EXIT: OpcodeInfo("loop.exit", False, 0),
+}
+
+
+class Instruction:
+    """One static IR instruction.
+
+    Attributes
+    ----------
+    sid:
+        Module-unique static instruction id.  Dynamic trace records refer
+        to instructions by this id, exactly like the unique instrumentation
+        ids the paper assigns (§3.1).
+    opcode:
+        The :class:`Opcode`.
+    result:
+        Destination :class:`VirtualReg`, or None.
+    operands:
+        Tuple of :class:`Operand` inputs.
+    targets:
+        Successor basic blocks for terminators (JUMP: 1, CBR: 2).
+    pred:
+        Comparison predicate for ICMP/FCMP ("eq", "ne", "lt", ...).
+    callee:
+        Function name for CALL.
+    loop_id:
+        Loop id for the loop marker pseudo-instructions.
+    alloc_type:
+        Allocated value type for ALLOCA.
+    line:
+        Source line the instruction was lowered from (0 when synthetic).
+    """
+
+    __slots__ = (
+        "sid",
+        "opcode",
+        "result",
+        "operands",
+        "targets",
+        "pred",
+        "callee",
+        "loop_id",
+        "alloc_type",
+        "line",
+    )
+
+    def __init__(
+        self,
+        sid: int,
+        opcode: Opcode,
+        result: Optional[VirtualReg] = None,
+        operands: Sequence[Operand] = (),
+        targets: Sequence = (),
+        pred: Optional[str] = None,
+        callee: Optional[str] = None,
+        loop_id: Optional[int] = None,
+        alloc_type: Optional[Type] = None,
+        line: int = 0,
+    ):
+        info = OPCODE_INFO[opcode]
+        if info.num_operands is not None and len(operands) != info.num_operands:
+            raise IRError(
+                f"{info.mnemonic} expects {info.num_operands} operands, "
+                f"got {len(operands)}"
+            )
+        if info.has_result and result is None and opcode != Opcode.CALL:
+            raise IRError(f"{info.mnemonic} requires a result register")
+        if opcode in (Opcode.ICMP, Opcode.FCMP) and pred not in CMP_PREDICATES:
+            raise IRError(f"bad comparison predicate: {pred!r}")
+        self.sid = sid
+        self.opcode = opcode
+        self.result = result
+        self.operands = tuple(operands)
+        self.targets = tuple(targets)
+        self.pred = pred
+        self.callee = callee
+        self.loop_id = loop_id
+        self.alloc_type = alloc_type
+        self.line = line
+
+    @property
+    def is_fp_arith(self) -> bool:
+        """True for the paper's candidate instructions (FP + - * /)."""
+        return self.opcode in FP_ARITH_OPCODES
+
+    @property
+    def is_int_arith(self) -> bool:
+        return self.opcode in INT_ARITH_OPCODES
+
+    @property
+    def is_terminator(self) -> bool:
+        return self.opcode in TERMINATOR_OPCODES
+
+    @property
+    def is_marker(self) -> bool:
+        return self.opcode in MARKER_OPCODES
+
+    @property
+    def mnemonic(self) -> str:
+        return OPCODE_INFO[self.opcode].mnemonic
+
+    def __repr__(self) -> str:
+        parts = [self.mnemonic]
+        if self.pred:
+            parts.append(self.pred)
+        if self.callee:
+            parts.append(f"@{self.callee}")
+        if self.loop_id is not None:
+            parts.append(f"L{self.loop_id}")
+        ops = ", ".join(repr(o) for o in self.operands)
+        if self.targets:
+            tgt = ", ".join(f"^{b.name}" for b in self.targets)
+            ops = f"{ops} {tgt}" if ops else tgt
+        head = f"{self.result!r} = " if self.result is not None else ""
+        body = " ".join(parts)
+        return f"[{self.sid}] {head}{body} {ops}".rstrip()

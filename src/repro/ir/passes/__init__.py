@@ -1,0 +1,28 @@
+"""IR-to-IR optimization passes.
+
+The tracing pipeline deliberately analyzes ``-O0``-style IR (the paper's
+instrumentation also ran on unoptimized IR so every memory access is
+visible).  These passes exist for two purposes:
+
+- they make the *interpreter* faster when analysis fidelity at the
+  memory level is not needed (constant folding, copy propagation, dead
+  code elimination);
+- they are differential-testing targets: every pass must preserve the
+  observable behaviour of every workload (verified in
+  ``tests/test_passes.py``).
+
+Passes never touch loads/stores or loop markers, so trace *structure*
+changes only by dropping dead pure computation.
+"""
+
+from repro.ir.passes.constfold import fold_constants
+from repro.ir.passes.copyprop import propagate_copies
+from repro.ir.passes.dce import eliminate_dead_code
+from repro.ir.passes.pipeline import optimize_module
+
+__all__ = [
+    "fold_constants",
+    "propagate_copies",
+    "eliminate_dead_code",
+    "optimize_module",
+]

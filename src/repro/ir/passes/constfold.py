@@ -1,0 +1,159 @@
+"""Constant folding.
+
+Folds pure instructions whose operands are all constants into constant
+operands of their users.  Arithmetic follows the interpreter's semantics
+exactly (two's-complement wrapping, C division, binary32 rounding), so
+folding can never change observable behaviour.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Optional
+
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.module import Module
+from repro.ir.types import FloatType, IntType, PointerType
+from repro.ir.values import Constant, VirtualReg
+
+
+def _wrap(value: int, bits: int) -> int:
+    value &= (1 << bits) - 1
+    if value >= 1 << (bits - 1):
+        value -= 1 << bits
+    return value
+
+
+def _f32(x: float) -> float:
+    return struct.unpack("f", struct.pack("f", x))[0]
+
+
+def _cdiv(a: int, b: int) -> int:
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+_INT_BINOPS = {
+    Opcode.ADD: lambda a, b: a + b,
+    Opcode.SUB: lambda a, b: a - b,
+    Opcode.MUL: lambda a, b: a * b,
+    Opcode.AND: lambda a, b: a & b,
+    Opcode.OR: lambda a, b: a | b,
+    Opcode.XOR: lambda a, b: a ^ b,
+    Opcode.SHL: lambda a, b: a << b,
+    Opcode.ASHR: lambda a, b: a >> b,
+}
+
+_FP_BINOPS = {
+    Opcode.FADD: lambda a, b: a + b,
+    Opcode.FSUB: lambda a, b: a - b,
+    Opcode.FMUL: lambda a, b: a * b,
+}
+
+_PREDS = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "lt": lambda a, b: a < b,
+    "le": lambda a, b: a <= b,
+    "gt": lambda a, b: a > b,
+    "ge": lambda a, b: a >= b,
+}
+
+
+def _try_fold(instr: Instruction, env: Dict[int, Constant]) -> Optional[Constant]:
+    """A Constant replacing ``instr``'s result, or None."""
+    ops = []
+    for op in instr.operands:
+        if isinstance(op, Constant):
+            ops.append(op)
+        elif isinstance(op, VirtualReg) and op.index in env:
+            ops.append(env[op.index])
+        else:
+            return None
+
+    opc = instr.opcode
+    rt = instr.result.type if instr.result is not None else None
+
+    if opc in _INT_BINOPS and isinstance(rt, IntType):
+        value = _wrap(_INT_BINOPS[opc](ops[0].value, ops[1].value), rt.bits)
+        return Constant(value, rt)
+    if opc in (Opcode.SDIV, Opcode.SREM) and isinstance(rt, IntType):
+        if ops[1].value == 0:
+            return None  # preserve the runtime fault
+        q = _cdiv(ops[0].value, ops[1].value)
+        value = q if opc is Opcode.SDIV else ops[0].value - q * ops[1].value
+        return Constant(_wrap(value, rt.bits), rt)
+    if opc in _FP_BINOPS and isinstance(rt, FloatType):
+        value = _FP_BINOPS[opc](float(ops[0].value), float(ops[1].value))
+        if rt.bits == 32:
+            value = _f32(value)
+        return Constant(value, rt)
+    if opc is Opcode.FDIV and isinstance(rt, FloatType):
+        if float(ops[1].value) == 0.0:
+            return None
+        value = float(ops[0].value) / float(ops[1].value)
+        if rt.bits == 32:
+            value = _f32(value)
+        return Constant(value, rt)
+    if opc in (Opcode.ICMP, Opcode.FCMP):
+        return Constant(
+            1 if _PREDS[instr.pred](ops[0].value, ops[1].value) else 0, rt
+        )
+    if opc is Opcode.COPY:
+        return Constant(ops[0].value, rt)
+    if opc is Opcode.CAST:
+        value = ops[0].value
+        if isinstance(rt, IntType):
+            if isinstance(value, float):
+                value = int(value)
+            return Constant(_wrap(int(value), rt.bits), rt)
+        if isinstance(rt, FloatType):
+            value = float(value)
+            if rt.bits == 32:
+                value = _f32(value)
+            return Constant(value, rt)
+        if isinstance(rt, PointerType):
+            return Constant(value, rt)
+    if opc is Opcode.SELECT:
+        return Constant(
+            ops[1].value if ops[0].value else ops[2].value, rt
+        )
+    if opc is Opcode.PTRADD and isinstance(ops[0].type, IntType):
+        # Folding real pointers is unsound (bases are runtime values),
+        # but integer-typed address arithmetic can fold.
+        return None
+    return None
+
+
+def fold_constants(fn: Function) -> int:
+    """Fold constant computations in ``fn``; returns the fold count.
+
+    Folded instructions are left in place (DCE removes them); their
+    *uses* are rewritten to constants.
+    """
+    env: Dict[int, Constant] = {}
+    folded = 0
+    for block in fn.blocks:
+        for instr in block.instructions:
+            # Rewrite operands through the environment first.
+            if env and instr.operands:
+                new_ops = tuple(
+                    env.get(op.index, op)
+                    if isinstance(op, VirtualReg)
+                    else op
+                    for op in instr.operands
+                )
+                if new_ops != instr.operands:
+                    instr.operands = new_ops
+            if instr.result is None or instr.is_terminator:
+                continue
+            constant = _try_fold(instr, env)
+            if constant is not None:
+                env[instr.result.index] = constant
+                folded += 1
+    return folded
+
+
+def fold_module(module: Module) -> int:
+    return sum(fold_constants(fn) for fn in module.functions.values())

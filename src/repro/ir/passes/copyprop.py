@@ -1,0 +1,50 @@
+"""Copy propagation: forwards COPY sources to their users.
+
+The lowering emits COPY only as value plumbing; forwarding it is always
+sound because every virtual register is defined by exactly one static
+instruction (the builder allocates a fresh register per emission).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.ir.function import Function
+from repro.ir.instructions import Opcode
+from repro.ir.module import Module
+from repro.ir.values import Operand, VirtualReg
+
+
+def propagate_copies(fn: Function) -> int:
+    """Rewrite uses of COPY results to the copied operand; returns the
+    number of rewritten operand slots."""
+    forward: Dict[int, Operand] = {}
+    for instr in fn.all_instructions():
+        if instr.opcode is Opcode.COPY and instr.result is not None:
+            src = instr.operands[0]
+            # Chase chains of copies.
+            while isinstance(src, VirtualReg) and src.index in forward:
+                src = forward[src.index]
+            forward[instr.result.index] = src
+    if not forward:
+        return 0
+    rewritten = 0
+    for instr in fn.all_instructions():
+        if not instr.operands:
+            continue
+        new_ops = []
+        changed = False
+        for op in instr.operands:
+            if isinstance(op, VirtualReg) and op.index in forward:
+                new_ops.append(forward[op.index])
+                changed = True
+                rewritten += 1
+            else:
+                new_ops.append(op)
+        if changed:
+            instr.operands = tuple(new_ops)
+    return rewritten
+
+
+def propagate_module(module: Module) -> int:
+    return sum(propagate_copies(fn) for fn in module.functions.values())

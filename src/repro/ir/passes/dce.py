@@ -1,0 +1,59 @@
+"""Dead code elimination.
+
+Removes *pure* instructions whose results are never used.  Stores,
+calls, terminators, and loop markers always stay; loads are pure in this
+memory model (no volatile semantics) and may be removed when dead.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.ir.function import Function
+from repro.ir.instructions import Opcode
+from repro.ir.module import Module
+from repro.ir.values import VirtualReg
+
+#: Opcodes with observable effects (never removed).
+_EFFECTFUL = frozenset({
+    Opcode.STORE,
+    Opcode.CALL,
+    Opcode.JUMP,
+    Opcode.CBR,
+    Opcode.RET,
+    Opcode.LOOP_ENTER,
+    Opcode.LOOP_NEXT,
+    Opcode.LOOP_EXIT,
+})
+
+
+def eliminate_dead_code(fn: Function) -> int:
+    """Iteratively drop unused pure instructions; returns removal count."""
+    removed_total = 0
+    while True:
+        used: Set[int] = set()
+        for instr in fn.all_instructions():
+            for op in instr.operands:
+                if isinstance(op, VirtualReg):
+                    used.add(op.index)
+        removed = 0
+        for block in fn.blocks:
+            kept = []
+            for instr in block.instructions:
+                dead = (
+                    instr.opcode not in _EFFECTFUL
+                    and instr.result is not None
+                    and instr.result.index not in used
+                )
+                if dead:
+                    removed += 1
+                else:
+                    kept.append(instr)
+            block.instructions = kept
+        removed_total += removed
+        if removed == 0:
+            return removed_total
+
+
+def dce_module(module: Module) -> int:
+    return sum(eliminate_dead_code(fn) for fn in module.functions.values())

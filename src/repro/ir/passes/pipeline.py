@@ -1,0 +1,35 @@
+"""The standard pass pipeline: copy-prop -> const-fold -> DCE, to a
+fixed point (bounded)."""
+
+from __future__ import annotations
+
+from repro.ir.module import Module
+from repro.ir.passes.constfold import fold_module
+from repro.ir.passes.copyprop import propagate_module
+from repro.ir.passes.dce import dce_module
+
+_MAX_ITERATIONS = 8
+
+
+def optimize_module(module: Module) -> dict:
+    """Run the pipeline to a fixed point; returns per-pass change counts.
+
+    Note: removed instructions keep their sids registered with the
+    module (sid lookup stays valid for any record already traced), but
+    they no longer execute.
+    """
+    totals = {"copyprop": 0, "constfold": 0, "dce": 0}
+    for _ in range(_MAX_ITERATIONS):
+        changed = 0
+        n = propagate_module(module)
+        totals["copyprop"] += n
+        changed += n
+        n = fold_module(module)
+        totals["constfold"] += n
+        changed += n
+        n = dce_module(module)
+        totals["dce"] += n
+        changed += n
+        if changed == 0:
+            break
+    return totals

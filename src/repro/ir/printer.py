@@ -1,0 +1,31 @@
+"""Deterministic textual dump of IR modules, for tests and debugging."""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.module import Module
+
+
+def print_function(fn: Function) -> str:
+    params = ", ".join(
+        f"{r!r}: {t!r}" for r, t in zip(fn.param_regs, fn.param_types)
+    )
+    lines = [f"func @{fn.name}({params}) -> {fn.return_type!r} {{"]
+    for block in fn.blocks:
+        lines.append(f"{block.name}:")
+        for instr in block.instructions:
+            lines.append(f"  {instr!r}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_module(module: Module) -> str:
+    chunks = [f"module {module.name}"]
+    for struct in module.structs.values():
+        fields = "; ".join(f"{n}: {t!r}" for n, t in struct.fields)
+        chunks.append(f"struct {struct.name} {{ {fields} }}")
+    for gv in module.globals.values():
+        chunks.append(f"global @{gv.name} : {gv.type!r}")
+    for fn in module.functions.values():
+        chunks.append(print_function(fn))
+    return "\n\n".join(chunks) + "\n"

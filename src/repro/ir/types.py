@@ -1,0 +1,259 @@
+"""IR type system.
+
+Types mirror the subset of C the frontend accepts: fixed-width integers,
+IEEE floats, pointers, multi-dimensional arrays, and named structs.  Layout
+follows the usual C rules on a 64-bit target: row-major arrays, struct
+fields at aligned offsets, 8-byte pointers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import IRError
+
+POINTER_SIZE = 8
+
+
+class Type:
+    """Base class for all IR types."""
+
+    def sizeof(self) -> int:
+        raise NotImplementedError
+
+    def alignof(self) -> int:
+        return self.sizeof()
+
+    @property
+    def is_integer(self) -> bool:
+        return isinstance(self, IntType)
+
+    @property
+    def is_float(self) -> bool:
+        return isinstance(self, FloatType)
+
+    @property
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    @property
+    def is_scalar(self) -> bool:
+        return self.is_integer or self.is_float or self.is_pointer
+
+    @property
+    def is_void(self) -> bool:
+        return isinstance(self, VoidType)
+
+    @property
+    def is_aggregate(self) -> bool:
+        return isinstance(self, (ArrayType, StructType))
+
+
+class VoidType(Type):
+    """The type of functions that return nothing."""
+
+    def sizeof(self) -> int:
+        raise IRError("void has no size")
+
+    def __repr__(self) -> str:
+        return "void"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, VoidType)
+
+    def __hash__(self) -> int:
+        return hash("void")
+
+
+class IntType(Type):
+    """A signed two's-complement integer of ``bits`` width."""
+
+    __slots__ = ("bits",)
+
+    def __init__(self, bits: int):
+        if bits not in (8, 16, 32, 64):
+            raise IRError(f"unsupported integer width: {bits}")
+        self.bits = bits
+
+    def sizeof(self) -> int:
+        return self.bits // 8
+
+    def __repr__(self) -> str:
+        return f"i{self.bits}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IntType) and other.bits == self.bits
+
+    def __hash__(self) -> int:
+        return hash(("int", self.bits))
+
+
+class FloatType(Type):
+    """An IEEE-754 binary float: 32 (C float) or 64 (C double) bits."""
+
+    __slots__ = ("bits",)
+
+    def __init__(self, bits: int):
+        if bits not in (32, 64):
+            raise IRError(f"unsupported float width: {bits}")
+        self.bits = bits
+
+    def sizeof(self) -> int:
+        return self.bits // 8
+
+    def __repr__(self) -> str:
+        return "f32" if self.bits == 32 else "f64"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FloatType) and other.bits == self.bits
+
+    def __hash__(self) -> int:
+        return hash(("float", self.bits))
+
+
+class PointerType(Type):
+    """A pointer to ``pointee``.  All pointers are 8 bytes."""
+
+    __slots__ = ("pointee",)
+
+    def __init__(self, pointee: Type):
+        self.pointee = pointee
+
+    def sizeof(self) -> int:
+        return POINTER_SIZE
+
+    def __repr__(self) -> str:
+        return f"{self.pointee!r}*"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PointerType) and other.pointee == self.pointee
+
+    def __hash__(self) -> int:
+        return hash(("ptr", self.pointee))
+
+
+class ArrayType(Type):
+    """A fixed-length array.  Multi-dimensional arrays nest: ``[3 x [4 x f64]]``."""
+
+    __slots__ = ("elem", "count")
+
+    def __init__(self, elem: Type, count: int):
+        if count < 0:
+            raise IRError(f"negative array length: {count}")
+        self.elem = elem
+        self.count = count
+
+    def sizeof(self) -> int:
+        return self.elem.sizeof() * self.count
+
+    def alignof(self) -> int:
+        return self.elem.alignof()
+
+    @property
+    def scalar_elem(self) -> Type:
+        """The innermost non-array element type."""
+        t: Type = self
+        while isinstance(t, ArrayType):
+            t = t.elem
+        return t
+
+    @property
+    def dims(self) -> tuple:
+        """All dimension extents, outermost first."""
+        out = []
+        t: Type = self
+        while isinstance(t, ArrayType):
+            out.append(t.count)
+            t = t.elem
+        return tuple(out)
+
+    def __repr__(self) -> str:
+        return f"[{self.count} x {self.elem!r}]"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ArrayType)
+            and other.elem == self.elem
+            and other.count == self.count
+        )
+
+    def __hash__(self) -> int:
+        return hash(("array", self.elem, self.count))
+
+
+class StructType(Type):
+    """A named struct with ordered, typed fields laid out with C alignment."""
+
+    __slots__ = ("name", "fields", "_offsets", "_size", "_align")
+
+    def __init__(self, name: str, fields: Iterable):
+        self.name = name
+        self.fields = tuple(fields)  # (field_name, Type) pairs
+        seen = set()
+        for fname, _ in self.fields:
+            if fname in seen:
+                raise IRError(f"duplicate field {fname!r} in struct {name}")
+            seen.add(fname)
+        self._offsets = {}
+        offset = 0
+        align = 1
+        for fname, ftype in self.fields:
+            fa = ftype.alignof()
+            align = max(align, fa)
+            offset = _round_up(offset, fa)
+            self._offsets[fname] = offset
+            offset += ftype.sizeof()
+        self._align = align
+        self._size = _round_up(offset, align) if self.fields else 0
+
+    def sizeof(self) -> int:
+        return self._size
+
+    def alignof(self) -> int:
+        return self._align
+
+    def field_offset(self, name: str) -> int:
+        try:
+            return self._offsets[name]
+        except KeyError:
+            raise IRError(f"struct {self.name} has no field {name!r}") from None
+
+    def field_type(self, name: str) -> Type:
+        for fname, ftype in self.fields:
+            if fname == name:
+                return ftype
+        raise IRError(f"struct {self.name} has no field {name!r}")
+
+    def has_field(self, name: str) -> bool:
+        return name in self._offsets
+
+    def __repr__(self) -> str:
+        return f"struct {self.name}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, StructType)
+            and other.name == self.name
+            and other.fields == self.fields
+        )
+
+    def __hash__(self) -> int:
+        return hash(("struct", self.name))
+
+
+def _round_up(value: int, align: int) -> int:
+    return (value + align - 1) // align * align
+
+
+INT8 = IntType(8)
+INT16 = IntType(16)
+INT32 = IntType(32)
+INT64 = IntType(64)
+FLOAT = FloatType(32)
+DOUBLE = FloatType(64)
+VOID = VoidType()
+
+
+def sizeof(t: Type) -> int:
+    """Size of ``t`` in bytes (module-level convenience mirror)."""
+    return t.sizeof()

@@ -1,0 +1,82 @@
+"""IR values: virtual registers, constants, and references to globals.
+
+Instruction operands are any of these three.  Virtual registers are
+function-local and single-assignment per dynamic execution path in the code
+the frontend emits; the interpreter simply treats them as frame slots.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.ir.types import Type
+
+
+class VirtualReg:
+    """A typed virtual register, unique within its function."""
+
+    __slots__ = ("index", "type", "name")
+
+    def __init__(self, index: int, type: Type, name: str = ""):
+        self.index = index
+        self.type = type
+        self.name = name
+
+    def __repr__(self) -> str:
+        if self.name:
+            return f"%{self.index}.{self.name}"
+        return f"%{self.index}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, VirtualReg) and other.index == self.index
+
+    def __hash__(self) -> int:
+        return hash(("reg", self.index))
+
+
+class Constant:
+    """An immediate constant operand (int, float, or null pointer)."""
+
+    __slots__ = ("value", "type")
+
+    def __init__(self, value, type: Type):
+        self.value = value
+        self.type = type
+
+    def __repr__(self) -> str:
+        return f"{self.value}:{self.type!r}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Constant)
+            and other.value == self.value
+            and other.type == self.type
+        )
+
+    def __hash__(self) -> int:
+        return hash(("const", self.value, self.type))
+
+
+class GlobalRef:
+    """A reference to a module-level global variable (by name).
+
+    Evaluates to the global's base address at run time.
+    """
+
+    __slots__ = ("name", "type")
+
+    def __init__(self, name: str, type: Type):
+        self.name = name
+        self.type = type  # PointerType to the global's value type
+
+    def __repr__(self) -> str:
+        return f"@{self.name}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, GlobalRef) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("global", self.name))
+
+
+Operand = Union[VirtualReg, Constant, GlobalRef]

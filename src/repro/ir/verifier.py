@@ -1,0 +1,93 @@
+"""Structural IR verifier.
+
+Checks the invariants the interpreter and analyses rely on:
+
+- every block ends in exactly one terminator, and terminators appear only
+  at block ends;
+- branch targets belong to the same function;
+- registers are defined before use within a function (conservatively, by
+  block order — the frontend only emits code in execution order);
+- static ids are unique and registered with the module;
+- CALL callees exist in the module or in the intrinsic set;
+- loop markers reference loops declared in the module's loop table.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.errors import IRError
+from repro.ir.function import Function
+from repro.ir.instructions import Opcode
+from repro.ir.module import Module
+from repro.ir.values import VirtualReg
+
+#: Math functions the interpreter evaluates natively; calls to these are
+#: legal even though no IR function defines them.
+INTRINSICS = frozenset(
+    {"exp", "sqrt", "fabs", "sin", "cos", "log", "pow", "floor", "fmin", "fmax"}
+)
+
+
+def verify_function(fn: Function, module: Module) -> None:
+    if not fn.blocks:
+        raise IRError(f"{fn.name}: function has no blocks")
+    block_set = set(fn.blocks)
+    defined: Set[int] = {r.index for r in fn.param_regs}
+    seen_sids: Set[int] = set()
+
+    for block in fn.blocks:
+        if not block.instructions:
+            raise IRError(f"{fn.name}/{block.name}: empty block")
+        term = block.instructions[-1]
+        if not term.is_terminator:
+            raise IRError(f"{fn.name}/{block.name}: missing terminator")
+        for i, instr in enumerate(block.instructions):
+            if instr.is_terminator and i != len(block.instructions) - 1:
+                raise IRError(
+                    f"{fn.name}/{block.name}: terminator in mid-block"
+                )
+            if instr.sid in seen_sids:
+                raise IRError(f"{fn.name}: duplicate sid {instr.sid}")
+            seen_sids.add(instr.sid)
+            if module.instruction(instr.sid) is not instr:
+                raise IRError(
+                    f"{fn.name}: sid {instr.sid} not registered with module"
+                )
+            for target in instr.targets:
+                if target not in block_set:
+                    raise IRError(
+                        f"{fn.name}/{block.name}: branch to foreign block "
+                        f"{target.name}"
+                    )
+            for op in instr.operands:
+                if isinstance(op, VirtualReg) and op.index not in defined:
+                    raise IRError(
+                        f"{fn.name}/{block.name}: use of undefined register "
+                        f"{op!r} in {instr!r}"
+                    )
+            if instr.result is not None:
+                defined.add(instr.result.index)
+            if instr.opcode == Opcode.CALL:
+                if (
+                    instr.callee not in module.functions
+                    and instr.callee not in INTRINSICS
+                ):
+                    raise IRError(
+                        f"{fn.name}: call to unknown function {instr.callee!r}"
+                    )
+            if instr.is_marker and instr.loop_id not in module.loops:
+                raise IRError(
+                    f"{fn.name}: marker references unknown loop {instr.loop_id}"
+                )
+
+
+def verify_module(module: Module) -> None:
+    """Raise :class:`IRError` if any structural invariant is violated."""
+    all_sids: Set[int] = set()
+    for fn in module.functions.values():
+        verify_function(fn, module)
+        for instr in fn.all_instructions():
+            if instr.sid in all_sids:
+                raise IRError(f"sid {instr.sid} reused across functions")
+            all_sids.add(instr.sid)

@@ -1,0 +1,22 @@
+"""Cycle-attribution profiler — the HPCToolkit stand-in.
+
+The paper uses HPCToolkit sampling to (a) find loops worth analyzing
+(>=10% of execution cycles) and (b) measure Percent Packed.  Here loop
+cycles are computed deterministically from the interpreter's per-loop
+opcode counters and a scalar cost model.
+"""
+
+from repro.profiler.costmodel import CostModel, DEFAULT_COST_MODEL
+from repro.profiler.hotloops import (
+    LoopProfile,
+    profile_loops,
+    hot_loops,
+)
+
+__all__ = [
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "LoopProfile",
+    "profile_loops",
+    "hot_loops",
+]

@@ -1,0 +1,72 @@
+"""Scalar per-opcode cycle costs.
+
+The absolute values are a generic out-of-order x86 latency-flavoured
+model; only *relative* magnitudes matter for hot-loop selection and for
+the Table-4 speedup simulation, which compares the same model against
+itself with vector amortization applied.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.ir.instructions import Opcode
+
+DEFAULT_COSTS: Dict[int, float] = {
+    int(Opcode.ADD): 1.0,
+    int(Opcode.SUB): 1.0,
+    int(Opcode.MUL): 3.0,
+    int(Opcode.SDIV): 20.0,
+    int(Opcode.SREM): 20.0,
+    int(Opcode.FADD): 3.0,
+    int(Opcode.FSUB): 3.0,
+    int(Opcode.FMUL): 5.0,
+    int(Opcode.FDIV): 22.0,
+    int(Opcode.AND): 1.0,
+    int(Opcode.OR): 1.0,
+    int(Opcode.XOR): 1.0,
+    int(Opcode.SHL): 1.0,
+    int(Opcode.ASHR): 1.0,
+    int(Opcode.ICMP): 1.0,
+    int(Opcode.FCMP): 3.0,
+    int(Opcode.CAST): 1.0,
+    int(Opcode.SELECT): 1.0,
+    int(Opcode.COPY): 0.5,
+    int(Opcode.ALLOCA): 0.0,
+    int(Opcode.LOAD): 4.0,
+    int(Opcode.STORE): 4.0,
+    int(Opcode.PTRADD): 1.0,
+    int(Opcode.JUMP): 1.0,
+    int(Opcode.CBR): 2.0,
+    int(Opcode.RET): 2.0,
+    int(Opcode.CALL): 40.0,
+    int(Opcode.LOOP_ENTER): 0.0,
+    int(Opcode.LOOP_NEXT): 0.0,
+    int(Opcode.LOOP_EXIT): 0.0,
+}
+
+
+class CostModel:
+    """Maps opcodes to cycle costs; unknown opcodes cost ``default``."""
+
+    def __init__(self, costs: Optional[Dict[int, float]] = None,
+                 default: float = 1.0, name: str = "default"):
+        self.costs = dict(DEFAULT_COSTS)
+        if costs:
+            self.costs.update(costs)
+        self.default = default
+        self.name = name
+
+    def cost(self, opcode: int) -> float:
+        return self.costs.get(opcode, self.default)
+
+    def scaled(self, factor: float, name: str = "") -> "CostModel":
+        """A uniformly scaled variant (slower/faster machine)."""
+        return CostModel(
+            {k: v * factor for k, v in self.costs.items()},
+            self.default * factor,
+            name or f"{self.name}*{factor}",
+        )
+
+
+DEFAULT_COST_MODEL = CostModel()

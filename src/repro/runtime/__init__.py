@@ -1,0 +1,19 @@
+"""Run-time substrate: flat byte-addressable memory and data layout."""
+
+from repro.runtime.memory import Memory, GLOBAL_BASE, STACK_BASE
+from repro.runtime.layout import (
+    flatten_index,
+    element_offset,
+    aos_field_offset,
+    soa_field_offset,
+)
+
+__all__ = [
+    "Memory",
+    "GLOBAL_BASE",
+    "STACK_BASE",
+    "flatten_index",
+    "element_offset",
+    "aos_field_offset",
+    "soa_field_offset",
+]

@@ -1,0 +1,56 @@
+"""Data-layout arithmetic helpers.
+
+These mirror the address computations the lowering pass emits, in closed
+form.  Tests use them as an oracle for interpreter addresses, and the
+Section-3.3 discussion of layout transformations (array transposition,
+AoS -> SoA) is exercised against them.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import VectraError
+from repro.ir.types import StructType
+
+
+def flatten_index(dims: Sequence[int], indices: Sequence[int]) -> int:
+    """Row-major linearization of ``indices`` within extents ``dims``."""
+    if len(dims) != len(indices):
+        raise VectraError(
+            f"rank mismatch: {len(dims)} dims vs {len(indices)} indices"
+        )
+    flat = 0
+    for dim, idx in zip(dims, indices):
+        if not 0 <= idx < dim:
+            raise VectraError(f"index {idx} out of bounds for extent {dim}")
+        flat = flat * dim + idx
+    return flat
+
+
+def element_offset(dims: Sequence[int], indices: Sequence[int],
+                   elem_size: int) -> int:
+    """Byte offset of ``A[indices]`` in a row-major array of ``dims``."""
+    return flatten_index(dims, indices) * elem_size
+
+
+def aos_field_offset(struct: StructType, index: int, field: str) -> int:
+    """Byte offset of ``arr[index].field`` in an array-of-structures."""
+    return index * struct.sizeof() + struct.field_offset(field)
+
+
+def soa_field_offset(struct: StructType, count: int, index: int,
+                     field: str) -> int:
+    """Byte offset of ``arr.field[index]`` after an AoS -> SoA rewrite.
+
+    The SoA form stores ``count`` values of each field contiguously, with
+    fields in declaration order, each field block aligned to its own type.
+    """
+    offset = 0
+    for fname, ftype in struct.fields:
+        align = ftype.alignof()
+        offset = (offset + align - 1) // align * align
+        if fname == field:
+            return offset + index * ftype.sizeof()
+        offset += ftype.sizeof() * count
+    raise VectraError(f"struct {struct.name} has no field {field!r}")

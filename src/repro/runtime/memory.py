@@ -1,0 +1,121 @@
+"""Flat byte-addressable memory with a bump allocator.
+
+Addresses are plain integers.  Globals live in a region starting at
+``GLOBAL_BASE``; stack frames grow upward from ``STACK_BASE``.  Values are
+stored per *location* (the address a typed store used), not per byte: the
+mini-C frontend emits aligned same-size loads and stores for each location,
+so byte-granular aliasing (type punning) never occurs.  This is the same
+simplification the paper's tracker makes when it keys its last-writer table
+by access address.
+
+The allocator never reuses global addresses; stack addresses are reused
+across calls exactly as a real call stack would reuse them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import MemoryError_
+from repro.ir.types import ArrayType, FloatType, IntType, StructType, Type
+
+GLOBAL_BASE = 0x1_0000
+STACK_BASE = 0x1000_0000
+STACK_LIMIT = 0x2000_0000
+
+
+def _align_up(value: int, align: int) -> int:
+    return (value + align - 1) // align * align
+
+
+class Memory:
+    """Program memory: a value dict plus global/stack bump allocators."""
+
+    def __init__(self):
+        self.data: Dict[int, object] = {}
+        self._global_top = GLOBAL_BASE
+        self._stack_top = STACK_BASE
+
+    # -- allocation --------------------------------------------------------
+
+    def alloc_global(self, type: Type) -> int:
+        """Allocate static storage for one global; returns its base address."""
+        addr = _align_up(self._global_top, max(type.alignof(), 1))
+        self._global_top = addr + type.sizeof()
+        return addr
+
+    def push_frame(self) -> int:
+        """Begin a stack frame; returns the save-point for :meth:`pop_frame`."""
+        return self._stack_top
+
+    def alloc_stack(self, type: Type) -> int:
+        addr = _align_up(self._stack_top, max(type.alignof(), 1))
+        self._stack_top = addr + type.sizeof()
+        if self._stack_top > STACK_LIMIT:
+            raise MemoryError_("stack overflow in interpreted program")
+        return addr
+
+    def pop_frame(self, save: int) -> None:
+        self._stack_top = save
+
+    # -- access ------------------------------------------------------------
+
+    def load(self, addr: int, default):
+        """Read the value at ``addr``; unwritten locations read as ``default``."""
+        if addr <= 0:
+            raise MemoryError_(f"load from invalid address {addr:#x}")
+        return self.data.get(addr, default)
+
+    def store(self, addr: int, value) -> None:
+        if addr <= 0:
+            raise MemoryError_(f"store to invalid address {addr:#x}")
+        self.data[addr] = value
+
+    # -- bulk initialization -------------------------------------------------
+
+    def initialize(self, base: int, type: Type, values) -> None:
+        """Write a flat list of scalar ``values`` into storage of ``type``
+        rooted at ``base`` (row-major arrays, field order for structs)."""
+        it = iter(values)
+        self._init_rec(base, type, it)
+
+    def _init_rec(self, addr: int, type: Type, it) -> None:
+        if isinstance(type, ArrayType):
+            esize = type.elem.sizeof()
+            for i in range(type.count):
+                self._init_rec(addr + i * esize, type.elem, it)
+        elif isinstance(type, StructType):
+            for fname, ftype in type.fields:
+                self._init_rec(addr + type.field_offset(fname), ftype, it)
+        else:
+            try:
+                value = next(it)
+            except StopIteration:
+                raise MemoryError_("initializer too short") from None
+            self.data[addr] = value
+
+    def read_flat(self, base: int, type: Type) -> list:
+        """Read storage of ``type`` at ``base`` back as a flat value list."""
+        out: list = []
+        self._read_rec(base, type, out)
+        return out
+
+    def _read_rec(self, addr: int, type: Type, out: list) -> None:
+        if isinstance(type, ArrayType):
+            esize = type.elem.sizeof()
+            for i in range(type.count):
+                self._read_rec(addr + i * esize, type.elem, out)
+        elif isinstance(type, StructType):
+            for fname, ftype in type.fields:
+                self._read_rec(addr + type.field_offset(fname), ftype, out)
+        else:
+            out.append(self.data.get(addr, default_value(type)))
+
+
+def default_value(type: Type):
+    """The value an unwritten location of ``type`` reads as (zero)."""
+    if isinstance(type, FloatType):
+        return 0.0
+    if isinstance(type, IntType):
+        return 0
+    return 0  # pointers read as null

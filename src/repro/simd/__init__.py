@@ -1,0 +1,12 @@
+"""SIMD machine models and simulated-execution timing (Table 4)."""
+
+from repro.simd.machine import MachineConfig, MACHINES
+from repro.simd.simulate import simulate_cycles, simulate_speedup, KernelTiming
+
+__all__ = [
+    "MachineConfig",
+    "MACHINES",
+    "simulate_cycles",
+    "simulate_speedup",
+    "KernelTiming",
+]

@@ -1,0 +1,48 @@
+"""SIMD machine configurations.
+
+Three models stand in for the paper's three test machines (Table 4):
+an SSE-class Xeon E5630, an AVX-class Core i7-2600K, and an SSE-class
+Phenom II 1100T with slightly slower scalar FP.  Only the *relative*
+behaviour matters: wider vectors amortize more, and all three must agree
+on who wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.profiler.costmodel import CostModel, DEFAULT_COST_MODEL
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """One simulated machine."""
+
+    name: str
+    vector_bits: int
+    cost_model: CostModel
+    #: fixed per-vector-group overhead in cycles (loads/shuffles, loop
+    #: control of the vector body).
+    vector_overhead: float = 1.0
+
+    def lanes(self, elem_size: int) -> int:
+        return max(1, self.vector_bits // (8 * elem_size))
+
+
+MACHINES = {
+    "xeon_e5630": MachineConfig(
+        name="Intel Xeon E5630 (SSE 4.2)",
+        vector_bits=128,
+        cost_model=DEFAULT_COST_MODEL,
+    ),
+    "core_i7_2600k": MachineConfig(
+        name="Intel Core i7-2600K (AVX)",
+        vector_bits=256,
+        cost_model=DEFAULT_COST_MODEL.scaled(0.9, "i7_2600k"),
+    ),
+    "phenom_1100t": MachineConfig(
+        name="AMD Phenom II 1100T (SSE)",
+        vector_bits=128,
+        cost_model=DEFAULT_COST_MODEL.scaled(1.15, "phenom_1100t"),
+    ),
+}

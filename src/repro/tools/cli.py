@@ -1,0 +1,390 @@
+"""``vectra`` command-line interface.
+
+Subcommands:
+
+- ``list`` — registered workloads (optionally by category).
+- ``analyze <workload>`` — run the dynamic analysis on a workload's
+  configured loops and print the Table-1-style rows.
+- ``analyze-file <path> [--loop NAME]`` — analyze a mini-C source file.
+- ``decisions <workload>`` — print the static vectorizer's per-loop
+  verdicts with reasons.
+- ``speedup <orig> <transformed>`` — simulated Table-4-style speedups on
+  the three machine models.
+- ``trace <workload> --loop NAME [-o OUT]`` — dump a loop subtrace to a
+  binary trace file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import VectraError
+
+
+def _cmd_list(args) -> int:
+    from repro.workloads import list_workloads
+
+    for w in list_workloads(args.category):
+        print(f"{w.name:28} [{w.category:9}] {w.description}")
+        if args.verbose and w.models:
+            print(f"{'':28} models: {w.models}")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.analysis.report import LoopReport
+    from repro.workloads import get_workload
+
+    workload = get_workload(args.workload)
+    params = _parse_params(args.param)
+    if args.relax_reductions:
+        # Reduction relaxation goes through the loop analyzer directly.
+        from repro.analysis.pipeline import analyze_loop
+        from repro.analysis.report import BenchmarkReport
+
+        module = workload.compile(**params)
+        report = BenchmarkReport(benchmark=workload.name)
+        for loop_name in workload.analyze_loops:
+            loop_report = analyze_loop(
+                module, loop_name, workload.entry,
+                include_integer=args.integer, relax_reductions=True,
+            )
+            loop_report.benchmark = workload.name
+            report.loops.append(loop_report)
+    else:
+        report = workload.analyze(include_integer=args.integer, **params)
+    print(LoopReport.header())
+    for loop in report.loops:
+        print(loop.row())
+    if args.verbose:
+        for loop in report.loops:
+            print(f"\n-- {loop.loop_name}: per-instruction detail")
+            for instr in loop.instructions:
+                print(
+                    f"   sid {instr.sid:5} {instr.mnemonic:5} line "
+                    f"{instr.line:4}  inst {instr.num_instances:7} "
+                    f"parts {instr.num_partitions:6} "
+                    f"avg {instr.avg_partition_size:9.1f} "
+                    f"unit {instr.unit_vec_ops:7} "
+                    f"nonunit {instr.nonunit_vec_ops:7}"
+                )
+    return 0
+
+
+def _cmd_analyze_file(args) -> int:
+    from repro.analysis.pipeline import analyze_program
+    from repro.workloads.base import analyze_workload
+
+    with open(args.path) as fh:
+        source = fh.read()
+    if args.loop:
+        report = analyze_workload(source, args.path, [args.loop])
+    else:
+        report = analyze_program(source, benchmark=args.path,
+                                 threshold=args.threshold)
+    print(report.table())
+    return 0
+
+
+def _cmd_decisions(args) -> int:
+    from repro.frontend import parse_source
+    from repro.vectorizer import analyze_program_loops
+    from repro.workloads import get_workload
+
+    workload = get_workload(args.workload)
+    program, analyzer = parse_source(workload.source())
+    for decision in analyze_program_loops(program, analyzer):
+        verdict = "VECTORIZED" if decision.vectorized else "refused"
+        print(f"{decision.name:24} {verdict}")
+        for reason in decision.reasons:
+            print(f"{'':24}   - {reason}")
+    return 0
+
+
+def _cmd_speedup(args) -> int:
+    from repro.simd import MACHINES
+    from repro.simd.simulate import simulate_speedup
+    from repro.workloads import get_workload
+
+    orig = get_workload(args.original).source()
+    new = get_workload(args.transformed).source()
+    for name, machine in MACHINES.items():
+        s = simulate_speedup(orig, new, machine)
+        print(f"{machine.name:32} speedup {s:5.2f}x")
+    return 0
+
+
+def _cmd_vlength(args) -> int:
+    from repro.analysis.vlength import vector_length_profile
+    from repro.ddg import build_ddg
+    from repro.interp import run_and_trace
+    from repro.workloads import get_workload
+
+    workload = get_workload(args.workload)
+    module = workload.compile()
+    loops = [args.loop] if args.loop else workload.analyze_loops
+    for loop_name in loops:
+        info = module.loop_by_name(loop_name)
+        if info is None:
+            raise VectraError(f"no loop named {loop_name!r}")
+        trace = run_and_trace(module, workload.entry, loop=info.loop_id,
+                              instances={0})
+        ddg = build_ddg(trace.subtrace(info.loop_id, 0))
+        profile = vector_length_profile(ddg, module, loop_name)
+        print(profile.table())
+        print()
+    return 0
+
+
+def _cmd_opportunities(args) -> int:
+    from repro.analysis.opportunities import classify_program
+    from repro.frontend import parse_source
+    from repro.frontend.lower import lower
+    from repro.interp import Interpreter
+    from repro.ir.verifier import verify_module
+    from repro.vectorizer import analyze_program_loops
+    from repro.workloads import get_workload
+
+    workload = get_workload(args.workload)
+    source = workload.source()
+    program, analyzer = parse_source(source)
+    module = lower(analyzer, workload.name)
+    verify_module(module)
+    decisions = analyze_program_loops(program, analyzer)
+    interp = Interpreter(module)
+    interp.run(workload.entry)
+    # analyze() recompiles internally but fills percent_packed per loop.
+    reports = workload.analyze().loops
+    for opp in classify_program(reports, decisions, module,
+                                interp.dyn_parent):
+        print(opp.row())
+        if args.verbose:
+            for reason in opp.reasons:
+                print(f"{'':22} - {reason}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.interp import run_and_trace
+    from repro.trace.serialize import save_trace
+    from repro.workloads import get_workload
+
+    workload = get_workload(args.workload)
+    module = workload.compile()
+    info = module.loop_by_name(args.loop)
+    if info is None:
+        raise VectraError(f"no loop named {args.loop!r}")
+    trace = run_and_trace(module, workload.entry, loop=info.loop_id,
+                          instances={args.instance})
+    save_trace(trace, args.output)
+    print(f"wrote {len(trace)} records to {args.output}")
+    return 0
+
+
+def _cmd_analyze_trace(args) -> int:
+    """Offline analysis of a previously dumped trace (the paper's
+    collect-then-analyze workflow)."""
+    from repro.analysis.metrics import loop_metrics
+    from repro.analysis.report import LoopReport
+    from repro.ddg import build_ddg
+    from repro.frontend.driver import compile_source
+    from repro.trace.serialize import load_trace
+
+    with open(args.source) as fh:
+        module = compile_source(fh.read(), args.source)
+    trace = load_trace(args.trace, module)
+    ddg = build_ddg(trace)
+    report = loop_metrics(ddg, module, args.trace,
+                          include_integer=args.integer)
+    print(LoopReport.header())
+    print(report.row())
+    return 0
+
+
+def _cmd_baselines(args) -> int:
+    """Compare Algorithm 1 against the Kumar and Larus baselines on one
+    loop — the paper's §2 argument, on demand."""
+    from repro.analysis.kumar import kumar_profile
+    from repro.analysis.larus import larus_loop_parallelism
+    from repro.analysis.timestamps import (
+        average_partition_size,
+        parallel_partitions,
+    )
+    from repro.analysis.candidates import candidate_sids
+    from repro.ddg import build_ddg
+    from repro.interp import run_and_trace
+    from repro.workloads import get_workload
+
+    workload = get_workload(args.workload)
+    module = workload.compile()
+    loop_name = args.loop or workload.analyze_loops[0]
+    info = module.loop_by_name(loop_name)
+    if info is None:
+        raise VectraError(f"no loop named {loop_name!r}")
+    trace = run_and_trace(module, workload.entry, loop=info.loop_id,
+                          instances={0})
+    sub = trace.subtrace(info.loop_id, 0)
+    ddg = build_ddg(sub)
+
+    profile = kumar_profile(ddg, weights="candidates")
+    larus = larus_loop_parallelism(sub, ddg, info.loop_id)
+    print(f"loop {loop_name}: {len(ddg)} DDG nodes")
+    print(f"  Kumar critical path (FP ops):   {profile.critical_path}")
+    print(f"  Kumar average parallelism:      "
+          f"{profile.average_parallelism:.2f}")
+    print(f"  Larus loop-level parallelism:   {larus.parallelism:.2f}")
+    for sid in candidate_sids(ddg):
+        parts = parallel_partitions(ddg, sid)
+        instr = module.instruction(sid)
+        print(f"  Algorithm 1 [{instr.mnemonic} line {instr.line}]: "
+              f"{len(parts)} partitions, avg size "
+              f"{average_partition_size(parts):.1f}")
+    return 0
+
+
+def _cmd_dot(args) -> int:
+    from repro.analysis.timestamps import compute_timestamps
+    from repro.ddg import build_ddg
+    from repro.ddg.dot import ddg_to_dot
+    from repro.interp import run_and_trace
+    from repro.workloads import get_workload
+
+    workload = get_workload(args.workload)
+    module = workload.compile(**_parse_params(args.param))
+    info = module.loop_by_name(args.loop)
+    if info is None:
+        raise VectraError(f"no loop named {args.loop!r}")
+    trace = run_and_trace(module, workload.entry, loop=info.loop_id,
+                          instances={0})
+    ddg = build_ddg(trace.subtrace(info.loop_id, 0))
+    highlight = None
+    timestamps = None
+    if args.highlight_line is not None:
+        from repro.analysis.candidates import candidate_sids
+
+        for sid in candidate_sids(ddg):
+            if module.instruction(sid).line == args.highlight_line:
+                highlight = sid
+                timestamps = compute_timestamps(ddg, sid)
+                break
+        if highlight is None:
+            raise VectraError(
+                f"no candidate instruction at line {args.highlight_line}"
+            )
+    dot = ddg_to_dot(ddg, module, highlight, timestamps)
+    with open(args.output, "w") as fh:
+        fh.write(dot)
+    print(f"wrote {len(ddg)}-node graph to {args.output}")
+    return 0
+
+
+def _parse_params(items):
+    params = {}
+    for item in items or []:
+        key, _, value = item.partition("=")
+        params[key] = int(value)
+    return params
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="vectra",
+        description="Dynamic trace-based analysis of vectorization "
+                    "potential (PLDI 2012 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("list", help="list registered workloads")
+    p.add_argument("--category", choices=["spec", "utdsp", "kernel",
+                                          "casestudy"], default=None)
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.set_defaults(func=_cmd_list)
+
+    p = sub.add_parser("analyze", help="analyze a workload's loops")
+    p.add_argument("workload")
+    p.add_argument("-p", "--param", action="append",
+                   help="override a workload parameter, e.g. -p n=64")
+    p.add_argument("--integer", action="store_true",
+                   help="also characterize integer arithmetic")
+    p.add_argument("--relax-reductions", action="store_true",
+                   help="ignore reduction dependences (the paper's "
+                        "future-work extension)")
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser("vlength",
+                       help="vector-length / GPU-suitability profile")
+    p.add_argument("workload")
+    p.add_argument("--loop", default=None)
+    p.set_defaults(func=_cmd_vlength)
+
+    p = sub.add_parser("opportunities",
+                       help="classify missed vectorization opportunities")
+    p.add_argument("workload")
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.set_defaults(func=_cmd_opportunities)
+
+    p = sub.add_parser("analyze-file", help="analyze a mini-C source file")
+    p.add_argument("path")
+    p.add_argument("--loop", default=None)
+    p.add_argument("--threshold", type=float, default=0.10)
+    p.set_defaults(func=_cmd_analyze_file)
+
+    p = sub.add_parser("decisions",
+                       help="static vectorizer verdicts for a workload")
+    p.add_argument("workload")
+    p.set_defaults(func=_cmd_decisions)
+
+    p = sub.add_parser("speedup",
+                       help="simulated speedup of a transformed workload")
+    p.add_argument("original")
+    p.add_argument("transformed")
+    p.set_defaults(func=_cmd_speedup)
+
+    p = sub.add_parser("trace", help="dump a loop subtrace to a file")
+    p.add_argument("workload")
+    p.add_argument("--loop", required=True)
+    p.add_argument("--instance", type=int, default=0)
+    p.add_argument("-o", "--output", default="loop.vtrc")
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser("analyze-trace",
+                       help="offline analysis of a dumped trace file")
+    p.add_argument("trace")
+    p.add_argument("--source", required=True,
+                   help="the mini-C source the trace was collected from")
+    p.add_argument("--integer", action="store_true")
+    p.set_defaults(func=_cmd_analyze_trace)
+
+    p = sub.add_parser("baselines",
+                       help="Kumar/Larus vs Algorithm 1 on one loop")
+    p.add_argument("workload")
+    p.add_argument("--loop", default=None)
+    p.set_defaults(func=_cmd_baselines)
+
+    p = sub.add_parser("dot", help="Graphviz export of a loop's DDG")
+    p.add_argument("workload")
+    p.add_argument("--loop", required=True)
+    p.add_argument("--highlight-line", type=int, default=None,
+                   help="color instances of the candidate instruction at "
+                        "this source line by Algorithm-1 partition")
+    p.add_argument("-p", "--param", action="append")
+    p.add_argument("-o", "--output", default="ddg.dot")
+    p.set_defaults(func=_cmd_dot)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except VectraError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

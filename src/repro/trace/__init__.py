@@ -1,0 +1,16 @@
+"""Dynamic execution traces: records, containers, sinks, serialization."""
+
+from repro.trace.events import DynInstr, MARKER_ENTER, MARKER_NEXT, MARKER_EXIT
+from repro.trace.trace import Trace, LoopSpan
+from repro.trace.sinks import RecordingSink, LoopWindowSink
+
+__all__ = [
+    "DynInstr",
+    "MARKER_ENTER",
+    "MARKER_NEXT",
+    "MARKER_EXIT",
+    "Trace",
+    "LoopSpan",
+    "RecordingSink",
+    "LoopWindowSink",
+]

@@ -1,0 +1,87 @@
+"""Compact binary trace serialization.
+
+The paper's tool writes the run-time trace to disk and analyzes it
+offline; this module provides the same capability.  Format (little
+endian):
+
+- header: magic ``VTRC``, u32 version, u64 record count
+- per record: u64 node, u32 sid, u8 opcode, i32 loop_id, u64 addr,
+  u64 store_addr, u8 ndeps, i64 deps..., u8 naddrs, u64 addrs...
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import BinaryIO, List
+
+from repro.errors import TraceError
+from repro.ir.module import Module
+from repro.trace.events import DynInstr
+from repro.trace.trace import Trace
+
+MAGIC = b"VTRC"
+VERSION = 1
+
+_HEADER = struct.Struct("<4sIQ")
+_FIXED = struct.Struct("<QIBiQQ")
+
+
+def write_trace(trace: Trace, fh: BinaryIO) -> None:
+    fh.write(_HEADER.pack(MAGIC, VERSION, len(trace.records)))
+    for rec in trace.records:
+        fh.write(_FIXED.pack(rec.node, rec.sid, int(rec.opcode),
+                             rec.loop_id, rec.addr, rec.store_addr))
+        fh.write(struct.pack("<B", len(rec.deps)))
+        if rec.deps:
+            fh.write(struct.pack(f"<{len(rec.deps)}q", *rec.deps))
+        fh.write(struct.pack("<B", len(rec.addrs)))
+        if rec.addrs:
+            fh.write(struct.pack(f"<{len(rec.addrs)}Q", *rec.addrs))
+
+
+def _read_exact(fh: BinaryIO, n: int) -> bytes:
+    data = fh.read(n)
+    if len(data) != n:
+        raise TraceError("truncated trace record")
+    return data
+
+
+def read_trace(fh: BinaryIO, module: Module) -> Trace:
+    header = fh.read(_HEADER.size)
+    if len(header) != _HEADER.size:
+        raise TraceError("truncated trace header")
+    magic, version, count = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise TraceError("not a vectra trace file")
+    if version != VERSION:
+        raise TraceError(f"unsupported trace version {version}")
+    records: List[DynInstr] = []
+    for _ in range(count):
+        fixed = _read_exact(fh, _FIXED.size)
+        node, sid, opcode, loop_id, addr, store_addr = _FIXED.unpack(fixed)
+        (ndeps,) = struct.unpack("<B", _read_exact(fh, 1))
+        deps = (
+            struct.unpack(f"<{ndeps}q", _read_exact(fh, 8 * ndeps))
+            if ndeps
+            else ()
+        )
+        (naddrs,) = struct.unpack("<B", _read_exact(fh, 1))
+        addrs = (
+            struct.unpack(f"<{naddrs}Q", _read_exact(fh, 8 * naddrs))
+            if naddrs
+            else ()
+        )
+        records.append(
+            DynInstr(node, sid, opcode, loop_id, deps, addrs, addr, store_addr)
+        )
+    return Trace(module, records)
+
+
+def save_trace(trace: Trace, path: str) -> None:
+    with open(path, "wb") as fh:
+        write_trace(trace, fh)
+
+
+def load_trace(path: str, module: Module) -> Trace:
+    with open(path, "rb") as fh:
+        return read_trace(fh, module)

@@ -1,0 +1,81 @@
+"""Trace sinks: decide which dynamic records are retained.
+
+The paper analyzes *subtraces* — "a subtrace was started upon loop entry
+and terminated upon loop exit" (§4.1).  :class:`LoopWindowSink` implements
+exactly that; :class:`RecordingSink` retains everything (used for whole-
+program analyses and small tests).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.trace.events import (
+    MARKER_ENTER,
+    MARKER_EXIT,
+    DynInstr,
+)
+
+
+class RecordingSink:
+    """Retains every dynamic record."""
+
+    def __init__(self):
+        self.records: List[DynInstr] = []
+        self._by_node: Dict[int, DynInstr] = {}
+        self.active = True
+
+    def on_record(self, rec: DynInstr) -> None:
+        self.records.append(rec)
+        self._by_node[rec.node] = rec
+
+    def on_marker(self, kind: int, loop_id: int, instance: int) -> None:
+        """Markers are recorded through :meth:`on_record`; nothing extra."""
+
+    def note_store(self, producer_node: int, addr: int) -> None:
+        rec = self._by_node.get(producer_node)
+        if rec is not None and rec.store_addr == 0:
+            rec.store_addr = addr
+
+
+class LoopWindowSink:
+    """Retains records only inside chosen instances of one loop.
+
+    ``instances=None`` keeps every instance (each becomes a separate span
+    in the resulting trace); otherwise only instance indices in the given
+    set are kept.  Nested re-entry of the same loop id (possible through
+    recursion) is handled with a depth counter.
+    """
+
+    def __init__(self, loop_id: int, instances: Optional[set] = None):
+        self.loop_id = loop_id
+        self.instances = instances
+        self.records: List[DynInstr] = []
+        self._by_node: Dict[int, DynInstr] = {}
+        self.active = False
+        self._depth = 0
+
+    def _wanted(self, instance: int) -> bool:
+        return self.instances is None or instance in self.instances
+
+    def on_marker(self, kind: int, loop_id: int, instance: int) -> None:
+        if loop_id != self.loop_id:
+            return
+        if kind == MARKER_ENTER:
+            if self._depth == 0 and self._wanted(instance):
+                self.active = True
+            self._depth += 1
+        elif kind == MARKER_EXIT:
+            self._depth -= 1
+            if self._depth <= 0:
+                self._depth = 0
+                self.active = False
+
+    def on_record(self, rec: DynInstr) -> None:
+        self.records.append(rec)
+        self._by_node[rec.node] = rec
+
+    def note_store(self, producer_node: int, addr: int) -> None:
+        rec = self._by_node.get(producer_node)
+        if rec is not None and rec.store_addr == 0:
+            rec.store_addr = addr

@@ -1,0 +1,136 @@
+"""The Trace container and loop-span indexing."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.errors import TraceError
+from repro.ir.module import Module
+from repro.trace.events import (
+    MARKER_ENTER,
+    MARKER_EXIT,
+    MARKER_NEXT,
+    DynInstr,
+)
+
+
+class LoopSpan:
+    """One dynamic instance of a loop: a [start, end] record-index window.
+
+    ``start`` points at the LOOP_ENTER record and ``end`` at the matching
+    LOOP_EXIT record (both inclusive, both may be missing for truncated
+    windows, in which case they clamp to the trace bounds).
+    """
+
+    __slots__ = ("loop_id", "instance", "start", "end")
+
+    def __init__(self, loop_id: int, instance: int, start: int, end: int):
+        self.loop_id = loop_id
+        self.instance = instance
+        self.start = start
+        self.end = end
+
+    def __repr__(self) -> str:
+        return (
+            f"<span loop={self.loop_id} inst={self.instance} "
+            f"[{self.start}, {self.end}]>"
+        )
+
+
+class Trace:
+    """A sequence of dynamic records plus the module they came from."""
+
+    def __init__(self, module: Module, records: Sequence[DynInstr]):
+        self.module = module
+        self.records: List[DynInstr] = list(records)
+        self._spans: Optional[Dict[int, List[LoopSpan]]] = None
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[DynInstr]:
+        return iter(self.records)
+
+    # -- loop span indexing --------------------------------------------------
+
+    def _build_spans(self) -> Dict[int, List[LoopSpan]]:
+        spans: Dict[int, List[LoopSpan]] = {}
+        open_stack: List[LoopSpan] = []
+        counters: Dict[int, int] = {}
+        for i, rec in enumerate(self.records):
+            if rec.opcode == MARKER_ENTER:
+                instance = counters.get(rec.loop_id, 0)
+                counters[rec.loop_id] = instance + 1
+                span = LoopSpan(rec.loop_id, instance, i, len(self.records) - 1)
+                open_stack.append(span)
+                spans.setdefault(rec.loop_id, []).append(span)
+            elif rec.opcode == MARKER_EXIT:
+                if not open_stack:
+                    raise TraceError("unbalanced LOOP_EXIT in trace")
+                span = open_stack.pop()
+                if span.loop_id != rec.loop_id:
+                    raise TraceError(
+                        f"mismatched loop markers: enter {span.loop_id}, "
+                        f"exit {rec.loop_id}"
+                    )
+                span.end = i
+        return spans
+
+    @property
+    def spans(self) -> Dict[int, List[LoopSpan]]:
+        if self._spans is None:
+            self._spans = self._build_spans()
+        return self._spans
+
+    def loop_instances(self, loop_id: int) -> List[LoopSpan]:
+        return self.spans.get(loop_id, [])
+
+    def subtrace(self, loop_id: int, instance: int = 0) -> "Trace":
+        """The paper's per-loop subtrace: records of one loop instance."""
+        instances = self.loop_instances(loop_id)
+        if instance >= len(instances):
+            raise TraceError(
+                f"loop {loop_id} has {len(instances)} instance(s); "
+                f"requested {instance}"
+            )
+        span = instances[instance]
+        return Trace(self.module, self.records[span.start : span.end + 1])
+
+    # -- iteration annotation ------------------------------------------------
+
+    def iteration_numbers(self, loop_id: int) -> List[int]:
+        """Per-record iteration index of ``loop_id`` (-1 when the record is
+        outside the loop).  Used by the Larus-style baseline."""
+        out: List[int] = []
+        depth = 0
+        iteration = -1
+        for rec in self.records:
+            if rec.opcode == MARKER_ENTER and rec.loop_id == loop_id:
+                depth += 1
+                if depth == 1:
+                    iteration = 0
+                out.append(iteration)
+            elif rec.opcode == MARKER_EXIT and rec.loop_id == loop_id:
+                out.append(iteration)
+                depth -= 1
+                if depth == 0:
+                    iteration = -1
+            elif rec.opcode == MARKER_NEXT and rec.loop_id == loop_id:
+                out.append(iteration)
+                if depth == 1:
+                    iteration += 1
+            else:
+                out.append(iteration)
+        return out
+
+    # -- convenience -----------------------------------------------------------
+
+    def candidate_records(self) -> List[DynInstr]:
+        """Records of candidate (FP arithmetic) instructions."""
+        from repro.ir.instructions import FP_ARITH_OPCODES
+
+        fp = frozenset(int(op) for op in FP_ARITH_OPCODES)
+        return [r for r in self.records if r.opcode in fp]
+
+    def __repr__(self) -> str:
+        return f"<trace: {len(self.records)} records>"

@@ -1,0 +1,35 @@
+"""Static auto-vectorizer model — the production-compiler stand-in.
+
+The paper measures each loop's *Percent Packed* with Intel icc + HPCToolkit
+to show what a state-of-the-art static vectorizer actually achieves, and
+contrasts it with the dynamic analysis.  This package reproduces the
+*decision procedure* of such a vectorizer at the source level:
+
+- affine subscript extraction (:mod:`repro.vectorizer.subscripts`),
+- dependence tests (:mod:`repro.vectorizer.dependence`); alias and
+  control-flow legality live in the decision driver,
+- the per-loop vectorize/refuse decision with machine-readable reasons
+  (:mod:`repro.vectorizer.autovec`),
+- trace-level Percent Packed accounting (:mod:`repro.vectorizer.packed`).
+
+It deliberately reproduces the conservatism the paper documents: refusal
+on possible pointer aliasing (UTDSP pointer versions, Table 3), on
+data-dependent control flow (the PDE solver), on non-unit strides
+(milc/bwaves layouts), on irregular subscripts (gromacs), and on
+loop-carried dependences (Gauss-Seidel) — while vectorizing clean affine
+unit-stride loops and (like icc) simple scalar reductions.
+"""
+
+from repro.vectorizer.autovec import (
+    LoopDecision,
+    VectorizerConfig,
+    analyze_program_loops,
+)
+from repro.vectorizer.packed import percent_packed
+
+__all__ = [
+    "LoopDecision",
+    "VectorizerConfig",
+    "analyze_program_loops",
+    "percent_packed",
+]

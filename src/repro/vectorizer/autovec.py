@@ -1,0 +1,538 @@
+"""The per-loop auto-vectorization decision procedure.
+
+For every loop in the program, produce a :class:`LoopDecision` recording
+whether the modeled production compiler vectorizes it and, if not, the
+reasons.  The checks mirror the refusal modes the paper documents for icc:
+
+1. non-canonical loop form (unrecognized bounds/step, while-loops);
+2. inner loops (only innermost loops are vectorized);
+3. control flow in the body (data-dependent ``if``, break/continue);
+4. calls to non-intrinsic functions;
+5. possible pointer aliasing, or pointers advanced inside the body;
+6. irregular (non-affine) subscripts — including values loaded from
+   memory, ``%`` arithmetic, etc.;
+7. loop-carried dependences (strong-SIV test);
+8. scalar recurrences that are not recognized reductions;
+9. non-unit access strides (profitability refusal).
+
+Simple scalar reductions (``s += expr``, also ``-``, ``*``, min/max) are
+vectorized when ``config.vectorize_reductions`` is on — matching the
+paper's observation that icc vectorizes reductions its dynamic analysis
+deliberately reports as dependence chains (§4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.frontend import ast
+from repro.frontend.sema import INTRINSIC_SIGNATURES, SemanticAnalyzer
+from repro.ir.types import PointerType
+from repro.vectorizer.dependence import carried_dependence
+from repro.vectorizer.subscripts import (
+    Access,
+    LinExpr,
+    access_of_lvalue,
+    linearize,
+)
+
+
+@dataclass
+class VectorizerConfig:
+    """Knobs of the modeled compiler."""
+
+    vector_bits: int = 128
+    vectorize_reductions: bool = True
+    allow_intrinsic_calls: bool = True  # vector math library (SVML-style)
+
+
+@dataclass
+class LoopDecision:
+    """The vectorizer's verdict for one source loop."""
+
+    function: str
+    line: int
+    label: str
+    vectorized: bool
+    reasons: List[str] = field(default_factory=list)
+    innermost: bool = True
+    elem_size: int = 8
+    has_reduction: bool = False
+    accesses: List[Access] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.label or f"{self.function}:{self.line}"
+
+    def vector_lanes(self, vector_bits: int) -> int:
+        return max(1, vector_bits // (8 * self.elem_size))
+
+    def __repr__(self) -> str:
+        verdict = "VEC" if self.vectorized else "refused"
+        why = f" ({'; '.join(self.reasons)})" if self.reasons else ""
+        return f"<{self.name}: {verdict}{why}>"
+
+
+_REDUCTION_OPS = ("+", "-", "*")
+
+
+class _LoopAnalyzer:
+    """Collects body facts for one candidate loop."""
+
+    def __init__(self, ivar: str, config: VectorizerConfig):
+        self.ivar = ivar
+        self.config = config
+        self.reasons: List[str] = []
+        self.accesses: List[Access] = []
+        self.assigned_scalars: Set[str] = set()
+        self.read_scalars: Set[str] = set()
+        self.local_decls: Set[str] = set()
+        self.reduction_vars: Set[str] = set()
+        self.env: Dict[str, Optional[LinExpr]] = {}
+        #: why a scalar got poisoned: "data" (depends on loaded values)
+        #: or "static" (non-affine arithmetic like `%`).
+        self.poison_kind: Dict[str, str] = {}
+        self.has_inner_loop = False
+        self.elem_sizes: List[int] = []
+
+    # -- statement walk ----------------------------------------------------
+
+    def walk_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            for s in stmt.stmts:
+                self.walk_stmt(s)
+        elif isinstance(stmt, ast.DeclGroup):
+            for s in stmt.decls:
+                self.walk_stmt(s)
+        elif isinstance(stmt, ast.VarDecl):
+            self.local_decls.add(stmt.name)
+            if stmt.init is not None:
+                self.walk_reads(stmt.init)
+                self._bind_scalar(stmt.name, stmt.init)
+        elif isinstance(stmt, ast.ExprStmt):
+            self.walk_expr_stmt(stmt.expr)
+        elif isinstance(stmt, (ast.For, ast.While, ast.DoWhile)):
+            self.has_inner_loop = True
+        elif isinstance(stmt, ast.If):
+            self.reasons.append("control flow in loop body")
+            self.walk_reads(stmt.cond)
+            self.walk_stmt(stmt.then)
+            if stmt.els is not None:
+                self.walk_stmt(stmt.els)
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            self.reasons.append("irregular control flow (break/continue)")
+        elif isinstance(stmt, ast.Return):
+            self.reasons.append("return inside loop body")
+            if stmt.value is not None:
+                self.walk_reads(stmt.value)
+
+    def walk_expr_stmt(self, expr: ast.Expr) -> None:
+        if isinstance(expr, ast.Assign):
+            self._handle_assign(expr)
+        elif isinstance(expr, ast.IncDec):
+            self._handle_incdec(expr)
+        else:
+            self.walk_reads(expr)
+
+    # -- assignments ---------------------------------------------------------
+
+    def _handle_assign(self, expr: ast.Assign) -> None:
+        target = expr.target
+        self.walk_reads(expr.value)
+        if isinstance(target, ast.Ident):
+            name = target.name
+            if isinstance(target.type, PointerType):
+                self.assigned_scalars.add(name)
+                self.env[name] = None
+                self.reasons.append(
+                    f"pointer {name!r} modified inside loop"
+                )
+                return
+            self.assigned_scalars.add(name)
+            if self._is_reduction(expr):
+                self.reduction_vars.add(name)
+            if expr.op:
+                self.env[name] = None
+            else:
+                self._bind_scalar(name, expr.value)
+            return
+        # Memory write.
+        access = access_of_lvalue(target, is_write=True)
+        if access is not None:
+            self.accesses.append(access)
+            self.elem_sizes.append(access.elem_size)
+        # Subscripts of the target are reads.
+        self._walk_lvalue_subscripts(target)
+        if expr.op:
+            # Compound assignment also reads the target location.
+            read = access_of_lvalue(target, is_write=False)
+            if read is not None:
+                self.accesses.append(read)
+
+    def _handle_incdec(self, expr: ast.IncDec) -> None:
+        target = expr.target
+        if isinstance(target, ast.Ident):
+            self.assigned_scalars.add(target.name)
+            self.env[target.name] = None
+            if isinstance(target.type, PointerType):
+                self.reasons.append(
+                    f"pointer {target.name!r} modified inside loop"
+                )
+            return
+        access = access_of_lvalue(target, is_write=True)
+        if access is not None:
+            self.accesses.append(access)
+            read = access_of_lvalue(target, is_write=False)
+            if read is not None:
+                self.accesses.append(read)
+        self._walk_lvalue_subscripts(target)
+
+    def _bind_scalar(self, name: str, value: ast.Expr) -> None:
+        """Forward-substitution environment for body-defined int scalars."""
+        from repro.vectorizer.subscripts import expr_reads_memory
+
+        raw = linearize(value)
+        lin = raw.substitute(self.env) if raw is not None else None
+        if lin is None:
+            if raw is None:
+                # Not affine at all: data-dependent if it reads memory,
+                # otherwise merely beyond the affine model (%, i*j, ...).
+                self.poison_kind[name] = (
+                    "data" if expr_reads_memory(value) else "static"
+                )
+            else:
+                # Affine over poisoned inputs: inherit their worst kind.
+                kinds = {
+                    self.poison_kind.get(var, "static")
+                    for var in raw.vars()
+                    if self.env.get(var, 0) is None
+                }
+                self.poison_kind[name] = (
+                    "data" if "data" in kinds else "static"
+                )
+        self.env[name] = lin  # None poisons
+
+    @staticmethod
+    def _reads_var(expr: ast.Expr, name: str) -> bool:
+        """Does ``expr`` read scalar ``name`` anywhere?"""
+        if isinstance(expr, ast.Ident):
+            return expr.name == name
+        for slot in getattr(type(expr), "__slots__", ()):
+            child = getattr(expr, slot, None)
+            if isinstance(child, ast.Expr):
+                if _LoopAnalyzer._reads_var(child, name):
+                    return True
+            elif isinstance(child, list):
+                for item in child:
+                    if isinstance(item, ast.Expr) and (
+                        _LoopAnalyzer._reads_var(item, name)
+                    ):
+                        return True
+        return False
+
+    def _is_reduction(self, expr: ast.Assign) -> bool:
+        """``s op= e``, ``s = s op e``, or ``s = s + e1 - e2 ...`` with
+        associative ops and no other read of ``s``."""
+        name = expr.target.name
+        if expr.op in _REDUCTION_OPS:
+            return not self._reads_var(expr.value, name)
+        if not expr.op and isinstance(expr.value, ast.BinOp):
+            binop = expr.value
+            # ``s = e + s`` (commutative form).
+            if (
+                binop.op == "+"
+                and isinstance(binop.right, ast.Ident)
+                and binop.right.name == name
+                and not self._reads_var(binop.left, name)
+            ):
+                return True
+            # ``s = s + e1 - e2 + ...``: walk the left spine of the
+            # additive chain down to the accumulator.
+            node = binop
+            while isinstance(node, ast.BinOp) and node.op in ("+", "-"):
+                if self._reads_var(node.right, name):
+                    return False
+                node = node.left
+            if isinstance(node, ast.Ident) and node.name == name:
+                return True
+            # ``s = s * e`` (product reduction).
+            if (
+                binop.op == "*"
+                and isinstance(binop.left, ast.Ident)
+                and binop.left.name == name
+                and not self._reads_var(binop.right, name)
+            ):
+                return True
+        return False
+
+    # -- expression walks (reads) ---------------------------------------------
+
+    def walk_reads(self, expr: ast.Expr) -> None:
+        if isinstance(expr, (ast.IntLit, ast.FloatLit, ast.SizeofExpr)):
+            return
+        if isinstance(expr, ast.Ident):
+            self.read_scalars.add(expr.name)
+            return
+        if isinstance(expr, (ast.Index, ast.Member, ast.Deref)):
+            access = access_of_lvalue(expr, is_write=False)
+            if access is not None:
+                self.accesses.append(access)
+                self.elem_sizes.append(access.elem_size)
+            self._walk_lvalue_subscripts(expr)
+            return
+        if isinstance(expr, ast.BinOp):
+            self.walk_reads(expr.left)
+            self.walk_reads(expr.right)
+            return
+        if isinstance(expr, ast.UnOp):
+            self.walk_reads(expr.operand)
+            return
+        if isinstance(expr, ast.Assign):
+            self._handle_assign(expr)
+            return
+        if isinstance(expr, ast.IncDec):
+            self._handle_incdec(expr)
+            return
+        if isinstance(expr, ast.Cond):
+            self.reasons.append("data-dependent select in loop body")
+            self.walk_reads(expr.cond)
+            self.walk_reads(expr.then)
+            self.walk_reads(expr.els)
+            return
+        if isinstance(expr, ast.Call):
+            if expr.name in INTRINSIC_SIGNATURES:
+                if not self.config.allow_intrinsic_calls:
+                    self.reasons.append(
+                        f"math call {expr.name!r} (no vector library)"
+                    )
+            else:
+                self.reasons.append(f"call to {expr.name!r} in loop body")
+            for arg in expr.args:
+                self.walk_reads(arg)
+            return
+        if isinstance(expr, ast.CastExpr):
+            self.walk_reads(expr.operand)
+            return
+        if isinstance(expr, ast.AddrOf):
+            self.walk_reads(expr.operand)
+            return
+
+    def _walk_lvalue_subscripts(self, expr: ast.Expr) -> None:
+        """Subscript expressions inside an lvalue chain are value reads."""
+        node = expr
+        while True:
+            if isinstance(node, ast.Index):
+                self.walk_reads(node.index)
+                node = node.base
+            elif isinstance(node, ast.Member):
+                node = node.base
+            elif isinstance(node, ast.Deref):
+                if not isinstance(node.operand, ast.Ident):
+                    self.walk_reads(node.operand)
+                return
+            else:
+                return
+
+
+def _canonical_index(loop: ast.For) -> Optional[str]:
+    """The loop's index variable if the loop is in canonical
+    ``for (i = e0; i < e1; i++)`` form, else None."""
+    name: Optional[str] = None
+    init = loop.init
+    if isinstance(init, ast.VarDecl):
+        name = init.name
+    elif isinstance(init, ast.ExprStmt) and isinstance(init.expr, ast.Assign):
+        if not init.expr.op and isinstance(init.expr.target, ast.Ident):
+            name = init.expr.target.name
+    if name is None:
+        return None
+    cond = loop.cond
+    if not (
+        isinstance(cond, ast.BinOp)
+        and cond.op in ("<", "<=")
+        and isinstance(cond.left, ast.Ident)
+        and cond.left.name == name
+    ):
+        return None
+    step = loop.step
+    if isinstance(step, ast.IncDec):
+        if (
+            step.op == "+"
+            and isinstance(step.target, ast.Ident)
+            and step.target.name == name
+        ):
+            return name
+        return None
+    if isinstance(step, ast.Assign) and isinstance(step.target, ast.Ident):
+        if step.target.name != name:
+            return None
+        if step.op == "+" and isinstance(step.value, ast.IntLit) and (
+            step.value.value == 1
+        ):
+            return name
+        if (
+            not step.op
+            and isinstance(step.value, ast.BinOp)
+            and step.value.op == "+"
+            and isinstance(step.value.left, ast.Ident)
+            and step.value.left.name == name
+            and isinstance(step.value.right, ast.IntLit)
+            and step.value.right.value == 1
+        ):
+            return name
+    return None
+
+
+def _decide_loop(
+    fn: ast.FuncDef,
+    loop: ast.For,
+    config: VectorizerConfig,
+) -> LoopDecision:
+    decision = LoopDecision(
+        function=fn.name,
+        line=loop.loc.line,
+        label=loop.label,
+        vectorized=False,
+    )
+    ivar = _canonical_index(loop)
+    if ivar is None:
+        decision.reasons.append("non-canonical loop form")
+        return decision
+
+    la = _LoopAnalyzer(ivar, config)
+    la.walk_stmt(loop.body)
+    decision.innermost = not la.has_inner_loop
+    decision.has_reduction = bool(la.reduction_vars)
+    if la.elem_sizes:
+        decision.elem_size = max(la.elem_sizes)
+
+    decision.reasons.extend(dict.fromkeys(la.reasons))
+    if la.has_inner_loop:
+        decision.reasons.append("contains an inner loop")
+    if ivar in la.assigned_scalars:
+        decision.reasons.append("loop index modified in body")
+    # A scalar declared *outside* the loop that is both read and written
+    # inside it carries a value across iterations (possibly through a
+    # chain of other scalars): a recurrence, unless recognized as a
+    # reduction.  Body-declared scalars are privatizable.
+    recurrent = (
+        (la.assigned_scalars & la.read_scalars)
+        - la.local_decls
+        - la.reduction_vars
+        - {ivar}
+    )
+    for name in sorted(recurrent):
+        decision.reasons.append(f"scalar recurrence on {name!r}")
+    if la.reduction_vars and not config.vectorize_reductions:
+        decision.reasons.append(
+            "reduction present (reduction vectorization disabled)"
+        )
+
+    # Poison accesses whose subscripts use body-assigned non-affine
+    # scalars, then run dependence tests.
+    substituted = [
+        a.substituted(la.env, la.poison_kind) for a in la.accesses
+    ]
+    decision.accesses = substituted
+
+    pointer_bases = {
+        a.base for a in substituted if a.kind == "pointer"
+    }
+    if pointer_bases:
+        # Any pointer access may alias any other object.
+        others = {a.base for a in substituted} - pointer_bases
+        writes = any(a.is_write for a in substituted)
+        if writes and (others or len(pointer_bases) > 1):
+            decision.reasons.append(
+                "possible pointer aliasing: "
+                + ", ".join(sorted(pointer_bases))
+            )
+
+    for a in substituted:
+        if not a.is_affine:
+            flavour = (
+                "data-dependent"
+                if a.irregular_kind == "data"
+                else "non-affine"
+            )
+            decision.reasons.append(
+                f"irregular subscript ({flavour}) on {a.base!r}"
+            )
+            break
+
+    seen_reasons = set(decision.reasons)
+    for i, a in enumerate(substituted):
+        if not a.is_write:
+            continue
+        for j, b in enumerate(substituted):
+            if i == j:
+                continue
+            if a.base != b.base:
+                continue
+            reason = carried_dependence(a, b, ivar)
+            if reason is not None:
+                msg = f"{a.base}: {reason}"
+                if msg not in seen_reasons:
+                    decision.reasons.append(msg)
+                    seen_reasons.add(msg)
+
+    if not decision.reasons:
+        for a in substituted:
+            stride = a.stride_wrt(ivar)
+            if stride is None:
+                decision.reasons.append(
+                    f"unknown stride on {a.base!r}"
+                )
+                break
+            if stride not in (0, a.elem_size):
+                decision.reasons.append(
+                    f"non-unit stride ({stride} bytes) on {a.base!r}"
+                )
+                break
+
+    decision.vectorized = not decision.reasons
+    return decision
+
+
+def _collect_loops(stmt: ast.Stmt, out: List[ast.For]) -> None:
+    if isinstance(stmt, ast.Block):
+        for s in stmt.stmts:
+            _collect_loops(s, out)
+    elif isinstance(stmt, ast.DeclGroup):
+        pass
+    elif isinstance(stmt, ast.For):
+        out.append(stmt)
+        _collect_loops(stmt.body, out)
+    elif isinstance(stmt, (ast.While, ast.DoWhile)):
+        _collect_loops(stmt.body, out)
+    elif isinstance(stmt, ast.If):
+        _collect_loops(stmt.then, out)
+        if stmt.els is not None:
+            _collect_loops(stmt.els, out)
+
+
+def analyze_program_loops(
+    program: ast.Program,
+    analyzer: SemanticAnalyzer,
+    config: Optional[VectorizerConfig] = None,
+) -> List[LoopDecision]:
+    """Run the vectorizer model on every ``for`` loop of the program."""
+    if config is None:
+        config = VectorizerConfig()
+    decisions: List[LoopDecision] = []
+    for fn in program.functions:
+        loops: List[ast.For] = []
+        _collect_loops(fn.body, loops)
+        for loop in loops:
+            decisions.append(_decide_loop(fn, loop, config))
+    return decisions
+
+
+def decisions_by_name(decisions: List[LoopDecision]) -> Dict[str, LoopDecision]:
+    out: Dict[str, LoopDecision] = {}
+    for d in decisions:
+        out[f"{d.function}:{d.line}"] = d
+        if d.label:
+            out[d.label] = d
+    return out

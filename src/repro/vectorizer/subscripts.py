@@ -1,0 +1,413 @@
+"""Affine expression and access extraction for the static vectorizer.
+
+A :class:`LinExpr` is an integer-valued linear form ``const + Σ coeff·var``
+over source variable names.  An :class:`Access` describes one memory
+access as per-dimension affine subscripts plus byte steps — the form
+classical dependence tests (Allen & Kennedy) consume.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.frontend import ast
+from repro.ir.types import ArrayType, IntType, PointerType, StructType
+
+
+class LinExpr:
+    """``const + Σ coeff·var`` with integer coefficients."""
+
+    __slots__ = ("const", "coeffs")
+
+    def __init__(self, const: int = 0, coeffs: Optional[Dict[str, int]] = None):
+        self.const = const
+        self.coeffs = {k: v for k, v in (coeffs or {}).items() if v != 0}
+
+    # -- algebra ------------------------------------------------------------
+
+    def __add__(self, other: "LinExpr") -> "LinExpr":
+        coeffs = dict(self.coeffs)
+        for k, v in other.coeffs.items():
+            coeffs[k] = coeffs.get(k, 0) + v
+        return LinExpr(self.const + other.const, coeffs)
+
+    def __sub__(self, other: "LinExpr") -> "LinExpr":
+        coeffs = dict(self.coeffs)
+        for k, v in other.coeffs.items():
+            coeffs[k] = coeffs.get(k, 0) - v
+        return LinExpr(self.const - other.const, coeffs)
+
+    def scale(self, factor: int) -> "LinExpr":
+        return LinExpr(
+            self.const * factor,
+            {k: v * factor for k, v in self.coeffs.items()},
+        )
+
+    def substitute(self, env: Dict[str, Optional["LinExpr"]]) -> Optional["LinExpr"]:
+        """Replace variables by their LinExpr bindings.  A variable bound
+        to None is *poisoned* (assigned non-affinely in the loop body):
+        the result is None."""
+        out = LinExpr(self.const)
+        for var, coeff in self.coeffs.items():
+            if var in env:
+                binding = env[var]
+                if binding is None:
+                    return None
+                out = out + binding.scale(coeff)
+            else:
+                out = out + LinExpr(0, {var: coeff})
+        return out
+
+    # -- queries -------------------------------------------------------------
+
+    def coeff(self, var: str) -> int:
+        return self.coeffs.get(var, 0)
+
+    def drop(self, var: str) -> "LinExpr":
+        coeffs = dict(self.coeffs)
+        coeffs.pop(var, None)
+        return LinExpr(self.const, coeffs)
+
+    @property
+    def is_const(self) -> bool:
+        return not self.coeffs
+
+    def vars(self) -> Tuple[str, ...]:
+        return tuple(sorted(self.coeffs))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, LinExpr)
+            and self.const == other.const
+            and self.coeffs == other.coeffs
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.const, tuple(sorted(self.coeffs.items()))))
+
+    def __repr__(self) -> str:
+        parts = [str(self.const)] if self.const or not self.coeffs else []
+        for var, coeff in sorted(self.coeffs.items()):
+            parts.append(f"{coeff}*{var}" if coeff != 1 else var)
+        return " + ".join(parts) if parts else "0"
+
+
+def linearize(expr: ast.Expr) -> Optional[LinExpr]:
+    """Extract a LinExpr from an integer expression AST, or None if the
+    expression is not (recognizably) affine."""
+    if isinstance(expr, ast.IntLit):
+        return LinExpr(expr.value)
+    if isinstance(expr, ast.Ident):
+        if isinstance(expr.type, IntType):
+            sym = expr.symbol
+            if sym is not None and sym.is_const and sym.const_value is not None:
+                return LinExpr(int(sym.const_value))
+            return LinExpr(0, {expr.name: 1})
+        return None
+    if isinstance(expr, ast.UnOp):
+        inner = linearize(expr.operand)
+        if inner is None:
+            return None
+        if expr.op == "-":
+            return inner.scale(-1)
+        if expr.op == "+":
+            return inner
+        return None
+    if isinstance(expr, ast.CastExpr):
+        if isinstance(expr.type, IntType):
+            return linearize(expr.operand)
+        return None
+    if isinstance(expr, ast.BinOp):
+        if expr.op in ("+", "-"):
+            left = linearize(expr.left)
+            right = linearize(expr.right)
+            if left is None or right is None:
+                return None
+            return left - right if expr.op == "-" else left + right
+        if expr.op == "*":
+            left = linearize(expr.left)
+            right = linearize(expr.right)
+            if left is None or right is None:
+                return None
+            if left.is_const:
+                return right.scale(left.const)
+            if right.is_const:
+                return left.scale(right.const)
+            return None
+    return None
+
+
+class Access:
+    """One memory access in a loop body, in dependence-test form.
+
+    Attributes
+    ----------
+    base:      name of the accessed object (array symbol or pointer var).
+    kind:      "array" (declared array — distinct bases never alias) or
+               "pointer" (may alias anything).
+    subs:      per-dimension affine subscripts, outermost first, or None
+               when any subscript is non-affine.
+    steps:     byte step per dimension (elem size at that nesting level).
+    field_const: accumulated struct-field byte offset along the chain.
+    is_write:  True for the target of a store.
+    elem_size: size in bytes of the scalar accessed.
+    """
+
+    __slots__ = (
+        "base",
+        "kind",
+        "subs",
+        "steps",
+        "field_const",
+        "is_write",
+        "elem_size",
+        "loc",
+        "irregular_kind",
+        "irregular_vars",
+    )
+
+    def __init__(self, base, kind, subs, steps, field_const, is_write,
+                 elem_size, loc, irregular_kind=None,
+                 irregular_vars=()):
+        self.base = base
+        self.kind = kind
+        self.subs = subs
+        self.steps = steps
+        self.field_const = field_const
+        self.is_write = is_write
+        self.elem_size = elem_size
+        self.loc = loc
+        #: for non-affine accesses: "data" when the subscript depends on
+        #: loaded values (gromacs' jjnr), "static" when it is merely
+        #: beyond the affine model (bwaves' `%`).  None when affine.
+        self.irregular_kind = irregular_kind
+        #: scalar variable names appearing in a non-affine subscript; a
+        #: later substitution pass may upgrade "static" to "data" if any
+        #: of them turns out to be data-poisoned.
+        self.irregular_vars = tuple(irregular_vars)
+
+    @property
+    def is_affine(self) -> bool:
+        return self.subs is not None
+
+    def substituted(self, env, poison_kinds=None) -> "Access":
+        """Apply a scalar-definition environment to all subscripts.
+
+        ``poison_kinds`` maps poisoned variable names to "data"/"static"
+        so the resulting irregularity is attributed correctly.
+        """
+        if self.subs is None:
+            # Already irregular at extraction time; a data-poisoned
+            # variable inside the subscript upgrades the kind.
+            if (
+                self.irregular_kind == "static"
+                and poison_kinds
+                and any(
+                    poison_kinds.get(v) == "data"
+                    for v in self.irregular_vars
+                )
+            ):
+                return Access(self.base, self.kind, None, self.steps,
+                              self.field_const, self.is_write,
+                              self.elem_size, self.loc,
+                              irregular_kind="data",
+                              irregular_vars=self.irregular_vars)
+            return self
+        new_subs = []
+        for sub in self.subs:
+            rewritten = sub.substitute(env)
+            if rewritten is None:
+                kind = "static"
+                if poison_kinds:
+                    for var in sub.vars():
+                        if env.get(var, 0) is None:
+                            kind = poison_kinds.get(var, "static")
+                            if kind == "data":
+                                break
+                return Access(self.base, self.kind, None, self.steps,
+                              self.field_const, self.is_write,
+                              self.elem_size, self.loc,
+                              irregular_kind=kind)
+            new_subs.append(rewritten)
+        return Access(self.base, self.kind, new_subs, self.steps,
+                      self.field_const, self.is_write, self.elem_size,
+                      self.loc)
+
+    def stride_wrt(self, var: str) -> Optional[int]:
+        """Byte stride of the address as ``var`` advances by 1."""
+        if self.subs is None:
+            return None
+        return sum(
+            sub.coeff(var) * step for sub, step in zip(self.subs, self.steps)
+        )
+
+    def offset_expr(self) -> Optional[LinExpr]:
+        """Flattened affine byte offset from the base."""
+        if self.subs is None:
+            return None
+        total = LinExpr(self.field_const)
+        for sub, step in zip(self.subs, self.steps):
+            total = total + sub.scale(step)
+        return total
+
+    def __repr__(self) -> str:
+        rw = "W" if self.is_write else "R"
+        return f"<{rw} {self.kind} {self.base} subs={self.subs!r}>"
+
+
+def access_of_lvalue(expr: ast.Expr, is_write: bool) -> Optional[Access]:
+    """Resolve an Index/Member/Deref chain into an :class:`Access`.
+
+    Returns None for expressions that are not memory accesses (plain
+    scalar variables).
+    """
+    rev_subs: List[Optional[LinExpr]] = []  # innermost first
+    rev_steps: List[int] = []
+    field_const = 0
+    node = expr
+    elem_size = expr.type.sizeof() if expr.type is not None else 8
+
+    irregular_kind: Optional[str] = None
+    irregular_vars: set = set()
+
+    def finish(base: str, kind: str) -> Access:
+        if any(s is None for s in rev_subs):
+            subs = None
+        else:
+            subs = list(reversed(rev_subs))
+        steps = list(reversed(rev_steps))
+        return Access(base, kind, subs, steps, field_const, is_write,
+                      elem_size, expr.loc,
+                      irregular_kind=irregular_kind if subs is None else None,
+                      irregular_vars=tuple(sorted(irregular_vars)))
+
+    while True:
+        if isinstance(node, ast.Index):
+            base_type = node.base.type
+            if isinstance(base_type, ArrayType):
+                step = base_type.elem.sizeof()
+            elif isinstance(base_type, PointerType):
+                step = base_type.pointee.sizeof()
+            else:
+                return None
+            sub = linearize(node.index)
+            if sub is None:
+                irregular_kind = (
+                    "data" if expr_reads_memory(node.index) else "static"
+                )
+                irregular_vars.update(expr_var_names(node.index))
+            rev_subs.append(sub)
+            rev_steps.append(step)
+            if isinstance(base_type, PointerType):
+                base_name = pointer_base_name(node.base)
+                return finish(base_name or "?", "pointer")
+            node = node.base
+        elif isinstance(node, ast.Member):
+            if node.arrow:
+                struct = node.base.type.pointee
+                field_const += struct.field_offset(node.field)
+                base_name = pointer_base_name(node.base)
+                return finish(base_name or "?", "pointer")
+            struct = node.base.type
+            assert isinstance(struct, StructType)
+            root = _struct_var_path(node)
+            if root is not None:
+                # Member selection on a plain struct variable (possibly
+                # nested): fields of a struct object are disjoint storage,
+                # so the dotted path acts as a distinct base object.
+                return finish(root, "array")
+            field_const += struct.field_offset(node.field)
+            node = node.base
+        elif isinstance(node, ast.Deref):
+            base_name = pointer_base_name(node.operand)
+            if isinstance(node.operand, ast.Ident):
+                # Bare `*p`: offset 0 from the pointer's current value.
+                return finish(base_name or "?", "pointer")
+            # `*(p + expr)` and friends: unknown subscript.
+            rev_subs.append(None)
+            rev_steps.append(elem_size)
+            return finish(base_name or "?", "pointer")
+        elif isinstance(node, ast.Ident):
+            sym = node.symbol
+            if sym is not None and isinstance(sym.type, ArrayType):
+                return finish(node.name, "array")
+            if sym is not None and isinstance(sym.type, PointerType):
+                return finish(node.name, "pointer")
+            if sym is not None and isinstance(sym.type, StructType):
+                return finish(node.name, "array")
+            return None  # plain scalar
+        else:
+            return None
+
+
+def _struct_var_path(node: ast.Member) -> Optional[str]:
+    """Dotted path for ``var.f.g`` chains rooted at a struct *variable*
+    (no indexing below the member chain), else None."""
+    fields = [node.field]
+    base = node.base
+    while isinstance(base, ast.Member) and not base.arrow:
+        fields.append(base.field)
+        base = base.base
+    if isinstance(base, ast.Ident) and isinstance(base.type, StructType):
+        fields.append(base.name)
+        return ".".join(reversed(fields))
+    return None
+
+
+def pointer_base_name(expr: ast.Expr) -> Optional[str]:
+    """The pointer variable at the root of a pointer expression, if simple."""
+    node = expr
+    while isinstance(node, (ast.CastExpr, ast.UnOp)):
+        node = node.operand
+    if isinstance(node, ast.Ident):
+        return node.name
+    if isinstance(node, ast.BinOp) and node.op in ("+", "-"):
+        return pointer_base_name(node.left) or pointer_base_name(node.right)
+    if isinstance(node, ast.AddrOf):
+        inner = node.operand
+        while isinstance(inner, (ast.Index, ast.Member)):
+            inner = inner.base
+        if isinstance(inner, ast.Ident):
+            return inner.name
+    return None
+
+
+def expr_var_names(expr: ast.Expr) -> set:
+    """All scalar variable names read inside an expression."""
+    out: set = set()
+    if isinstance(expr, ast.Ident):
+        out.add(expr.name)
+        return out
+    for slot in getattr(type(expr), "__slots__", ()):
+        child = getattr(expr, slot, None)
+        if isinstance(child, ast.Expr):
+            out |= expr_var_names(child)
+        elif isinstance(child, list):
+            for item in child:
+                if isinstance(item, ast.Expr):
+                    out |= expr_var_names(item)
+    return out
+
+
+def expr_reads_memory(expr: ast.Expr) -> bool:
+    """Does the expression read from arrays/pointers or call a function
+    (i.e. depend on run-time data rather than just loop scalars)?"""
+    if isinstance(expr, (ast.Index, ast.Member, ast.Deref, ast.Call)):
+        return True
+    for slot in getattr(type(expr), "__slots__", ()):
+        child = getattr(expr, slot, None)
+        if isinstance(child, ast.Expr) and expr_reads_memory(child):
+            return True
+        if isinstance(child, list):
+            for item in child:
+                if isinstance(item, ast.Expr) and expr_reads_memory(item):
+                    return True
+    return False
+
+
+def gcd_of(values) -> int:
+    g = 0
+    for v in values:
+        g = math.gcd(g, abs(v))
+    return g

@@ -1,0 +1,117 @@
+"""Workload descriptors and the analysis driver they share."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.metrics import loop_metrics
+from repro.analysis.report import BenchmarkReport
+from repro.ddg.build import build_ddg
+from repro.errors import WorkloadError
+from repro.frontend import parse_source
+from repro.frontend.lower import lower
+from repro.interp.interpreter import Interpreter, run_and_trace
+from repro.ir.verifier import verify_module
+from repro.profiler.hotloops import profile_loops
+from repro.vectorizer.autovec import VectorizerConfig, analyze_program_loops
+from repro.vectorizer.packed import percent_packed
+
+
+def analyze_workload(
+    source: str,
+    benchmark: str,
+    loops: Sequence[str],
+    entry: str = "main",
+    args: Sequence = (),
+    instance: int = 0,
+    vec_config: Optional[VectorizerConfig] = None,
+    include_integer: bool = False,
+) -> BenchmarkReport:
+    """Analyze the named ``loops`` of one program (compile once, profile
+    once, then per-loop subtrace analysis — the §4.1 methodology with an
+    explicit loop list instead of hot-loop discovery)."""
+    program, analyzer = parse_source(source)
+    module = lower(analyzer, benchmark)
+    verify_module(module)
+    if vec_config is None:
+        vec_config = VectorizerConfig()
+    decisions = analyze_program_loops(program, analyzer, vec_config)
+
+    interp = Interpreter(module)
+    interp.run(entry, args)
+    profiles = profile_loops(module, interp)
+
+    report = BenchmarkReport(benchmark=benchmark)
+    for loop_name in loops:
+        info = module.loop_by_name(loop_name)
+        if info is None:
+            known = ", ".join(li.name for li in module.loops.values())
+            raise WorkloadError(
+                f"{benchmark}: no loop named {loop_name!r} (known: {known})"
+            )
+        trace = run_and_trace(module, entry, args, loop=info.loop_id,
+                              instances={instance})
+        sub = trace.subtrace(info.loop_id, 0)
+        ddg = build_ddg(sub)
+        loop_report = loop_metrics(ddg, module, loop_name, include_integer)
+        loop_report.benchmark = benchmark
+        prof = profiles.get(info.loop_id)
+        if prof is not None:
+            loop_report.percent_cycles = prof.percent_cycles
+        loop_report.percent_packed = percent_packed(
+            module, interp, decisions, info.loop_id, vec_config, profiles
+        )
+        report.loops.append(loop_report)
+    return report
+
+
+@dataclass
+class Workload:
+    """A registered kernel: source generator plus analysis targets.
+
+    ``models`` documents which paper benchmark/loop the kernel stands in
+    for (the substitution record DESIGN.md requires).
+    """
+
+    name: str
+    category: str  # "spec" | "utdsp" | "kernel" | "casestudy"
+    source_fn: Callable[..., str]
+    default_params: Dict = field(default_factory=dict)
+    analyze_loops: List[str] = field(default_factory=list)
+    entry: str = "main"
+    description: str = ""
+    models: str = ""
+
+    def params(self, **overrides) -> Dict:
+        merged = dict(self.default_params)
+        for key, value in overrides.items():
+            if key not in self.default_params:
+                raise WorkloadError(
+                    f"{self.name}: unknown parameter {key!r} "
+                    f"(accepts {sorted(self.default_params)})"
+                )
+            merged[key] = value
+        return merged
+
+    def source(self, **overrides) -> str:
+        return self.source_fn(**self.params(**overrides))
+
+    def compile(self, **overrides):
+        from repro.frontend.driver import compile_source
+
+        return compile_source(self.source(**overrides), self.name)
+
+    def analyze(self, instance: int = 0,
+                vec_config: Optional[VectorizerConfig] = None,
+                include_integer: bool = False,
+                **overrides) -> BenchmarkReport:
+        return analyze_workload(
+            self.source(**overrides),
+            self.name,
+            self.analyze_loops,
+            entry=self.entry,
+            instance=instance,
+            vec_config=vec_config,
+            include_integer=include_integer,
+        )

@@ -1,0 +1,414 @@
+"""Case-study kernels: bwaves, milc, and gromacs, original + transformed.
+
+Each pair reproduces one of the paper's §4.4 manual-transformation case
+studies (Listings 7, 8, 9).  The originals model the Table-1 hot loops of
+the corresponding SPEC CFP2006 benchmarks; the transformed versions apply
+exactly the paper's rewrite and must flip the static vectorizer from
+refusal to success.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+from repro.workloads.loader import register
+
+
+# ---------------------------------------------------------------------------
+# 410.bwaves — jacobian_lam.f:30 (Listing 7): (5,5,nx,ny,nz) flux Jacobian
+# with mod-based wraparound.  In C row-major the Fortran layout becomes
+# je[nz][ny][nx][5][5]; the i loop walks the third-from-innermost dimension
+# (stride 25 elements) and `%` computes the periodic neighbor.
+# ---------------------------------------------------------------------------
+
+
+def bwaves_jacobian_source(nx: int = 10, ny: int = 6, nz: int = 4) -> str:
+    return f"""
+// Model of 410.bwaves jacobian_lam.f:30 (original layout).
+double je[{nz}][{ny}][{nx}][5][5];
+double q[{nz}][{ny}][{nx}][5];
+
+int main() {{
+  int i, j, k, a;
+  for (k = 0; k < {nz}; k++)
+    for (j = 0; j < {ny}; j++)
+      for (i = 0; i < {nx}; i++)
+        for (a = 0; a < 5; a++)
+          q[k][j][i][a] = 0.01 * (double)(k + j + i + a) + 1.0;
+  jac_k: for (k = 0; k < {nz}; k++) {{
+    int kp1 = (k + 1) % {nz};
+    for (j = 0; j < {ny}; j++) {{
+      int jp1 = (j + 1) % {ny};
+      jac_i: for (i = 0; i < {nx}; i++) {{
+        int ip1 = (i + 1) % {nx};
+        double ros = q[kp1][jp1][ip1][0];
+        double us = q[k][j][i][1] / ros;
+        double vs = q[k][j][i][2] / ros;
+        je[k][j][i][0][0] = ros * us;
+        je[k][j][i][0][1] = ros * vs;
+        je[k][j][i][1][0] = us * us + ros;
+        je[k][j][i][1][1] = us * vs;
+        je[k][j][i][2][0] = vs * vs - ros;
+        je[k][j][i][2][1] = ros - us;
+      }}
+    }}
+  }}
+  return 0;
+}}
+"""
+
+
+def bwaves_transformed_source(nx: int = 10, ny: int = 6, nz: int = 4) -> str:
+    """Listing 7 (transformed): the i dimension moved innermost, mod
+    removed by peeling the wraparound iteration."""
+    return f"""
+// Model of 410.bwaves jacobian loop after the data layout transformation.
+double je[{nz}][{ny}][5][5][{nx}];
+double q[{nz}][{ny}][5][{nx}];
+
+int main() {{
+  int i, j, k, a;
+  for (k = 0; k < {nz}; k++)
+    for (j = 0; j < {ny}; j++)
+      for (a = 0; a < 5; a++)
+        for (i = 0; i < {nx}; i++)
+          q[k][j][a][i] = 0.01 * (double)(k + j + i + a) + 1.0;
+  jac_k: for (k = 0; k < {nz}; k++) {{
+    int kp1 = (k + 1) % {nz};
+    for (j = 0; j < {ny}; j++) {{
+      int jp1 = (j + 1) % {ny};
+      jac_i: for (i = 0; i < {nx} - 1; i++) {{
+        int ip1 = i + 1;
+        double ros = q[kp1][jp1][0][ip1];
+        double us = q[k][j][1][i] / ros;
+        double vs = q[k][j][2][i] / ros;
+        je[k][j][0][0][i] = ros * us;
+        je[k][j][0][1][i] = ros * vs;
+        je[k][j][1][0][i] = us * us + ros;
+        je[k][j][1][1][i] = us * vs;
+        je[k][j][2][0][i] = vs * vs - ros;
+        je[k][j][2][1][i] = ros - us;
+      }}
+      // Peeled wraparound iteration (i = nx-1, ip1 = 0).
+      i = {nx} - 1;
+      {{
+        double ros = q[kp1][jp1][0][0];
+        double us = q[k][j][1][i] / ros;
+        double vs = q[k][j][2][i] / ros;
+        je[k][j][0][0][i] = ros * us;
+        je[k][j][0][1][i] = ros * vs;
+        je[k][j][1][0][i] = us * us + ros;
+        je[k][j][1][1][i] = us * vs;
+        je[k][j][2][0][i] = vs * vs - ros;
+        je[k][j][2][1][i] = ros - us;
+      }}
+    }}
+  }}
+  return 0;
+}}
+"""
+
+
+# ---------------------------------------------------------------------------
+# 433.milc — quark_stuff.c:1452 (Listing 8): 3x3 complex matrix-vector
+# product at every lattice site, array-of-structures layout.
+# ---------------------------------------------------------------------------
+
+
+def milc_source(sites: int = 96) -> str:
+    return f"""
+// Model of 433.milc su3 matrix-vector multiply (original AoS layout).
+struct complex {{ double r; double i; }};
+struct su3_vector {{ struct complex c[3]; }};
+struct su3_matrix {{ struct complex e[3][3]; }};
+
+struct su3_matrix lattice[{sites}];
+struct su3_vector vec[{sites}];
+struct su3_vector out_vec[{sites}];
+
+int main() {{
+  int s, i, j;
+  for (s = 0; s < {sites}; s++) {{
+    for (i = 0; i < 3; i++) {{
+      vec[s].c[i].r = 0.01 * (double)(s + i) + 0.5;
+      vec[s].c[i].i = 0.02 * (double)(s - i) - 0.25;
+      for (j = 0; j < 3; j++) {{
+        lattice[s].e[i][j].r = 0.001 * (double)(s + i * 3 + j);
+        lattice[s].e[i][j].i = 0.002 * (double)(s - i - j);
+      }}
+    }}
+  }}
+  sites_loop: for (s = 0; s < {sites}; s++) {{
+    for (i = 0; i < 3; i++) {{
+      double xr = 0.0;
+      double xi = 0.0;
+      mv_j: for (j = 0; j < 3; j++) {{
+        double yr = lattice[s].e[i][j].r * vec[s].c[j].r -
+                    lattice[s].e[i][j].i * vec[s].c[j].i;
+        double yi = lattice[s].e[i][j].r * vec[s].c[j].i +
+                    lattice[s].e[i][j].i * vec[s].c[j].r;
+        xr += yr;
+        xi += yi;
+      }}
+      out_vec[s].c[i].r = xr;
+      out_vec[s].c[i].i = xi;
+    }}
+  }}
+  return 0;
+}}
+"""
+
+
+def milc_transformed_source(sites: int = 96) -> str:
+    """Listing 8 (transformed): lattice of matrices -> matrix of lattices
+    (AoS -> SoA), exposing unit-stride inner loops over sites."""
+    return f"""
+// Model of 433.milc su3 matrix-vector multiply (SoA layout).
+struct lattice_dlt {{ double r[3][3][{sites}]; double i[3][3][{sites}]; }};
+struct vec_dlt {{ double r[3][{sites}]; double i[3][{sites}]; }};
+
+struct lattice_dlt lattice;
+struct vec_dlt vec;
+struct vec_dlt out_vec;
+
+int main() {{
+  int s, i, j;
+  for (i = 0; i < 3; i++) {{
+    for (s = 0; s < {sites}; s++) {{
+      vec.r[i][s] = 0.01 * (double)(s + i) + 0.5;
+      vec.i[i][s] = 0.02 * (double)(s - i) - 0.25;
+      out_vec.r[i][s] = 0.0;
+      out_vec.i[i][s] = 0.0;
+    }}
+    for (j = 0; j < 3; j++)
+      for (s = 0; s < {sites}; s++) {{
+        lattice.r[i][j][s] = 0.001 * (double)(s + i * 3 + j);
+        lattice.i[i][j][s] = 0.002 * (double)(s - i - j);
+      }}
+  }}
+  outer_i: for (i = 0; i < 3; i++) {{
+    for (j = 0; j < 3; j++) {{
+      sites_vec: for (s = 0; s < {sites}; s++) {{
+        double x_r = lattice.r[i][j][s] * vec.r[j][s] -
+                     lattice.i[i][j][s] * vec.i[j][s];
+        double x_i = lattice.r[i][j][s] * vec.i[j][s] +
+                     lattice.i[i][j][s] * vec.r[j][s];
+        out_vec.r[i][s] += x_r;
+        out_vec.i[i][s] += x_i;
+      }}
+    }}
+  }}
+  return 0;
+}}
+"""
+
+
+# ---------------------------------------------------------------------------
+# 435.gromacs — innerf.f:3960 (Listing 9): nonbonded force inner loop with
+# an indirection array.  The values in jjnr are distinct, so iterations
+# are in fact independent — but no compiler can prove it.  Like the real
+# water kernel, each jjnr entry interacts with three i-atoms (one LJ +
+# Coulomb pair, two Coulomb-only pairs), so the arithmetic dominates the
+# gather/scatter traffic.
+# ---------------------------------------------------------------------------
+
+
+def _gromacs_interaction(jx: str, jy: str, jz: str) -> str:
+    """The 3-interaction force math shared by both gromacs variants.
+
+    Reads j-atom coordinates from the given expressions; leaves the force
+    deltas in ``tx``, ``ty``, ``tz`` and accumulates ``vnbtot``.
+    """
+    return f"""
+      double dx1 = ix1 - {jx};
+      double dy1 = iy1 - {jy};
+      double dz1 = iz1 - {jz};
+      double rsq1 = dx1 * dx1 + dy1 * dy1 + dz1 * dz1;
+      double rinv1 = 1.0 / sqrt(rsq1 + 0.01);
+      double rinvsq1 = rinv1 * rinv1;
+      double rinvsix = rinvsq1 * rinvsq1 * rinvsq1;
+      double vnb6 = c6 * rinvsix;
+      double vnb12 = c12 * rinvsix * rinvsix;
+      double fs1 = (12.0 * vnb12 - 6.0 * vnb6 + qq * rinv1) * rinvsq1;
+      vnbtot = vnbtot + vnb12 - vnb6;
+      double dx2 = ix2 - {jx};
+      double dy2 = iy2 - {jy};
+      double dz2 = iz2 - {jz};
+      double rsq2 = dx2 * dx2 + dy2 * dy2 + dz2 * dz2;
+      double rinv2 = 1.0 / sqrt(rsq2 + 0.01);
+      double fs2 = qq * rinv2 * rinv2 * rinv2;
+      double dx3 = ix3 - {jx};
+      double dy3 = iy3 - {jy};
+      double dz3 = iz3 - {jz};
+      double rsq3 = dx3 * dx3 + dy3 * dy3 + dz3 * dz3;
+      double rinv3 = 1.0 / sqrt(rsq3 + 0.01);
+      double fs3 = qq * rinv3 * rinv3 * rinv3;
+      double tx = dx1 * fs1 + dx2 * fs2 + dx3 * fs3;
+      double ty = dy1 * fs1 + dy2 * fs2 + dy3 * fs3;
+      double tz = dz1 * fs1 + dz2 * fs2 + dz3 * fs3;
+"""
+
+
+_GROMACS_CONSTS = """
+  double ix1 = 0.5;
+  double iy1 = 0.25;
+  double iz1 = 0.125;
+  double ix2 = 0.75;
+  double iy2 = 0.5;
+  double iz2 = 0.375;
+  double ix3 = 1.0;
+  double iy3 = 0.625;
+  double iz3 = 0.875;
+  double c6 = 0.003;
+  double c12 = 0.001;
+  double qq = 0.25;
+  double vnbtot = 0.0;
+"""
+
+
+def gromacs_source(pairs: int = 64, natoms: int = 128) -> str:
+    return f"""
+// Model of 435.gromacs nonbonded inner loop (original).
+double pos[{3 * natoms}];
+double faction[{3 * natoms}];
+int jjnr[{pairs}];
+
+int main() {{
+  int k;
+  for (k = 0; k < {3 * natoms}; k++) {{
+    pos[k] = 0.001 * (double)k;
+    faction[k] = 0.0005 * (double)k;
+  }}
+  // A permutation-ish index set: distinct j values, irregular order.
+  for (k = 0; k < {pairs}; k++)
+    jjnr[k] = (k * 37 + 11) % {natoms};
+{_GROMACS_CONSTS}
+  force_k: for (k = 0; k < {pairs}; k++) {{
+    int jnr = jjnr[k];
+    int j3 = 3 * jnr;
+    double jx1 = pos[j3];
+    double jy1 = pos[j3 + 1];
+    double jz1 = pos[j3 + 2];
+{_gromacs_interaction("jx1", "jy1", "jz1")}
+    faction[j3] = faction[j3] - tx;
+    faction[j3 + 1] = faction[j3 + 1] - ty;
+    faction[j3 + 2] = faction[j3 + 2] - tz;
+  }}
+  return (int)vnbtot;
+}}
+"""
+
+
+def gromacs_transformed_source(pairs: int = 64, natoms: int = 128) -> str:
+    """Listing 9 (transformed): strip-mine by 4, distribute the gather,
+    compute, and scatter phases; the compute loop vectorizes."""
+    return f"""
+// Model of 435.gromacs nonbonded inner loop (strip-mined + distributed).
+double pos[{3 * natoms}];
+double faction[{3 * natoms}];
+int jjnr[{pairs}];
+
+int main() {{
+  int k, kb;
+  for (k = 0; k < {3 * natoms}; k++) {{
+    pos[k] = 0.001 * (double)k;
+    faction[k] = 0.0005 * (double)k;
+  }}
+  for (k = 0; k < {pairs}; k++)
+    jjnr[k] = (k * 37 + 11) % {natoms};
+{_GROMACS_CONSTS}
+  int vect_j3[4];
+  double vect_jx1[4];
+  double vect_jy1[4];
+  double vect_jz1[4];
+  double vect_fjx1[4];
+  double vect_fjy1[4];
+  double vect_fjz1[4];
+  force_blk: for (kb = 0; kb < {pairs // 4}; kb++) {{
+    int kv;
+    gather: for (kv = 0; kv < 4; kv++) {{
+      int jnr = jjnr[kb * 4 + kv];
+      vect_j3[kv] = 3 * jnr;
+      vect_jx1[kv] = pos[vect_j3[kv]];
+      vect_jy1[kv] = pos[vect_j3[kv] + 1];
+      vect_jz1[kv] = pos[vect_j3[kv] + 2];
+      vect_fjx1[kv] = faction[vect_j3[kv]];
+      vect_fjy1[kv] = faction[vect_j3[kv] + 1];
+      vect_fjz1[kv] = faction[vect_j3[kv] + 2];
+    }}
+    compute: for (kv = 0; kv < 4; kv++) {{
+{_gromacs_interaction("vect_jx1[kv]", "vect_jy1[kv]", "vect_jz1[kv]")}
+      vect_fjx1[kv] = vect_fjx1[kv] - tx;
+      vect_fjy1[kv] = vect_fjy1[kv] - ty;
+      vect_fjz1[kv] = vect_fjz1[kv] - tz;
+    }}
+    scatter: for (kv = 0; kv < 4; kv++) {{
+      faction[vect_j3[kv]] = vect_fjx1[kv];
+      faction[vect_j3[kv] + 1] = vect_fjy1[kv];
+      faction[vect_j3[kv] + 2] = vect_fjz1[kv];
+    }}
+  }}
+  return (int)vnbtot;
+}}
+"""
+
+
+register(Workload(
+    name="bwaves_jacobian",
+    category="casestudy",
+    source_fn=bwaves_jacobian_source,
+    default_params={"nx": 10, "ny": 6, "nz": 4},
+    analyze_loops=["jac_k", "jac_i"],
+    description="bwaves flux-Jacobian loop, original (5,5,nx,ny,nz) layout.",
+    models="410.bwaves jacobian_lam.f:30, paper Listing 7 (original).",
+))
+
+register(Workload(
+    name="bwaves_transformed",
+    category="casestudy",
+    source_fn=bwaves_transformed_source,
+    default_params={"nx": 10, "ny": 6, "nz": 4},
+    analyze_loops=["jac_k", "jac_i"],
+    description="bwaves Jacobian after layout transposition + peeling.",
+    models="Paper Listing 7 (transformed).",
+))
+
+register(Workload(
+    name="milc_su3mv",
+    category="casestudy",
+    source_fn=milc_source,
+    default_params={"sites": 96},
+    analyze_loops=["sites_loop"],
+    description="milc 3x3 complex matrix-vector product, AoS layout.",
+    models="433.milc quark_stuff.c:1452, paper Listing 8 (original).",
+))
+
+register(Workload(
+    name="milc_transformed",
+    category="casestudy",
+    source_fn=milc_transformed_source,
+    default_params={"sites": 96},
+    analyze_loops=["outer_i", "sites_vec"],
+    description="milc matrix-vector product after AoS -> SoA rewrite.",
+    models="Paper Listing 8 (transformed).",
+))
+
+register(Workload(
+    name="gromacs_inner",
+    category="casestudy",
+    source_fn=gromacs_source,
+    default_params={"pairs": 64, "natoms": 128},
+    analyze_loops=["force_k"],
+    description="gromacs nonbonded force loop with jjnr indirection.",
+    models="435.gromacs innerf.f:3960, paper Listing 9 (original).",
+))
+
+register(Workload(
+    name="gromacs_transformed",
+    category="casestudy",
+    source_fn=gromacs_transformed_source,
+    default_params={"pairs": 64, "natoms": 128},
+    analyze_loops=["force_blk", "compute"],
+    description="gromacs loop strip-mined and distributed; compute "
+                "phase vectorizes.",
+    models="Paper Listing 9 (transformed).",
+))

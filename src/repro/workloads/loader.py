@@ -1,0 +1,53 @@
+"""Workload registry.
+
+All workload modules register their kernels here at import time;
+:func:`get_workload` triggers the imports lazily so ``import repro`` stays
+cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import WorkloadError
+from repro.workloads.base import Workload
+
+_REGISTRY: Dict[str, Workload] = {}
+_LOADED = False
+
+
+def register(workload: Workload) -> Workload:
+    if workload.name in _REGISTRY:
+        raise WorkloadError(f"duplicate workload {workload.name!r}")
+    _REGISTRY[workload.name] = workload
+    return workload
+
+
+def _ensure_loaded() -> None:
+    global _LOADED
+    if _LOADED:
+        return
+    _LOADED = True
+    # Importing these modules populates the registry.
+    from repro.workloads import kernels, casestudies  # noqa: F401
+    from repro.workloads.spec import ALL_SPEC_MODULES  # noqa: F401
+    from repro.workloads.utdsp import ALL_UTDSP_MODULES  # noqa: F401
+
+
+def get_workload(name: str) -> Workload:
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise WorkloadError(
+            f"unknown workload {name!r}; known: {known}"
+        ) from None
+
+
+def list_workloads(category: Optional[str] = None) -> List[Workload]:
+    _ensure_loaded()
+    out = sorted(_REGISTRY.values(), key=lambda w: w.name)
+    if category is not None:
+        out = [w for w in out if w.category == category]
+    return out

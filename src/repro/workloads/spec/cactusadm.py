@@ -1,0 +1,70 @@
+"""436.cactusADM — numerical relativity (staggered leapfrog).
+
+StaggeredLeapfrog2.F:342/366 are long, branch-free, stride-1 stencil
+updates over 3-D grids: icc packs essentially everything (96.9-100%
+packed) and the dynamic analysis agrees (unit 100%, vector size = the
+grid line length).  This is a row where the static compiler already wins;
+the reproduction must show *agreement*, not a gap.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+from repro.workloads.loader import register
+from repro.workloads.spec.table1 import Table1Row, add_row
+
+
+def leapfrog_source(nx: int = 20, ny: int = 6, nz: int = 4) -> str:
+    return f"""
+// Model of 436.cactusADM StaggeredLeapfrog2: branch-free leapfrog
+// update of the extrinsic curvature, stride-1 innermost.
+double adm_kxx[{nz}][{ny}][{nx}];
+double adm_kxx_p[{nz}][{ny}][{nx}];
+double adm_kxx_pp[{nz}][{ny}][{nx}];
+double src[{nz}][{ny}][{nx}];
+
+int main() {{
+  int i, j, k;
+  for (k = 0; k < {nz}; k++)
+    for (j = 0; j < {ny}; j++)
+      for (i = 0; i < {nx}; i++) {{
+        adm_kxx_p[k][j][i] = 0.01 * (double)(k + j + i);
+        adm_kxx_pp[k][j][i] = 0.005 * (double)(k * j + i);
+        src[k][j][i] = 0.001 * (double)(k + j * i);
+      }}
+  lf_k: for (k = 1; k < {nz} - 1; k++) {{
+    for (j = 1; j < {ny} - 1; j++) {{
+      lf_i: for (i = 1; i < {nx} - 1; i++) {{
+        adm_kxx[k][j][i] =
+            2.0 * adm_kxx_p[k][j][i] - adm_kxx_pp[k][j][i]
+          + 0.25 * (adm_kxx_p[k][j][i-1] + adm_kxx_p[k][j][i+1])
+          + 0.25 * (adm_kxx_p[k][j-1][i] + adm_kxx_p[k][j+1][i])
+          + 0.5 * src[k][j][i];
+      }}
+    }}
+  }}
+  return 0;
+}}
+"""
+
+
+register(Workload(
+    name="cactus_leapfrog",
+    category="spec",
+    source_fn=leapfrog_source,
+    default_params={"nx": 20, "ny": 6, "nz": 4},
+    analyze_loops=["lf_k", "lf_i"],
+    description="cactusADM staggered-leapfrog stencil update.",
+    models="436.cactusADM StaggeredLeapfrog2.F:342/366.",
+))
+
+add_row(Table1Row(
+    benchmark="436.cactusADM",
+    paper_loop="StaggeredLeapfrog2.F : 342",
+    workload="cactus_leapfrog",
+    loop="lf_k",
+    paper=(100.0, 80.0, 100.0, 80.0, 0.0, 0.0),
+    expect_packed="high",
+    expect_unit="high",
+    expect_nonunit="zero",
+))

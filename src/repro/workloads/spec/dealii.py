@@ -1,0 +1,70 @@
+"""447.dealII — adaptive finite elements (C++).
+
+The step-14 hot loops assemble local contributions through layers of C++
+abstraction (iterators, virtual calls): icc packs 0-3.1%.  Dynamically,
+quadrature-point contributions are independent across cells (unit
+66-87%), with reduction chains keeping some rows low.  Modeled as a cell
+assembly loop calling a shape-function helper (the call blocks static
+vectorization) over independent cells, plus per-cell reductions.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+from repro.workloads.loader import register
+from repro.workloads.spec.table1 import Table1Row, add_row
+
+
+def assembly_source(cells: int = 48, quad: int = 4) -> str:
+    return f"""
+// Model of 447.dealII step-14 local assembly: per-cell quadrature with
+// a helper call (abstraction barrier) and a per-cell reduction.
+double solution[{cells}][{quad}];
+double rhs[{cells}][{quad}];
+double cell_residual[{cells}];
+
+double shape_value(double xi, int q) {{
+  return (1.0 - xi) * 0.5 + (double)q * 0.125 * xi;
+}}
+
+int main() {{
+  int c, q;
+  for (c = 0; c < {cells}; c++)
+    for (q = 0; q < {quad}; q++) {{
+      solution[c][q] = 0.01 * (double)(c + q) + 0.5;
+      rhs[c][q] = 0.002 * (double)(c * q + 1);
+    }}
+  asm_c: for (c = 0; c < {cells}; c++) {{
+    double acc = 0.0;
+    asm_q: for (q = 0; q < {quad}; q++) {{
+      double phi = shape_value(solution[c][q], q);
+      double contrib = phi * rhs[c][q] + solution[c][q] * 0.25;
+      acc += contrib * contrib;
+    }}
+    cell_residual[c] = acc;
+  }}
+  return 0;
+}}
+"""
+
+
+register(Workload(
+    name="dealii_assembly",
+    category="spec",
+    source_fn=assembly_source,
+    default_params={"cells": 48, "quad": 4},
+    analyze_loops=["asm_c"],
+    description="dealII-style local assembly with helper call + reduction.",
+    models="447.dealII step-14.cc:715/780.",
+))
+
+add_row(Table1Row(
+    benchmark="447.dealII",
+    paper_loop="step-14.cc : 715",
+    workload="dealii_assembly",
+    loop="asm_c",
+    paper=(0.0, 130.9, 75.6, 58.2, 12.5, 18.8),
+    expect_packed="zero",
+    expect_unit="moderate",
+    expect_nonunit="any",
+))

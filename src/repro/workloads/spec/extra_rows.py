@@ -1,0 +1,208 @@
+"""Additional Table-1 rows mapped onto the modeled kernels.
+
+The paper's Table 1 has multiple rows per benchmark (several hot loops
+each).  Where loops of a benchmark share the structure the paper
+describes, one modeled kernel covers several rows — these registrations
+attach the remaining paper rows to the appropriate loop of an existing
+model, with the paper's reported values for the side-by-side print.
+"""
+
+from repro.workloads.spec.table1 import Table1Row, add_row
+
+# -- 410.bwaves ------------------------------------------------------------
+
+add_row(Table1Row(
+    benchmark="410.bwaves",
+    paper_loop="block_solver.f : 176",
+    workload="bwaves_block_solver",
+    loop="bs_i",
+    paper=(100.0, 8.3, 100.0, 5.0, 0.0, 0.0),
+    expect_packed="high",
+    expect_unit="high",
+    expect_nonunit="zero",
+))
+
+# -- 433.milc (gauge sector: same AoS su3 algebra at every site) ------------
+
+add_row(Table1Row(
+    benchmark="433.milc",
+    paper_loop="gauge_stuff.c : 258",
+    workload="milc_su3mv",
+    loop="sites_loop",
+    paper=(0.0, 10453.4, 36.2, 10427.4, 49.7, 3.3),
+    expect_packed="zero",
+    expect_unit="any",
+    expect_nonunit="present",
+    note="Gauge-force su3 products share the quark kernel's structure.",
+))
+
+add_row(Table1Row(
+    benchmark="433.milc",
+    paper_loop="path_product.c : 49",
+    workload="milc_su3mv",
+    loop="sites_loop",
+    paper=(0.0, 73316.6, 36.4, 69441.5, 63.6, 3.2),
+    expect_packed="zero",
+    expect_unit="any",
+    expect_nonunit="present",
+))
+
+# -- 436.cactusADM ----------------------------------------------------------
+
+add_row(Table1Row(
+    benchmark="436.cactusADM",
+    paper_loop="StaggeredLeapfrog2.F : 366",
+    workload="cactus_leapfrog",
+    loop="lf_i",
+    paper=(96.9, 78.0, 100.0, 78.0, 0.0, 0.0),
+    expect_packed="high",
+    expect_unit="high",
+    expect_nonunit="zero",
+))
+
+# -- 437.leslie3d -----------------------------------------------------------
+
+add_row(Table1Row(
+    benchmark="437.leslie3d",
+    paper_loop="tml.f : 889",
+    workload="leslie3d_flux",
+    loop="fl_i",
+    paper=(99.2, 7434.2, 99.9, 178.4, 0.0, 0.0),
+    expect_packed="high",
+    expect_unit="high",
+    expect_nonunit="zero",
+))
+
+add_row(Table1Row(
+    benchmark="437.leslie3d",
+    paper_loop="tml.f : 3569",
+    workload="leslie3d_flux",
+    loop="fl_k",
+    paper=(98.6, 8100.0, 100.0, 90.0, 0.0, 0.0),
+    expect_packed="high",
+    expect_unit="high",
+    expect_nonunit="zero",
+))
+
+# -- 444.namd ---------------------------------------------------------------
+
+add_row(Table1Row(
+    benchmark="444.namd",
+    paper_loop="ComputeList.C : 75",
+    workload="namd_pairlist",
+    loop="pair_k",
+    paper=(0.0, 313.3, 93.3, 295.4, 6.6, 7.8),
+    expect_packed="zero",
+    expect_unit="high",
+    expect_nonunit="any",
+    note="Pairlist construction shares the force loop's shape.",
+))
+
+# -- 447.dealII -------------------------------------------------------------
+
+add_row(Table1Row(
+    benchmark="447.dealII",
+    paper_loop="step-14.cc : 780",
+    workload="dealii_assembly",
+    loop="asm_c",
+    paper=(0.0, 27.0, 66.7, 27.0, 33.3, 27.0),
+    expect_packed="zero",
+    expect_unit="moderate",
+    expect_nonunit="any",
+))
+
+# -- 450.soplex -------------------------------------------------------------
+
+add_row(Table1Row(
+    benchmark="450.soplex",
+    paper_loop="spxsolve.cc : 126",
+    workload="soplex_sparse_update",
+    loop="upd_k",
+    paper=(0.0, 384.3, 92.3, 25.6, 3.5, 2.1),
+    expect_packed="zero",
+    expect_unit="moderate",
+    expect_nonunit="any",
+))
+
+# -- 453.povray -------------------------------------------------------------
+
+add_row(Table1Row(
+    benchmark="453.povray",
+    paper_loop="lighting.cpp : 600",
+    workload="povray_bbox",
+    loop="walk",
+    paper=(1.0, 13.1, 65.4, 13.9, 28.1, 2.0),
+    expect_packed="zero",
+    expect_unit="moderate",
+    expect_nonunit="any",
+    note="Lighting shares the intersection loops' irregular shape.",
+))
+
+# -- 454.calculix -----------------------------------------------------------
+
+add_row(Table1Row(
+    benchmark="454.calculix",
+    paper_loop="FrontMtx_update.c : 207",
+    workload="calculix_frontmtx",
+    loop="fm_i",
+    paper=(16.4, 774.0, 96.4, 11.4, 3.1, 9.4),
+    expect_packed="zero",
+    expect_unit="high",
+    expect_nonunit="any",
+))
+
+# -- 459.GemsFDTD -----------------------------------------------------------
+
+add_row(Table1Row(
+    benchmark="459.GemsFDTD",
+    paper_loop="update.F90 : 242",
+    workload="gemsfdtd_update",
+    loop="upd_i",
+    paper=(97.3, 200.0, 100.0, 200.0, 0.0, 0.0),
+    expect_packed="high",
+    expect_unit="high",
+    expect_nonunit="zero",
+))
+
+# -- 465.tonto --------------------------------------------------------------
+
+add_row(Table1Row(
+    benchmark="465.tonto",
+    paper_loop="mol.F90 : 11659",
+    workload="tonto_integrals",
+    loop="shifted_k",
+    paper=(19.5, 266.6, 97.2, 31.6, 1.0, 4.4),
+    expect_packed="zero",
+    expect_unit="high",
+    expect_nonunit="any",
+    note="Shifted accumulation: refused statically, widely independent "
+         "dynamically (short chains of period `shift`).",
+))
+
+# -- 481.wrf ----------------------------------------------------------------
+
+add_row(Table1Row(
+    benchmark="481.wrf",
+    paper_loop="solve_em.F90 : 1258",
+    workload="wrf_solve_em",
+    loop="em_i",
+    paper=(89.6, 9887.1, 93.6, 89.1, 6.4, 28.5),
+    expect_packed="high",
+    expect_unit="high",
+    expect_nonunit="any",
+))
+
+# -- 482.sphinx3 ------------------------------------------------------------
+
+add_row(Table1Row(
+    benchmark="482.sphinx3",
+    paper_loop="vector.c : 521",
+    workload="sphinx3_subvq",
+    loop="vq_d",
+    paper=(86.1, 3.3, 75.0, 13.0, 0.0, 0.0),
+    expect_packed="high",
+    expect_unit="moderate",
+    expect_nonunit="any",
+    note="The §4.1 reduction callout row: packed exceeds the dynamic "
+         "unit share because icc vectorizes the accumulation.",
+))

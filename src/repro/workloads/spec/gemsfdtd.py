@@ -1,0 +1,64 @@
+"""459.GemsFDTD — computational electromagnetics (FDTD).
+
+update.F90:108/242 are the H-field curl updates: perfectly regular
+stride-1 3-D loops, 97.3-97.4% packed, 100% unit potential with vector
+size equal to the line length (200-201) — an agreement row.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+from repro.workloads.loader import register
+from repro.workloads.spec.table1 import Table1Row, add_row
+
+
+def update_source(nx: int = 20, ny: int = 6, nz: int = 4) -> str:
+    return f"""
+// Model of 459.GemsFDTD update.F90:108 — H-field curl update.
+double hx[{nz}][{ny}][{nx}];
+double ey[{nz}][{ny}][{nx}];
+double ez[{nz}][{ny}][{nx}];
+
+int main() {{
+  int i, j, k;
+  for (k = 0; k < {nz}; k++)
+    for (j = 0; j < {ny}; j++)
+      for (i = 0; i < {nx}; i++) {{
+        ey[k][j][i] = 0.01 * (double)(k * 11 + j * 5 + i);
+        ez[k][j][i] = 0.02 * (double)(k + j + i);
+        hx[k][j][i] = 0.0;
+      }}
+  upd_k: for (k = 0; k < {nz} - 1; k++) {{
+    for (j = 0; j < {ny} - 1; j++) {{
+      upd_i: for (i = 0; i < {nx}; i++) {{
+        hx[k][j][i] = hx[k][j][i]
+          + 0.5 * (ey[k+1][j][i] - ey[k][j][i])
+          - 0.5 * (ez[k][j+1][i] - ez[k][j][i]);
+      }}
+    }}
+  }}
+  return 0;
+}}
+"""
+
+
+register(Workload(
+    name="gemsfdtd_update",
+    category="spec",
+    source_fn=update_source,
+    default_params={"nx": 20, "ny": 6, "nz": 4},
+    analyze_loops=["upd_k", "upd_i"],
+    description="GemsFDTD H-field curl update (stride-1).",
+    models="459.GemsFDTD update.F90:108/242.",
+))
+
+add_row(Table1Row(
+    benchmark="459.GemsFDTD",
+    paper_loop="update.F90 : 108",
+    workload="gemsfdtd_update",
+    loop="upd_k",
+    paper=(97.4, 201.0, 100.0, 201.0, 0.0, 0.0),
+    expect_packed="high",
+    expect_unit="high",
+    expect_nonunit="zero",
+))

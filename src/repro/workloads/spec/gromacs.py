@@ -1,0 +1,25 @@
+"""435.gromacs — molecular dynamics.
+
+The innerf.f nonbonded kernels walk an indirection array (``jjnr``), so
+icc reports 0-4.4% packed, while the dynamic analysis shows the scalar
+force arithmetic to be widely independent (unit 60-64%, small partitions
+bounded by the pair count and by the reduction chains, §4.4).
+
+Modeled by the ``gromacs_inner`` case-study kernel.
+"""
+
+from repro.workloads.spec.table1 import Table1Row, add_row
+
+add_row(Table1Row(
+    benchmark="435.gromacs",
+    paper_loop="innerf.f : 3960",
+    workload="gromacs_inner",
+    loop="force_k",
+    paper=(60.4, 4.0, 60.3, 12.0, 21.5, 2.0),
+    expect_packed="zero",
+    expect_unit="high",
+    expect_nonunit="any",
+    note="Paper's Percent-Cycles column reads 60.4 for this row; its "
+         "packed column is 4.4% — effectively unvectorized. §4.4 case "
+         "study (Listing 9).",
+))

@@ -1,0 +1,65 @@
+"""437.leslie3d — computational fluid dynamics (LES).
+
+The tml.f flux loops are clean stride-1 triple nests; icc packs nearly
+everything (98.5-99.2% packed) and the dynamic analysis reports unit-
+stride potential of ~100% with very large partitions — another agreement
+row.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+from repro.workloads.loader import register
+from repro.workloads.spec.table1 import Table1Row, add_row
+
+
+def flux_source(nx: int = 18, ny: int = 6, nz: int = 4) -> str:
+    return f"""
+// Model of 437.leslie3d tml.f flux computation: stride-1 differences
+// of fluxes with interpolated face values.
+double q[{nz}][{ny}][{nx}];
+double flux[{nz}][{ny}][{nx}];
+double dq[{nz}][{ny}][{nx}];
+
+int main() {{
+  int i, j, k;
+  for (k = 0; k < {nz}; k++)
+    for (j = 0; j < {ny}; j++)
+      for (i = 0; i < {nx}; i++)
+        q[k][j][i] = 0.01 * (double)(k * 31 + j * 7 + i) + 1.0;
+  fl_k: for (k = 0; k < {nz}; k++) {{
+    for (j = 0; j < {ny}; j++) {{
+      fl_i: for (i = 1; i < {nx} - 2; i++) {{
+        flux[k][j][i] = 0.5625 * (q[k][j][i] + q[k][j][i+1])
+                      - 0.0625 * (q[k][j][i-1] + q[k][j][i+2]);
+      }}
+      df_i: for (i = 2; i < {nx} - 2; i++) {{
+        dq[k][j][i] = flux[k][j][i] - flux[k][j][i-1];
+      }}
+    }}
+  }}
+  return 0;
+}}
+"""
+
+
+register(Workload(
+    name="leslie3d_flux",
+    category="spec",
+    source_fn=flux_source,
+    default_params={"nx": 18, "ny": 6, "nz": 4},
+    analyze_loops=["fl_k", "fl_i"],
+    description="leslie3d flux interpolation/differencing loops.",
+    models="437.leslie3d tml.f:522/889/1269/3569.",
+))
+
+add_row(Table1Row(
+    benchmark="437.leslie3d",
+    paper_loop="tml.f : 522",
+    workload="leslie3d_flux",
+    loop="fl_k",
+    paper=(98.5, 8805.5, 100.0, 158.3, 0.0, 0.0),
+    expect_packed="high",
+    expect_unit="high",
+    expect_nonunit="zero",
+))

@@ -1,0 +1,37 @@
+"""433.milc — lattice QCD.
+
+The hot loops (quark_stuff.c, gauge_stuff.c) all apply small complex
+su3 matrix/vector operations at every lattice site through an
+array-of-structures layout: icc packs nothing (0% across all eight rows),
+the dynamic analysis finds enormous concurrency across sites, and a
+substantial share of the operations group at fixed *non-unit* stride —
+the signature that a data-layout transformation pays off (§4.4).
+
+Modeled by the ``milc_su3mv`` case-study kernel.
+"""
+
+from repro.workloads.spec.table1 import Table1Row, add_row
+
+add_row(Table1Row(
+    benchmark="433.milc",
+    paper_loop="quark_stuff.c : 1452",
+    workload="milc_su3mv",
+    loop="sites_loop",
+    paper=(0.0, 20736.0, 36.4, 20736.0, 63.6, 502.3),
+    expect_packed="zero",
+    expect_unit="any",
+    expect_nonunit="present",
+    note="AoS su3 mat-vec; §4.4 case study (Listing 8).",
+))
+
+add_row(Table1Row(
+    benchmark="433.milc",
+    paper_loop="quark_stuff.c : 566",
+    workload="milc_su3mv",
+    loop="sites_loop",
+    paper=(0.0, 23687.7, 88.3, 11.4, 7.5, 4.2),
+    expect_packed="zero",
+    expect_unit="any",
+    expect_nonunit="present",
+    note="Same su3 kernel family; one model stands in for the group.",
+))

@@ -1,0 +1,84 @@
+"""453.povray — ray tracing (C++).
+
+The paper studies bbox.cpp:894 in depth (§4.4, Limitations): a priority-
+queue worklist intersecting rays with a bounding-box tree.  Control flow
+is heavily data-dependent; concurrency is small (avg 11-15) and only the
+low-level vector geometry (dot products, min/max per axis) shows modest
+unit potential (59-66%) in short groups.  Modeled as a tree-walk loop
+whose branch depends on loaded node data.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+from repro.workloads.loader import register
+from repro.workloads.spec.table1 import Table1Row, add_row
+
+
+def bbox_source(nodes: int = 64) -> str:
+    return f"""
+// Model of 453.povray bbox.cpp:894 — bounding-box tree intersection
+// with data-dependent control flow.
+struct bbox {{ double lox; double loy; double loz;
+               double hix; double hiy; double hiz; int kind; }};
+struct bbox tree[{nodes}];
+double hits[{nodes}];
+
+int main() {{
+  int k;
+  for (k = 0; k < {nodes}; k++) {{
+    tree[k].lox = 0.01 * (double)k;
+    tree[k].loy = 0.02 * (double)k;
+    tree[k].loz = 0.005 * (double)k;
+    tree[k].hix = tree[k].lox + 1.0;
+    tree[k].hiy = tree[k].loy + 1.5;
+    tree[k].hiz = tree[k].loz + 0.5;
+    tree[k].kind = (k * 7 + 3) % 3;
+  }}
+  double ox = 0.5;
+  double oy = 0.25;
+  double oz = 0.1;
+  double dx = 0.71;
+  double dy = 0.5;
+  double dz = 0.5;
+  walk: for (k = 0; k < {nodes}; k++) {{
+    double tx0 = (tree[k].lox - ox) / dx;
+    double ty0 = (tree[k].loy - oy) / dy;
+    double tz0 = (tree[k].loz - oz) / dz;
+    double tnear = fmax(fmax(tx0, ty0), tz0);
+    if (tree[k].kind == 0) {{
+      double tx1 = (tree[k].hix - ox) / dx;
+      double ty1 = (tree[k].hiy - oy) / dy;
+      double tfar = fmin(tx1, ty1);
+      hits[k] = tfar - tnear;
+    }} else {{
+      hits[k] = tnear * 0.5;
+    }}
+  }}
+  return 0;
+}}
+"""
+
+
+register(Workload(
+    name="povray_bbox",
+    category="spec",
+    source_fn=bbox_source,
+    default_params={"nodes": 64},
+    analyze_loops=["walk"],
+    description="povray bounding-box intersection with branching.",
+    models="453.povray bbox.cpp:894.",
+))
+
+add_row(Table1Row(
+    benchmark="453.povray",
+    paper_loop="bbox.cpp : 894",
+    workload="povray_bbox",
+    loop="walk",
+    paper=(0.2, 11.2, 62.6, 14.8, 27.3, 2.7),
+    expect_packed="zero",
+    expect_unit="moderate",
+    expect_nonunit="any",
+    note="Paper §4.4 'Limitations': potential exists but is hard to "
+         "realize under irregular control flow.",
+))

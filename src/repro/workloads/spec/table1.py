@@ -1,0 +1,95 @@
+"""The Table-1 row registry: modeled loops and the paper's reported values.
+
+Each :class:`Table1Row` ties one paper row (benchmark, source loop) to the
+workload/loop that models it here, together with the paper's numbers and
+the *shape* expectations the reproduction must meet (who is packed, where
+the dynamic potential is).  Rows register themselves from the per-
+benchmark modules at import time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One modeled row of Table 1 (or Table 2 for the kernels)."""
+
+    benchmark: str           # e.g. "433.milc"
+    paper_loop: str          # e.g. "quark_stuff.c : 1452"
+    workload: str            # registered workload name
+    loop: str                # loop label inside the workload
+    #: the paper's reported values:
+    #: (percent_packed, avg_concur, unit_pct, unit_sz, nonunit_pct, nonunit_sz)
+    paper: Tuple[float, float, float, float, float, float]
+    #: shape expectations for tests/benches:
+    expect_packed: str = "any"     # "zero" | "partial" | "high" | "any"
+    expect_unit: str = "any"       # "zero" | "low" | "moderate" | "high"
+    expect_nonunit: str = "any"    # "zero" | "present" | "dominant"
+    note: str = ""
+
+
+TABLE1_ROWS: Dict[str, Table1Row] = {}
+
+
+def add_row(row: Table1Row) -> Table1Row:
+    key = f"{row.benchmark}/{row.paper_loop}"
+    if key in TABLE1_ROWS:
+        raise ValueError(f"duplicate Table-1 row {key}")
+    TABLE1_ROWS[key] = row
+    return row
+
+
+_PACKED_LEVELS = {"zero": 0, "partial": 1, "high": 2}
+_UNIT_LEVELS = {"zero": 0, "low": 1, "moderate": 2, "high": 3}
+_NONUNIT_LEVELS = {"zero": 0, "present": 1, "dominant": 2}
+
+
+def _meets(measured: str, expected: str, levels: Dict[str, int]) -> bool:
+    """Expectation semantics: "any" always passes; "zero" requires the
+    measured band to be exactly zero; any other band is a *minimum*."""
+    if expected == "any":
+        return True
+    if expected == "zero":
+        return measured == "zero"
+    return levels[measured] >= levels[expected]
+
+
+def row_matches(row: Table1Row, percent_packed: float, unit_pct: float,
+                nonunit_pct: float) -> bool:
+    """Does a measured loop meet the row's shape expectations?"""
+    return (
+        _meets(classify_packed(percent_packed), row.expect_packed,
+               _PACKED_LEVELS)
+        and _meets(classify_unit(unit_pct), row.expect_unit, _UNIT_LEVELS)
+        and _meets(classify_nonunit(nonunit_pct), row.expect_nonunit,
+                   _NONUNIT_LEVELS)
+    )
+
+
+def classify_packed(pct: float) -> str:
+    if pct < 5.0:
+        return "zero"
+    if pct < 60.0:
+        return "partial"
+    return "high"
+
+
+def classify_unit(pct: float) -> str:
+    if pct < 5.0:
+        return "zero"
+    if pct < 30.0:
+        return "low"
+    if pct < 60.0:
+        return "moderate"
+    return "high"
+
+
+def classify_nonunit(pct: float) -> str:
+    if pct < 5.0:
+        return "zero"
+    if pct < 50.0:
+        return "present"
+    return "dominant"

@@ -1,0 +1,66 @@
+"""465.tonto — quantum chemistry (Fortran 95).
+
+mol.F90:5565 is mostly packed (80.4%) with near-total unit potential;
+mol.F90:11659 is only 19.5% packed because the integral loop mixes a
+vectorizable part with accumulations into index-shifted targets.
+Modeled as two loops: a packed dense scaling loop and a shifted-update
+loop icc refuses (carried dependence) whose instances are widely
+independent dynamically.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+from repro.workloads.loader import register
+from repro.workloads.spec.table1 import Table1Row, add_row
+
+
+def integrals_source(n: int = 64, shift: int = 3) -> str:
+    return f"""
+// Model of 465.tonto mol.F90 integral loops.
+double w[{n}];
+double g[{n}];
+double acc[{n + 8}];
+
+int main() {{
+  int k;
+  for (k = 0; k < {n}; k++) {{
+    w[k] = 0.01 * (double)(k + 1);
+    g[k] = 0.002 * (double)(3 * k + 2);
+  }}
+  for (k = 0; k < {n} + 8; k++)
+    acc[k] = 0.0;
+  // Packed part: dense elementwise contraction (mol.F90:5565).
+  dense_k: for (k = 0; k < {n}; k++) {{
+    g[k] = g[k] * w[k] + 0.5 * w[k];
+  }}
+  // Refused part: shifted accumulation looks loop-carried to the
+  // compiler (mol.F90:11659 flavour).
+  shifted_k: for (k = 0; k < {n}; k++) {{
+    acc[k + {shift}] = acc[k] + g[k];
+  }}
+  return 0;
+}}
+"""
+
+
+register(Workload(
+    name="tonto_integrals",
+    category="spec",
+    source_fn=integrals_source,
+    default_params={"n": 64, "shift": 3},
+    analyze_loops=["dense_k", "shifted_k"],
+    description="tonto integral loops: packed dense + refused shifted.",
+    models="465.tonto mol.F90:5565/11659.",
+))
+
+add_row(Table1Row(
+    benchmark="465.tonto",
+    paper_loop="mol.F90 : 5565",
+    workload="tonto_integrals",
+    loop="dense_k",
+    paper=(80.4, 50779.4, 99.2, 150.7, 0.3, 2.4),
+    expect_packed="high",
+    expect_unit="high",
+    expect_nonunit="any",
+))

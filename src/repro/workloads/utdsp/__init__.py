@@ -1,0 +1,65 @@
+"""UTDSP benchmark kernels, array and pointer versions (Table 3).
+
+The UTDSP suite provides each DSP kernel in two functionally identical
+styles: array subscripts and walking pointers.  The paper uses it to show
+that (a) the dynamic analysis is invariant to the style, while (b) icc
+fails to vectorize the pointer versions (§4.3).
+
+``TABLE3_ROWS`` records the paper's values per kernel/style for the
+Table-3 bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.workloads.utdsp import fft, fir, iir, latnrm, lmsfir, mult
+
+ALL_UTDSP_MODULES = [fft, fir, iir, latnrm, lmsfir, mult]
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    kernel: str               # "FIR"
+    style: str                # "array" | "pointer"
+    workload: str             # registered workload name
+    loop: str                 # analyzed loop label
+    #: paper values: (packed, concur, unit_pct, unit_sz, nonunit_pct,
+    #: nonunit_sz)
+    paper: Tuple[float, float, float, float, float, float]
+
+
+TABLE3_ROWS: Dict[str, Table3Row] = {}
+
+
+def _add(row: Table3Row) -> None:
+    TABLE3_ROWS[f"{row.kernel}/{row.style}"] = row
+
+
+_add(Table3Row("FFT", "array", "utdsp_fft_array", "stage_loop",
+               (49.9, 568.9, 79.3, 24.1, 12.2, 2.0)))
+_add(Table3Row("FFT", "pointer", "utdsp_fft_pointer", "stage_loop",
+               (0.0, 568.9, 79.3, 24.1, 12.2, 2.0)))
+_add(Table3Row("FIR", "array", "utdsp_fir_array", "fir_n",
+               (99.8, 99.9, 100.0, 57.4, 0.0, 0.0)))
+_add(Table3Row("FIR", "pointer", "utdsp_fir_pointer", "fir_n",
+               (0.0, 99.9, 100.0, 57.4, 0.0, 0.0)))
+_add(Table3Row("IIR", "array", "utdsp_iir_array", "iir_n",
+               (0.0, 43.6, 64.8, 14.3, 15.6, 8.9)))
+_add(Table3Row("IIR", "pointer", "utdsp_iir_pointer", "iir_n",
+               (0.0, 43.6, 64.8, 14.3, 15.6, 8.9)))
+_add(Table3Row("LATNRM", "array", "utdsp_latnrm_array", "sample_n",
+               (7.8, 7.4, 74.6, 23.9, 0.0, 0.0)))
+_add(Table3Row("LATNRM", "pointer", "utdsp_latnrm_pointer", "sample_n",
+               (8.2, 7.4, 74.6, 23.9, 0.0, 0.0)))
+_add(Table3Row("LMSFIR", "array", "utdsp_lmsfir_array", "lms_n",
+               (0.0, 2.7, 48.3, 22.1, 16.5, 21.8)))
+_add(Table3Row("LMSFIR", "pointer", "utdsp_lmsfir_pointer", "lms_n",
+               (0.0, 2.8, 49.4, 28.0, 16.2, 21.9)))
+_add(Table3Row("MULT", "array", "utdsp_mult_array", "mm_i",
+               (50.4, 181.9, 100.0, 18.2, 0.0, 0.0)))
+_add(Table3Row("MULT", "pointer", "utdsp_mult_pointer", "mm_i",
+               (0.0, 181.9, 100.0, 18.2, 0.0, 0.0)))
+
+__all__ = ["ALL_UTDSP_MODULES", "TABLE3_ROWS", "Table3Row"]

@@ -1,0 +1,244 @@
+"""UTDSP FFT — radix-2 decimation-in-time transform.
+
+The model keeps the three phases of the UTDSP code with their
+vectorization behaviour:
+
+- bit-reversal permutation with input scaling (irregular subscripts —
+  never vectorized);
+- per-stage twiddle generation by recurrence (serial chain — never
+  vectorized);
+- butterfly combination loops, written ping-pong with the low/high
+  halves distributed into separate loops (stride-1 — icc packs the array
+  version, refuses the pointer version).
+
+This yields the paper's "partially packed" array FFT and 0%-packed
+pointer FFT with style-invariant dynamic metrics.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+from repro.workloads.loader import register
+
+
+def _decls(n: int, stages: int) -> str:
+    return f"""
+double inr[{n}];
+double xr[{n}];
+double xi[{n}];
+double yr[{n}];
+double yi[{n}];
+double twr[{stages}][{n // 2}];
+double twi[{stages}][{n // 2}];
+int br[{n}];
+"""
+
+
+def _init(n: int, stages: int) -> str:
+    return f"""
+  int i, st, g, j;
+  for (i = 0; i < {n}; i++) {{
+    inr[i] = 0.01 * (double)(i % 15) - 0.04;
+    xi[i] = 0.0;
+    yi[i] = 0.0;
+  }}
+  // Bit-reversal table.
+  for (i = 0; i < {n}; i++) {{
+    int v = i;
+    int r = 0;
+    for (st = 0; st < {stages}; st++) {{
+      r = r * 2 + v % 2;
+      v = v / 2;
+    }}
+    br[i] = r;
+  }}
+"""
+
+
+_TWIDDLE_GEN = """
+  // Twiddle generation: a serial product recurrence per stage.
+  tw_st: for (st = 0; st < {stages}; st++) {{
+    double cr = 1.0 - 0.002 * (double)(st + 1);
+    double ci = 0.05 / (double)(st + 1);
+    twr[st][0] = 1.0;
+    twi[st][0] = 0.0;
+    tw_j: for (j = 1; j < {half}; j++) {{
+      twr[st][j] = twr[st][j-1] * cr - twi[st][j-1] * ci;
+      twi[st][j] = twr[st][j-1] * ci + twi[st][j-1] * cr;
+    }}
+  }}
+"""
+
+
+def fft_array_source(n: int = 32) -> str:
+    stages = n.bit_length() - 1
+    half = n // 2
+    return f"""
+// UTDSP FFT, array version (ping-pong butterflies).
+{_decls(n, stages)}
+int main() {{
+{_init(n, stages)}
+{_TWIDDLE_GEN.format(stages=stages, half=half)}
+  // Bit-reversal with scaling: irregular store pattern.
+  bitrev: for (i = 0; i < {n}; i++) {{
+    xr[br[i]] = inr[i] * 0.5 + 0.125;
+  }}
+  stage_loop: for (st = 0; st < {stages}; st++) {{
+    int m = 1 << st;
+    int groups = {n} / (2 * m);
+    if (st % 2 == 0) {{
+      grp_e: for (g = 0; g < groups; g++) {{
+        int base = 2 * g * m;
+        bf_lo_e: for (j = 0; j < m; j++) {{
+          double tr = twr[st][j] * xr[base + m + j]
+                    - twi[st][j] * xi[base + m + j];
+          double ti = twr[st][j] * xi[base + m + j]
+                    + twi[st][j] * xr[base + m + j];
+          yr[base + j] = xr[base + j] + tr;
+          yi[base + j] = xi[base + j] + ti;
+        }}
+        bf_hi_e: for (j = 0; j < m; j++) {{
+          double tr = twr[st][j] * xr[base + m + j]
+                    - twi[st][j] * xi[base + m + j];
+          double ti = twr[st][j] * xi[base + m + j]
+                    + twi[st][j] * xr[base + m + j];
+          yr[base + m + j] = xr[base + j] - tr;
+          yi[base + m + j] = xi[base + j] - ti;
+        }}
+      }}
+    }} else {{
+      grp_o: for (g = 0; g < groups; g++) {{
+        int base = 2 * g * m;
+        bf_lo_o: for (j = 0; j < m; j++) {{
+          double tr = twr[st][j] * yr[base + m + j]
+                    - twi[st][j] * yi[base + m + j];
+          double ti = twr[st][j] * yi[base + m + j]
+                    + twi[st][j] * yr[base + m + j];
+          xr[base + j] = yr[base + j] + tr;
+          xi[base + j] = yi[base + j] + ti;
+        }}
+        bf_hi_o: for (j = 0; j < m; j++) {{
+          double tr = twr[st][j] * yr[base + m + j]
+                    - twi[st][j] * yi[base + m + j];
+          double ti = twr[st][j] * yi[base + m + j]
+                    + twi[st][j] * yr[base + m + j];
+          xr[base + m + j] = yr[base + j] - tr;
+          xi[base + m + j] = yi[base + j] - ti;
+        }}
+      }}
+    }}
+  }}
+  return 0;
+}}
+"""
+
+
+def fft_pointer_source(n: int = 32) -> str:
+    stages = n.bit_length() - 1
+    half = n // 2
+    return f"""
+// UTDSP FFT, pointer version (walking-pointer butterflies).
+{_decls(n, stages)}
+int main() {{
+{_init(n, stages)}
+{_TWIDDLE_GEN.format(stages=stages, half=half)}
+  bitrev: for (i = 0; i < {n}; i++) {{
+    xr[br[i]] = inr[i] * 0.5 + 0.125;
+  }}
+  stage_loop: for (st = 0; st < {stages}; st++) {{
+    int m = 1 << st;
+    int groups = {n} / (2 * m);
+    if (st % 2 == 0) {{
+      grp_e: for (g = 0; g < groups; g++) {{
+        int base = 2 * g * m;
+        double *pwr = &twr[st][0];
+        double *pwi = &twi[st][0];
+        double *plr = &xr[base];
+        double *pli = &xi[base];
+        double *phr = &xr[base + m];
+        double *phi = &xi[base + m];
+        double *por = &yr[base];
+        double *poi = &yi[base];
+        bf_lo_e: for (j = 0; j < m; j++) {{
+          double tr = *pwr * *phr - *pwi * *phi;
+          double ti = *pwr * *phi + *pwi * *phr;
+          *por = *plr + tr;
+          *poi = *pli + ti;
+          pwr++; pwi++; plr++; pli++; phr++; phi++; por++; poi++;
+        }}
+        pwr = &twr[st][0];
+        pwi = &twi[st][0];
+        plr = &xr[base];
+        pli = &xi[base];
+        phr = &xr[base + m];
+        phi = &xi[base + m];
+        por = &yr[base + m];
+        poi = &yi[base + m];
+        bf_hi_e: for (j = 0; j < m; j++) {{
+          double tr = *pwr * *phr - *pwi * *phi;
+          double ti = *pwr * *phi + *pwi * *phr;
+          *por = *plr - tr;
+          *poi = *pli - ti;
+          pwr++; pwi++; plr++; pli++; phr++; phi++; por++; poi++;
+        }}
+      }}
+    }} else {{
+      grp_o: for (g = 0; g < groups; g++) {{
+        int base = 2 * g * m;
+        double *pwr = &twr[st][0];
+        double *pwi = &twi[st][0];
+        double *plr = &yr[base];
+        double *pli = &yi[base];
+        double *phr = &yr[base + m];
+        double *phi = &yi[base + m];
+        double *por = &xr[base];
+        double *poi = &xi[base];
+        bf_lo_o: for (j = 0; j < m; j++) {{
+          double tr = *pwr * *phr - *pwi * *phi;
+          double ti = *pwr * *phi + *pwi * *phr;
+          *por = *plr + tr;
+          *poi = *pli + ti;
+          pwr++; pwi++; plr++; pli++; phr++; phi++; por++; poi++;
+        }}
+        pwr = &twr[st][0];
+        pwi = &twi[st][0];
+        plr = &yr[base];
+        pli = &yi[base];
+        phr = &yr[base + m];
+        phi = &yi[base + m];
+        por = &xr[base + m];
+        poi = &xi[base + m];
+        bf_hi_o: for (j = 0; j < m; j++) {{
+          double tr = *pwr * *phr - *pwi * *phi;
+          double ti = *pwr * *phi + *pwi * *phr;
+          *por = *plr - tr;
+          *poi = *pli - ti;
+          pwr++; pwi++; plr++; pli++; phr++; phi++; por++; poi++;
+        }}
+      }}
+    }}
+  }}
+  return 0;
+}}
+"""
+
+
+register(Workload(
+    name="utdsp_fft_array",
+    category="utdsp",
+    source_fn=fft_array_source,
+    default_params={"n": 32},
+    analyze_loops=["stage_loop"],
+    description="Radix-2 FFT, array subscripts.",
+    models="UTDSP FFT (array).",
+))
+
+register(Workload(
+    name="utdsp_fft_pointer",
+    category="utdsp",
+    source_fn=fft_pointer_source,
+    default_params={"n": 32},
+    analyze_loops=["stage_loop"],
+    description="Radix-2 FFT, walking pointers.",
+    models="UTDSP FFT (pointer).",
+))

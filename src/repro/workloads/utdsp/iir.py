@@ -1,0 +1,119 @@
+"""UTDSP IIR — cascaded biquad infinite impulse response filter.
+
+Every section carries state (d0/d1) across samples and the signal
+threads sequentially through the sections, so neither icc nor the
+dynamic model finds vector partitions along the recurrence; the paper
+reports 0% packed for both styles, with moderate unit potential from the
+independent per-section products.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+from repro.workloads.loader import register
+
+_DECLS = """
+double x[{nsamp}];
+double y[{nsamp}];
+double b0[{nsec}];
+double b1[{nsec}];
+double b2[{nsec}];
+double a1[{nsec}];
+double a2[{nsec}];
+double d0[{nsec}];
+double d1[{nsec}];
+"""
+
+_INIT = """
+  int n, s;
+  for (n = 0; n < {nsamp}; n++)
+    x[n] = 0.01 * (double)(n % 13) - 0.03;
+  for (s = 0; s < {nsec}; s++) {{
+    b0[s] = 0.2 + 0.01 * (double)s;
+    b1[s] = 0.1;
+    b2[s] = 0.05;
+    a1[s] = 0.3 - 0.01 * (double)s;
+    a2[s] = 0.1;
+    d0[s] = 0.0;
+    d1[s] = 0.0;
+  }}
+"""
+
+
+def iir_array_source(nsamp: int = 48, nsec: int = 6) -> str:
+    return f"""
+// UTDSP IIR, array version (cascade of biquads, direct form II).
+{_DECLS.format(nsamp=nsamp, nsec=nsec)}
+int main() {{
+{_INIT.format(nsamp=nsamp, nsec=nsec)}
+  iir_n: for (n = 0; n < {nsamp}; n++) {{
+    double in = x[n];
+    iir_s: for (s = 0; s < {nsec}; s++) {{
+      double t = in - a1[s] * d0[s] - a2[s] * d1[s];
+      double out = b0[s] * t + b1[s] * d0[s] + b2[s] * d1[s];
+      d1[s] = d0[s];
+      d0[s] = t;
+      in = out;
+    }}
+    y[n] = in;
+  }}
+  return 0;
+}}
+"""
+
+
+def iir_pointer_source(nsamp: int = 48, nsec: int = 6) -> str:
+    return f"""
+// UTDSP IIR, pointer version.
+{_DECLS.format(nsamp=nsamp, nsec=nsec)}
+int main() {{
+{_INIT.format(nsamp=nsamp, nsec=nsec)}
+  iir_n: for (n = 0; n < {nsamp}; n++) {{
+    double in = x[n];
+    double *pb0 = b0;
+    double *pb1 = b1;
+    double *pb2 = b2;
+    double *pa1 = a1;
+    double *pa2 = a2;
+    double *pd0 = d0;
+    double *pd1 = d1;
+    iir_s: for (s = 0; s < {nsec}; s++) {{
+      double t = in - *pa1 * *pd0 - *pa2 * *pd1;
+      double out = *pb0 * t + *pb1 * *pd0 + *pb2 * *pd1;
+      *pd1 = *pd0;
+      *pd0 = t;
+      in = out;
+      pb0++;
+      pb1++;
+      pb2++;
+      pa1++;
+      pa2++;
+      pd0++;
+      pd1++;
+    }}
+    y[n] = in;
+  }}
+  return 0;
+}}
+"""
+
+
+register(Workload(
+    name="utdsp_iir_array",
+    category="utdsp",
+    source_fn=iir_array_source,
+    default_params={"nsamp": 48, "nsec": 6},
+    analyze_loops=["iir_n"],
+    description="Cascaded biquad IIR filter, array subscripts.",
+    models="UTDSP IIR (array).",
+))
+
+register(Workload(
+    name="utdsp_iir_pointer",
+    category="utdsp",
+    source_fn=iir_pointer_source,
+    default_params={"nsamp": 48, "nsec": 6},
+    analyze_loops=["iir_n"],
+    description="Cascaded biquad IIR filter, walking pointers.",
+    models="UTDSP IIR (pointer).",
+))

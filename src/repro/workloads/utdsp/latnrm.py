@@ -1,0 +1,118 @@
+"""UTDSP LATNRM — normalized lattice filter.
+
+The per-sample lattice recursion is order-sequential (low concurrency —
+the paper reports 7.4), with only a small normalization loop icc can
+pack (7.8-8.2% packed).  Unit potential comes from the independent
+per-stage products across samples.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+from repro.workloads.loader import register
+
+_DECLS = """
+double x[{nsamp}];
+double y[{nsamp}];
+double kcoef[{order}];
+double vcoef[{order}];
+double state[{order}];
+double scale[{nsamp}];
+"""
+
+_INIT = """
+  int n, s;
+  for (n = 0; n < {nsamp}; n++)
+    x[n] = 0.01 * (double)(n % 9) - 0.02;
+  for (s = 0; s < {order}; s++) {{
+    kcoef[s] = 0.3 / (double)(s + 1);
+    vcoef[s] = 0.2 / (double)(s + 2);
+    state[s] = 0.0;
+  }}
+"""
+
+
+def latnrm_array_source(nsamp: int = 40, order: int = 8) -> str:
+    return f"""
+// UTDSP LATNRM, array version.
+{_DECLS.format(nsamp=nsamp, order=order)}
+int main() {{
+{_INIT.format(nsamp=nsamp, order=order)}
+  sample_n: for (n = 0; n < {nsamp}; n++) {{
+    double top = x[n];
+    double bot;
+    double acc = 0.0;
+    lat_s: for (s = 0; s < {order}; s++) {{
+      double f = top - kcoef[s] * state[s];
+      bot = state[s] + kcoef[s] * f;
+      state[s] = bot;
+      top = f;
+      acc += vcoef[s] * bot;
+    }}
+    y[n] = acc;
+  }}
+  // Normalization pass: the one part icc packs.
+  norm_n: for (n = 0; n < {nsamp}; n++) {{
+    scale[n] = y[n] * 0.125;
+  }}
+  return 0;
+}}
+"""
+
+
+def latnrm_pointer_source(nsamp: int = 40, order: int = 8) -> str:
+    return f"""
+// UTDSP LATNRM, pointer version.
+{_DECLS.format(nsamp=nsamp, order=order)}
+int main() {{
+{_INIT.format(nsamp=nsamp, order=order)}
+  sample_n: for (n = 0; n < {nsamp}; n++) {{
+    double top = x[n];
+    double bot;
+    double acc = 0.0;
+    double *pk = kcoef;
+    double *pst = state;
+    double *pv = vcoef;
+    lat_s: for (s = 0; s < {order}; s++) {{
+      double f = top - *pk * *pst;
+      bot = *pst + *pk * f;
+      *pst = bot;
+      top = f;
+      acc += *pv * bot;
+      pk++;
+      pst++;
+      pv++;
+    }}
+    y[n] = acc;
+  }}
+  double *py = y;
+  double *psc = scale;
+  norm_n: for (n = 0; n < {nsamp}; n++) {{
+    *psc = *py * 0.125;
+    py++;
+    psc++;
+  }}
+  return 0;
+}}
+"""
+
+
+register(Workload(
+    name="utdsp_latnrm_array",
+    category="utdsp",
+    source_fn=latnrm_array_source,
+    default_params={"nsamp": 40, "order": 8},
+    analyze_loops=["sample_n"],
+    description="Normalized lattice filter, array subscripts.",
+    models="UTDSP LATNRM (array).",
+))
+
+register(Workload(
+    name="utdsp_latnrm_pointer",
+    category="utdsp",
+    source_fn=latnrm_pointer_source,
+    default_params={"nsamp": 40, "order": 8},
+    analyze_loops=["sample_n"],
+    description="Normalized lattice filter, walking pointers.",
+    models="UTDSP LATNRM (pointer).",
+))

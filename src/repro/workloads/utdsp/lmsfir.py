@@ -1,0 +1,109 @@
+"""UTDSP LMSFIR — adaptive FIR filter (least-mean-squares).
+
+Each sample convolves the coefficient vector *backward* through the
+input window (``x[n - k]`` — a negative stride the static vectorizer
+refuses), derives the error, and updates every coefficient with it.  The
+error feedback serializes samples: the paper reports 0% packed for both
+styles with very low concurrency (2.7) and ~48% unit potential from the
+independent per-tap products.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+from repro.workloads.loader import register
+
+_DECLS = """
+double x[{nx}];
+double d[{nsamp}];
+double coef[{ntap}];
+double y[{nsamp}];
+"""
+
+_INIT = """
+  int n, k;
+  for (n = 0; n < {nx}; n++)
+    x[n] = 0.01 * (double)(n % 11) - 0.02;
+  for (n = 0; n < {nsamp}; n++)
+    d[n] = 0.008 * (double)(n % 7);
+  for (k = 0; k < {ntap}; k++)
+    coef[k] = 0.05 / (double)(k + 1);
+  double mu = 0.02;
+"""
+
+
+def lmsfir_array_source(nsamp: int = 40, ntap: int = 12) -> str:
+    nx = nsamp + ntap
+    top = ntap - 1
+    return f"""
+// UTDSP LMSFIR, array version (backward convolution window).
+{_DECLS.format(nx=nx, nsamp=nsamp, ntap=ntap)}
+int main() {{
+{_INIT.format(nx=nx, nsamp=nsamp, ntap=ntap)}
+  lms_n: for (n = 0; n < {nsamp}; n++) {{
+    double sum = 0.0;
+    mac_k: for (k = 0; k < {ntap}; k++) {{
+      sum += coef[k] * x[n + {top} - k];
+    }}
+    double err = (d[n] - sum) * mu;
+    upd_k: for (k = 0; k < {ntap}; k++) {{
+      coef[k] = coef[k] + err * x[n + {top} - k];
+    }}
+    y[n] = sum;
+  }}
+  return 0;
+}}
+"""
+
+
+def lmsfir_pointer_source(nsamp: int = 40, ntap: int = 12) -> str:
+    nx = nsamp + ntap
+    top = ntap - 1
+    return f"""
+// UTDSP LMSFIR, pointer version (decrementing data pointer).
+{_DECLS.format(nx=nx, nsamp=nsamp, ntap=ntap)}
+int main() {{
+{_INIT.format(nx=nx, nsamp=nsamp, ntap=ntap)}
+  lms_n: for (n = 0; n < {nsamp}; n++) {{
+    double sum = 0.0;
+    double *pc = coef;
+    double *px = &x[n + {top}];
+    mac_k: for (k = 0; k < {ntap}; k++) {{
+      sum += *pc * *px;
+      pc++;
+      px--;
+    }}
+    double err = (d[n] - sum) * mu;
+    double *pc2 = coef;
+    double *px2 = &x[n + {top}];
+    upd_k: for (k = 0; k < {ntap}; k++) {{
+      *pc2 = *pc2 + err * *px2;
+      pc2++;
+      px2--;
+    }}
+    y[n] = sum;
+  }}
+  return 0;
+}}
+"""
+
+
+register(Workload(
+    name="utdsp_lmsfir_array",
+    category="utdsp",
+    source_fn=lmsfir_array_source,
+    default_params={"nsamp": 40, "ntap": 12},
+    analyze_loops=["lms_n"],
+    description="Adaptive LMS FIR filter, array subscripts.",
+    models="UTDSP LMSFIR (array).",
+))
+
+register(Workload(
+    name="utdsp_lmsfir_pointer",
+    category="utdsp",
+    source_fn=lmsfir_pointer_source,
+    default_params={"nsamp": 40, "ntap": 12},
+    analyze_loops=["lms_n"],
+    description="Adaptive LMS FIR filter, walking pointers.",
+    models="UTDSP LMSFIR (pointer).",
+))

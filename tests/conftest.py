@@ -1,0 +1,76 @@
+"""Shared fixtures: small programs exercised by many test modules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend import compile_source
+
+
+LISTING1 = """
+double A[{n}];
+double B[{n}][{n}];
+
+int main() {{
+  int i, j;
+  s1: for (i = 1; i < {n}; ++i) {{
+    A[i] = 2.0 * A[i-1];
+  }}
+  s2: for (i = 0; i < {n}; ++i) {{
+    for (j = 1; j < {n}; ++j) {{
+      B[j][i] = B[j-1][i] * A[i];
+    }}
+  }}
+  return 0;
+}}
+"""
+
+LISTING2 = """
+double A[{n}];
+double B[{n}];
+double C[{n}];
+
+int main() {{
+  int i;
+  L: for (i = 1; i < {n}; ++i) {{
+    A[i] = 2.0 * B[i-1];
+    B[i] = 0.5 * C[i];
+  }}
+  return 0;
+}}
+"""
+
+
+def listing1_source(n: int = 8) -> str:
+    return LISTING1.format(n=n)
+
+
+def listing2_source(n: int = 8) -> str:
+    return LISTING2.format(n=n)
+
+
+@pytest.fixture
+def listing1_module():
+    return compile_source(listing1_source(8))
+
+
+@pytest.fixture
+def listing2_module():
+    return compile_source(listing2_source(8))
+
+
+@pytest.fixture
+def simple_fp_module():
+    """A tiny straight-line FP program used in IR/interp/trace tests."""
+    return compile_source(
+        """
+double g;
+
+int main() {
+  double a = 1.5;
+  double b = 2.5;
+  g = a * b + 1.0;
+  return (int)g;
+}
+"""
+    )

@@ -1,0 +1,33 @@
+"""Regenerate tests/golden_metrics.json after an intentional analysis
+change.  Run: python tests/regenerate_golden.py"""
+
+import json
+import pathlib
+
+from repro.workloads import list_workloads
+
+
+def main() -> None:
+    golden = {}
+    for workload in list_workloads():
+        report = workload.analyze()
+        golden[workload.name] = {
+            loop.loop_name: {
+                "ops": loop.total_candidate_ops,
+                "packed": round(loop.percent_packed, 2),
+                "concur": round(loop.avg_concurrency, 2),
+                "unit": round(loop.percent_vec_unit, 2),
+                "unit_sz": round(loop.avg_vec_size_unit, 2),
+                "nonunit": round(loop.percent_vec_nonunit, 2),
+                "nonunit_sz": round(loop.avg_vec_size_nonunit, 2),
+            }
+            for loop in report.loops
+        }
+    path = pathlib.Path(__file__).parent / "golden_metrics.json"
+    path.write_text(json.dumps(golden, indent=1, sort_keys=True))
+    entries = sum(len(v) for v in golden.values())
+    print(f"wrote {entries} loop entries to {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,258 @@
+"""Auto-vectorizer decision tests: one snippet per refusal mode the paper
+documents, plus the cases that must vectorize."""
+
+import pytest
+
+from repro.frontend import parse_source
+from repro.vectorizer import VectorizerConfig, analyze_program_loops
+from repro.vectorizer.autovec import decisions_by_name
+
+
+def decide(source: str, config: VectorizerConfig = None):
+    program, analyzer = parse_source(source)
+    return decisions_by_name(
+        analyze_program_loops(program, analyzer, config)
+    )
+
+
+def wrap(body: str, prelude: str = "") -> str:
+    return f"{prelude}\nint main() {{ {body} return 0; }}"
+
+
+class TestVectorizes:
+    def test_clean_stride1_loop(self):
+        d = decide(wrap(
+            "int i; L: for (i = 0; i < 8; i++) A[i] = B[i] * 2.0;",
+            "double A[8]; double B[8];",
+        ))
+        assert d["L"].vectorized
+
+    def test_splat_operand(self):
+        d = decide(wrap(
+            "int i; double c = 3.0; L: for (i = 0; i < 8; i++) "
+            "A[i] = B[i] * c;",
+            "double A[8]; double B[8];",
+        ))
+        assert d["L"].vectorized
+
+    def test_reduction_vectorized_by_default(self):
+        d = decide(wrap(
+            "int i; double s = 0.0; L: for (i = 0; i < 8; i++) s += B[i];",
+            "double B[8];",
+        ))
+        assert d["L"].vectorized
+        assert d["L"].has_reduction
+
+    def test_reduction_refused_when_disabled(self):
+        d = decide(
+            wrap(
+                "int i; double s = 0.0; L: for (i = 0; i < 8; i++) "
+                "s += B[i];",
+                "double B[8];",
+            ),
+            VectorizerConfig(vectorize_reductions=False),
+        )
+        assert not d["L"].vectorized
+
+    def test_intrinsic_call_allowed(self):
+        d = decide(wrap(
+            "int i; L: for (i = 0; i < 8; i++) A[i] = sqrt(B[i]);",
+            "double A[8]; double B[8];",
+        ))
+        assert d["L"].vectorized
+
+    def test_intrinsics_refused_without_vector_math(self):
+        d = decide(
+            wrap(
+                "int i; L: for (i = 0; i < 8; i++) A[i] = sqrt(B[i]);",
+                "double A[8]; double B[8];",
+            ),
+            VectorizerConfig(allow_intrinsic_calls=False),
+        )
+        assert not d["L"].vectorized
+
+    def test_body_declared_affine_scalar_substituted(self):
+        """The bwaves-transformed pattern: ip1 = i + 1 stays affine."""
+        d = decide(wrap(
+            "int i; L: for (i = 0; i < 7; i++) { int ip1 = i + 1; "
+            "A[i] = B[ip1] * 2.0; }",
+            "double A[8]; double B[8];",
+        ))
+        assert d["L"].vectorized
+
+    def test_read_only_overlap_is_fine(self):
+        d = decide(wrap(
+            "int i; L: for (i = 1; i < 7; i++) A[i] = B[i-1] + B[i+1];",
+            "double A[8]; double B[8];",
+        ))
+        assert d["L"].vectorized
+
+
+class TestRefusals:
+    def reason_of(self, d, name):
+        assert not d[name].vectorized
+        return "; ".join(d[name].reasons)
+
+    def test_loop_carried_dependence(self):
+        d = decide(wrap(
+            "int i; L: for (i = 1; i < 8; i++) A[i] = A[i-1] * 2.0;",
+            "double A[8];",
+        ))
+        assert "distance" in self.reason_of(d, "L")
+
+    def test_control_flow(self):
+        d = decide(wrap(
+            "int i; L: for (i = 0; i < 8; i++) { if (B[i] > 0.0) "
+            "A[i] = 1.0; }",
+            "double A[8]; double B[8];",
+        ))
+        assert "control flow" in self.reason_of(d, "L")
+
+    def test_function_call(self):
+        d = decide(
+            "double f(double x) { return x + 1.0; }\n"
+            + wrap(
+                "int i; L: for (i = 0; i < 8; i++) A[i] = f(B[i]);",
+                "double A[8]; double B[8];",
+            )
+        )
+        assert "call" in self.reason_of(d, "L")
+
+    def test_pointer_aliasing(self):
+        d = decide(wrap(
+            "int i; L: for (i = 0; i < 8; i++) p[i] = q[i] * 2.0;",
+            "double *p; double *q;",
+        ))
+        assert "alias" in self.reason_of(d, "L")
+
+    def test_pointer_walk(self):
+        d = decide(wrap(
+            "int i; double *p = A; L: for (i = 0; i < 8; i++) "
+            "{ *p = 1.0; p++; }",
+            "double A[8];",
+        ))
+        assert "pointer" in self.reason_of(d, "L")
+
+    def test_irregular_subscript(self):
+        d = decide(wrap(
+            "int i; L: for (i = 0; i < 8; i++) A[idx[i]] = B[i] + 1.0;",
+            "double A[8]; double B[8]; int idx[8];",
+        ))
+        assert "irregular" in self.reason_of(d, "L")
+
+    def test_modulo_subscript_poisons(self):
+        d = decide(wrap(
+            "int i; L: for (i = 0; i < 8; i++) { int k = (i + 1) % 8; "
+            "A[i] = B[k] + 1.0; }",
+            "double A[8]; double B[8];",
+        ))
+        assert "irregular" in self.reason_of(d, "L")
+
+    def test_non_unit_stride(self):
+        d = decide(wrap(
+            "int i; L: for (i = 0; i < 4; i++) A[i][0] = 2.0 * B[i];",
+            "double A[4][4]; double B[4];",
+        ))
+        assert "non-unit stride" in self.reason_of(d, "L")
+
+    def test_aos_field_stride(self):
+        d = decide(wrap(
+            "int i; L: for (i = 0; i < 8; i++) P[i].x = 2.0 * B[i];",
+            "struct pt { double x; double y; }; struct pt P[8]; "
+            "double B[8];",
+        ))
+        assert "non-unit stride" in self.reason_of(d, "L")
+
+    def test_negative_stride(self):
+        d = decide(wrap(
+            "int i; L: for (i = 0; i < 8; i++) A[i] = B[7 - i] * 2.0;",
+            "double A[8]; double B[8];",
+        ))
+        assert "stride" in self.reason_of(d, "L")
+
+    def test_scalar_recurrence(self):
+        d = decide(wrap(
+            "int i; double t = 1.0; L: for (i = 0; i < 8; i++) "
+            "{ t = t * 0.5 + B[i]; A[i] = t; }",
+            "double A[8]; double B[8];",
+        ))
+        assert "recurrence" in self.reason_of(d, "L")
+
+    def test_indirect_scalar_recurrence(self):
+        """The IIR pattern: in -> t -> out -> in across statements."""
+        d = decide(wrap(
+            "int i; double x = 1.0; L: for (i = 0; i < 8; i++) "
+            "{ double t = x + B[i]; double o = t * 0.5; x = o; }",
+            "double B[8];",
+        ))
+        assert "recurrence" in self.reason_of(d, "L")
+
+    def test_outer_loop_with_inner(self):
+        d = decide(wrap(
+            "int i; int j; L: for (i = 0; i < 4; i++) "
+            "for (j = 0; j < 4; j++) A[i][j] = 1.0;",
+            "double A[4][4];",
+        ))
+        assert "inner loop" in self.reason_of(d, "L")
+        inner = [dec for name, dec in d.items() if name != "L"]
+        assert any(dec.vectorized for dec in inner)
+
+    def test_break_in_body(self):
+        d = decide(wrap(
+            "int i; L: for (i = 0; i < 8; i++) { A[i] = 1.0; "
+            "if (i == 3) break; }",
+            "double A[8];",
+        ))
+        reasons = self.reason_of(d, "L")
+        assert "break" in reasons or "control flow" in reasons
+
+    def test_non_canonical_form(self):
+        d = decide(wrap(
+            "int i; L: for (i = 8; i > 0; i--) A[i-1] = 1.0;",
+            "double A[8];",
+        ))
+        assert "non-canonical" in self.reason_of(d, "L")
+
+    def test_while_loops_not_analyzed(self):
+        d = decide(wrap(
+            "int i = 0; while (i < 8) { A[i] = 1.0; i++; }",
+            "double A[8];",
+        ))
+        assert d == {}  # only for-loops get decisions
+
+    def test_loop_index_modified(self):
+        d = decide(wrap(
+            "int i; L: for (i = 0; i < 8; i++) { A[i] = 1.0; i = i + 0; }",
+            "double A[8];",
+        ))
+        assert "index" in self.reason_of(d, "L") or (
+            "recurrence" in self.reason_of(d, "L")
+        )
+
+
+class TestDecisionMetadata:
+    def test_elem_size_from_accesses(self):
+        d = decide(wrap(
+            "int i; L: for (i = 0; i < 8; i++) F[i] = G[i] + 1.0;",
+            "float F[8]; float G[8];",
+        ))
+        assert d["L"].elem_size == 4
+        assert d["L"].vector_lanes(128) == 4
+
+    def test_lanes_for_double(self):
+        d = decide(wrap(
+            "int i; L: for (i = 0; i < 8; i++) A[i] = B[i] + 1.0;",
+            "double A[8]; double B[8];",
+        ))
+        assert d["L"].vector_lanes(128) == 2
+        assert d["L"].vector_lanes(256) == 4
+
+    def test_name_lookup_by_label_and_line(self):
+        program, analyzer = parse_source(wrap(
+            "int i; hot: for (i = 0; i < 8; i++) A[i] = 1.0;",
+            "double A[8];",
+        ))
+        decisions = analyze_program_loops(program, analyzer)
+        by_name = decisions_by_name(decisions)
+        assert "hot" in by_name
+        assert any(k.startswith("main:") for k in by_name)

@@ -1,0 +1,158 @@
+"""CFG analysis tests: dominators, natural loops, and cross-validation
+against the frontend's explicit loop markers."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.ir.cfg import (
+    dominators,
+    immediate_dominators,
+    marker_loops,
+    natural_loops,
+    predecessors,
+    reachable_blocks,
+    reverse_postorder,
+    successors,
+)
+
+
+def fn_of(src, name="main"):
+    return compile_source(src).function(name)
+
+
+SIMPLE_LOOP = """
+double A[4];
+int main() {
+  int i;
+  L: for (i = 0; i < 4; i++) A[i] = 1.0;
+  return 0;
+}
+"""
+
+NESTED_LOOPS = """
+double A[4][4];
+int main() {
+  int i, j;
+  outer: for (i = 0; i < 4; i++)
+    inner: for (j = 0; j < 4; j++)
+      A[i][j] = 1.0;
+  return 0;
+}
+"""
+
+DIAMOND = """
+int main() {
+  int x = 1;
+  if (x > 0) { x = 2; } else { x = 3; }
+  return x;
+}
+"""
+
+
+class TestBasicCFG:
+    def test_successors_follow_terminators(self):
+        fn = fn_of(DIAMOND)
+        succ = successors(fn)
+        entry_succs = succ[fn.entry]
+        assert len(entry_succs) == 2  # cbranch
+
+    def test_predecessors_inverse(self):
+        fn = fn_of(DIAMOND)
+        succ = successors(fn)
+        preds = predecessors(fn)
+        for block, ss in succ.items():
+            for s in ss:
+                assert block in preds[s]
+
+    def test_reachability(self):
+        fn = fn_of(SIMPLE_LOOP)
+        reachable = reachable_blocks(fn)
+        assert fn.entry in reachable
+        # Blocks reachable cover everything executed; dead blocks (from
+        # returns) may exist but entry must reach the exit path.
+        assert len(reachable) >= 4
+
+    def test_reverse_postorder_starts_at_entry(self):
+        fn = fn_of(NESTED_LOOPS)
+        order = reverse_postorder(fn)
+        assert order[0] is fn.entry
+        assert len(order) == len(set(order))
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self):
+        fn = fn_of(NESTED_LOOPS)
+        dom = dominators(fn)
+        for block, ds in dom.items():
+            assert fn.entry in ds
+            assert block in ds
+
+    def test_branch_arms_do_not_dominate_join(self):
+        fn = fn_of(DIAMOND)
+        dom = dominators(fn)
+        succ = successors(fn)
+        then_bb, else_bb = succ[fn.entry]
+        join = succ[then_bb][0]
+        assert then_bb not in dom[join]
+        assert else_bb not in dom[join]
+
+    def test_immediate_dominators_form_tree(self):
+        fn = fn_of(NESTED_LOOPS)
+        idom = immediate_dominators(fn)
+        assert idom[fn.entry] is None
+        dom = dominators(fn)
+        for block, parent in idom.items():
+            if parent is not None:
+                assert parent in dom[block]
+
+
+class TestNaturalLoops:
+    def test_single_loop_detected(self):
+        fn = fn_of(SIMPLE_LOOP)
+        loops = natural_loops(fn)
+        assert len(loops) == 1
+        assert loops[0].back_edges
+
+    def test_nested_loops_detected(self):
+        fn = fn_of(NESTED_LOOPS)
+        loops = natural_loops(fn)
+        assert len(loops) == 2
+        big, small = sorted(loops, key=lambda l: -len(l.blocks))
+        assert small.blocks < big.blocks  # inner nested in outer
+
+    def test_no_loops_in_straight_line(self):
+        fn = fn_of(DIAMOND)
+        assert natural_loops(fn) == []
+
+    def test_while_loop_detected(self):
+        fn = fn_of(
+            "int main() { int i = 0; while (i < 5) { i++; } return i; }"
+        )
+        assert len(natural_loops(fn)) == 1
+
+
+class TestMarkerCrossValidation:
+    """The frontend's loop markers and back-edge natural loops must
+    agree: every marker loop corresponds to a natural loop."""
+
+    @pytest.mark.parametrize("src,expected", [
+        (SIMPLE_LOOP, 1),
+        (NESTED_LOOPS, 2),
+    ])
+    def test_marker_loops_match_natural_loops(self, src, expected):
+        fn = fn_of(src)
+        ml = marker_loops(fn)
+        assert len(ml) == expected
+        for loop_id, blocks in ml.items():
+            assert blocks, f"loop {loop_id} has no natural-loop match"
+
+    def test_workload_loops_all_validate(self):
+        from repro.workloads import get_workload
+
+        module = get_workload("gauss_seidel").compile(n=8, t=1)
+        for fname, fn in module.functions.items():
+            ml = marker_loops(fn)
+            nl = natural_loops(fn)
+            assert len(ml) == len(nl), fname
+            for blocks in ml.values():
+                assert blocks

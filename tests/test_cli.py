@@ -1,0 +1,94 @@
+"""CLI smoke tests (everything through main(argv))."""
+
+import pytest
+
+from repro.tools.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        code, out = run_cli(capsys, "list")
+        assert code == 0
+        assert "gauss_seidel" in out
+        assert "utdsp_fir_array" in out
+
+    def test_list_category(self, capsys):
+        code, out = run_cli(capsys, "list", "--category", "utdsp")
+        assert code == 0
+        assert "gauss_seidel" not in out
+        assert "utdsp_iir_pointer" in out
+
+    def test_analyze(self, capsys):
+        code, out = run_cli(capsys, "analyze", "utdsp_fir_array",
+                            "-p", "nout=16", "-p", "ntap=4")
+        assert code == 0
+        assert "fir_n" in out
+        assert "Benchmark" in out
+
+    def test_analyze_verbose_details(self, capsys):
+        code, out = run_cli(capsys, "analyze", "utdsp_fir_array",
+                            "-p", "nout=8", "-p", "ntap=4", "-v")
+        assert code == 0
+        assert "per-instruction detail" in out
+
+    def test_decisions(self, capsys):
+        code, out = run_cli(capsys, "decisions", "gauss_seidel")
+        assert code == 0
+        assert "refused" in out
+        assert "loop-carried dependence" in out
+
+    def test_speedup(self, capsys):
+        code, out = run_cli(capsys, "speedup", "utdsp_mult_pointer",
+                            "utdsp_mult_array")
+        assert code == 0
+        assert "speedup" in out
+
+    def test_unknown_workload_fails_cleanly(self, capsys):
+        code = main(["analyze", "no_such_kernel"])
+        assert code == 1
+
+    def test_trace_dump(self, capsys, tmp_path):
+        out_path = str(tmp_path / "x.vtrc")
+        code, out = run_cli(capsys, "trace", "utdsp_fir_array",
+                            "--loop", "fir_n", "-o", out_path)
+        assert code == 0
+        assert "wrote" in out
+
+    def test_vlength(self, capsys):
+        code, out = run_cli(capsys, "vlength", "utdsp_fir_array")
+        assert code == 0
+        assert "vector-length profile" in out
+        assert "verdict" in out
+
+    def test_opportunities(self, capsys):
+        code, out = run_cli(capsys, "opportunities", "gauss_seidel")
+        assert code == 0
+        assert "static-transform" in out
+
+    def test_opportunities_verbose_lists_reasons(self, capsys):
+        code, out = run_cli(capsys, "opportunities", "gauss_seidel", "-v")
+        assert code == 0
+        assert "loop-carried" in out
+
+    def test_analyze_relax_reductions(self, capsys):
+        code, out = run_cli(capsys, "analyze", "sphinx3_subvq",
+                            "--relax-reductions",
+                            "-p", "codebook=8", "-p", "dim=8")
+        assert code == 0
+        assert "vq_c" in out
+
+    def test_analyze_file(self, capsys, tmp_path):
+        src = tmp_path / "k.c"
+        src.write_text(
+            "double A[8]; int main() { int i; "
+            "L: for (i=0;i<8;i++) A[i] = (double)i * 2.0; return 0; }"
+        )
+        code, out = run_cli(capsys, "analyze-file", str(src), "--loop", "L")
+        assert code == 0
+        assert "L" in out

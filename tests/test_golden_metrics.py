@@ -1,0 +1,56 @@
+"""Golden-corpus regression tests.
+
+``golden_metrics.json`` pins the analysis output (candidate-op counts
+and every Table-1 metric) for all 49 analyzed loops across the 37
+registered workloads at their default parameters.  The full pipeline is
+deterministic — compilation order, interpreter execution, partitioning,
+and stride scans have no randomness — so any change here means an
+intentional semantic change (update the corpus with
+``python tests/regenerate_golden.py``) or a regression.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.workloads import get_workload, list_workloads
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden_metrics.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+
+ALL_NAMES = sorted(GOLDEN)
+
+
+def test_corpus_covers_every_workload():
+    assert set(GOLDEN) == {w.name for w in list_workloads()}
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_workload_metrics_match_golden(name):
+    report = get_workload(name).analyze()
+    measured = {loop.loop_name: loop for loop in report.loops}
+    expected = GOLDEN[name]
+    assert set(measured) == set(expected), name
+    for loop_name, want in expected.items():
+        loop = measured[loop_name]
+        context = f"{name}/{loop_name}"
+        assert loop.total_candidate_ops == want["ops"], context
+        assert loop.percent_packed == pytest.approx(
+            want["packed"], abs=0.01
+        ), context
+        assert loop.avg_concurrency == pytest.approx(
+            want["concur"], abs=0.01
+        ), context
+        assert loop.percent_vec_unit == pytest.approx(
+            want["unit"], abs=0.01
+        ), context
+        assert loop.avg_vec_size_unit == pytest.approx(
+            want["unit_sz"], abs=0.01
+        ), context
+        assert loop.percent_vec_nonunit == pytest.approx(
+            want["nonunit"], abs=0.01
+        ), context
+        assert loop.avg_vec_size_nonunit == pytest.approx(
+            want["nonunit_sz"], abs=0.01
+        ), context

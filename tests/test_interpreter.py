@@ -1,0 +1,374 @@
+"""Interpreter semantics tests: each language feature against a known
+result, computed by hand or by a Python oracle."""
+
+import math
+
+import pytest
+
+from repro.errors import InterpError, MemoryError_
+from repro.frontend import compile_source
+from repro.interp import Interpreter, run_module
+
+
+def run_main(source: str, args=()):
+    value, _ = run_module(compile_source(source), args=args)
+    return value
+
+
+class TestArithmetic:
+    def test_integer_ops(self):
+        assert run_main("int main() { return 7 + 3 * 4 - 5; }") == 14
+
+    def test_c_division_truncates_toward_zero(self):
+        assert run_main("int main() { return -7 / 2; }") == -3
+        assert run_main("int main() { return 7 / -2; }") == -3
+        assert run_main("int main() { return -7 % 2; }") == -1
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(InterpError):
+            run_main("int main() { int z = 0; return 1 / z; }")
+        with pytest.raises(InterpError):
+            run_main("int main() { double z = 0.0; double r = 1.0 / z; "
+                     "return (int)r; }")
+
+    def test_int32_wraparound(self):
+        assert run_main(
+            "int main() { int x = 2147483647; x = x + 1; "
+            "return x < 0; }"
+        ) == 1
+
+    def test_float_arithmetic(self):
+        assert run_main(
+            "int main() { double d = 1.5 * 4.0 + 0.25; "
+            "return (int)(d * 100.0); }"
+        ) == 625
+
+    def test_float32_rounding(self):
+        # 0.1 is not representable; float32 and float64 sums diverge.
+        v = run_main(
+            """
+int main() {
+  float f = 0.1;
+  double d = (double)f - 0.1;
+  if (d < 0.0) d = 0.0 - d;
+  return d > 0.0000000001;
+}
+"""
+        )
+        assert v == 1
+
+    def test_bitwise_and_shifts(self):
+        assert run_main("int main() { return (5 & 3) | (1 << 4); }") == 17
+        assert run_main("int main() { return 256 >> 3; }") == 32
+        assert run_main("int main() { return 5 ^ 6; }") == 3
+
+    def test_unary_minus_and_not(self):
+        assert run_main("int main() { return -(-5); }") == 5
+        assert run_main("int main() { return !0 + !7; }") == 1
+
+    def test_comparisons(self):
+        assert run_main(
+            "int main() { return (1 < 2) + (2 <= 2) + (3 > 4) + "
+            "(5 >= 5) + (1 == 1) + (1 != 1); }"
+        ) == 4
+
+    def test_casts(self):
+        assert run_main("int main() { return (int)3.9; }") == 3
+        assert run_main("int main() { return (int)-3.9; }") == -3
+        assert run_main(
+            "int main() { double d = (double)7 / 2.0; "
+            "return (int)(d * 10.0); }"
+        ) == 35
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        assert run_main(
+            "int main() { int x = 5; if (x > 3) return 1; else return 2; }"
+        ) == 1
+
+    def test_short_circuit_and(self):
+        # Division by zero on the RHS must not execute.
+        assert run_main(
+            "int main() { int z = 0; if (z != 0 && 1 / z > 0) return 1; "
+            "return 2; }"
+        ) == 2
+
+    def test_short_circuit_or(self):
+        assert run_main(
+            "int main() { int z = 0; if (z == 0 || 1 / z > 0) return 1; "
+            "return 2; }"
+        ) == 1
+
+    def test_ternary(self):
+        assert run_main("int main() { int x = 3; return x > 2 ? 10 : 20; }") \
+            == 10
+
+    def test_for_loop_sum(self):
+        assert run_main(
+            "int main() { int s = 0; int i; "
+            "for (i = 1; i <= 10; i++) s += i; return s; }"
+        ) == 55
+
+    def test_while_and_do_while(self):
+        assert run_main(
+            "int main() { int i = 0; int n = 0; while (i < 5) { i++; n++; } "
+            "do { n++; } while (0); return n; }"
+        ) == 6
+
+    def test_break_and_continue(self):
+        assert run_main(
+            """
+int main() {
+  int s = 0;
+  int i;
+  for (i = 0; i < 10; i++) {
+    if (i == 7) break;
+    if (i % 2 == 0) continue;
+    s += i;
+  }
+  return s;  // 1+3+5 = 9
+}
+"""
+        ) == 9
+
+    def test_nested_loops(self):
+        assert run_main(
+            """
+int main() {
+  int s = 0;
+  int i, j;
+  for (i = 0; i < 4; i++)
+    for (j = 0; j < 3; j++)
+      s += i * j;
+  return s;  // sum i*j = (0+1+2+3)*(0+1+2) = 18
+}
+"""
+        ) == 18
+
+    def test_return_from_inside_loop(self):
+        assert run_main(
+            """
+int main() {
+  int i;
+  for (i = 0; i < 100; i++) {
+    if (i == 13) return i;
+  }
+  return -1;
+}
+"""
+        ) == 13
+
+    def test_zero_iteration_loop(self):
+        assert run_main(
+            "int main() { int s = 5; int i; for (i = 0; i < 0; i++) s = 0; "
+            "return s; }"
+        ) == 5
+
+
+class TestFunctions:
+    def test_call_and_return(self):
+        assert run_main(
+            "int add(int a, int b) { return a + b; }\n"
+            "int main() { return add(2, 3); }"
+        ) == 5
+
+    def test_recursion(self):
+        assert run_main(
+            "int fib(int n) { if (n < 2) return n; "
+            "return fib(n-1) + fib(n-2); }\n"
+            "int main() { return fib(12); }"
+        ) == 144
+
+    def test_parameter_mutation_is_local(self):
+        assert run_main(
+            "int f(int x) { x = 99; return x; }\n"
+            "int main() { int y = 1; f(y); return y; }"
+        ) == 1
+
+    def test_pass_array_as_pointer(self):
+        assert run_main(
+            """
+double A[4];
+double total(double *p, int n) {
+  double s = 0.0;
+  int i;
+  for (i = 0; i < n; i++) s += p[i];
+  return s;
+}
+int main() {
+  int i;
+  for (i = 0; i < 4; i++) A[i] = (double)i;
+  return (int)total(A, 4);
+}
+"""
+        ) == 6
+
+    def test_mutation_through_pointer_param(self):
+        assert run_main(
+            """
+void bump(int *p) { *p = *p + 1; }
+int main() { int x = 41; bump(&x); return x; }
+"""
+        ) == 42
+
+    def test_entry_args(self):
+        module = compile_source(
+            "int main(int n) { return n * 2; }"
+        )
+        value, _ = run_module(module, args=(21,))
+        assert value == 42
+
+    def test_wrong_arity_entry_raises(self):
+        module = compile_source("int main(int n) { return n; }")
+        with pytest.raises(InterpError):
+            Interpreter(module).run("main", ())
+
+
+class TestIntrinsics:
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            ("sqrt(16.0)", 4.0),
+            ("fabs(-2.5)", 2.5),
+            ("exp(0.0)", 1.0),
+            ("log(1.0)", 0.0),
+            ("floor(2.9)", 2.0),
+            ("pow(2.0, 10.0)", 1024.0),
+            ("fmin(1.0, 2.0)", 1.0),
+            ("fmax(1.0, 2.0)", 2.0),
+            ("sin(0.0)", 0.0),
+            ("cos(0.0)", 1.0),
+        ],
+    )
+    def test_math(self, expr, expected):
+        v = run_main(
+            f"int main() {{ double r = {expr}; "
+            f"return (int)(r * 1000.0); }}"
+        )
+        assert v == int(expected * 1000)
+
+    def test_intrinsic_domain_error(self):
+        with pytest.raises(InterpError):
+            run_main("int main() { double r = sqrt(-1.0); return (int)r; }")
+
+
+class TestPointersAndData:
+    def test_pointer_walk(self):
+        assert run_main(
+            """
+double A[5];
+int main() {
+  int i;
+  for (i = 0; i < 5; i++) A[i] = (double)(i + 1);
+  double *p = &A[0];
+  double s = 0.0;
+  for (i = 0; i < 5; i++) { s += *p; p++; }
+  return (int)s;  // 15
+}
+"""
+        ) == 15
+
+    def test_pointer_indexing_and_arith(self):
+        assert run_main(
+            """
+double A[6];
+int main() {
+  int i;
+  for (i = 0; i < 6; i++) A[i] = (double)i;
+  double *p = &A[2];
+  return (int)(p[1] + *(p + 3));  // A[3] + A[5] = 8
+}
+"""
+        ) == 8
+
+    def test_struct_fields(self):
+        assert run_main(
+            """
+struct pt { double x; double y; int tag; };
+struct pt P[3];
+int main() {
+  int i;
+  for (i = 0; i < 3; i++) {
+    P[i].x = (double)i;
+    P[i].y = P[i].x * 2.0;
+    P[i].tag = i + 10;
+  }
+  return (int)(P[2].y) + P[1].tag;  // 4 + 11
+}
+"""
+        ) == 15
+
+    def test_struct_pointer_arrow(self):
+        assert run_main(
+            """
+struct pt { double x; double y; };
+struct pt P;
+int main() {
+  struct pt *p = &P;
+  p->x = 3.0;
+  p->y = p->x + 1.0;
+  return (int)(p->x + p->y);
+}
+"""
+        ) == 7
+
+    def test_nested_struct_array(self):
+        assert run_main(
+            """
+struct complex { double r; double i; };
+struct matrix { struct complex e[2][2]; };
+struct matrix M;
+int main() {
+  M.e[1][0].r = 5.0;
+  M.e[1][0].i = 2.0;
+  return (int)(M.e[1][0].r - M.e[1][0].i);
+}
+"""
+        ) == 3
+
+    def test_2d_array_row_major_behaviour(self):
+        assert run_main(
+            """
+double A[3][4];
+int main() {
+  int i, j;
+  for (i = 0; i < 3; i++)
+    for (j = 0; j < 4; j++)
+      A[i][j] = (double)(i * 10 + j);
+  double *flat = &A[0][0];
+  return (int)flat[7];  // row 1, col 3 -> 13
+}
+"""
+        ) == 13
+
+    def test_globals_zero_initialized(self):
+        assert run_main(
+            "double g; int gi; int main() { return (int)g + gi; }"
+        ) == 0
+
+    def test_global_scalar_initializer(self):
+        assert run_main(
+            "double g = 2.5; int k = 4; int main() { "
+            "return (int)(g * 2.0) + k; }"
+        ) == 9
+
+
+class TestLimitsAndSafety:
+    def test_fuel_exhaustion(self):
+        module = compile_source(
+            "int main() { while (1) {} return 0; }"
+        )
+        with pytest.raises(InterpError):
+            Interpreter(module, fuel=10_000).run()
+
+    def test_null_deref_raises(self):
+        with pytest.raises(MemoryError_):
+            run_main(
+                "int main() { double *p; double v = *p; return (int)v; }"
+            )
+
+    def test_instruction_count_reported(self):
+        module = compile_source("int main() { return 1 + 2; }")
+        _, interp = run_module(module)
+        assert interp.executed_instructions > 0

@@ -1,0 +1,209 @@
+"""IR core tests: types, builder, module, printer, verifier."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (
+    DOUBLE,
+    FLOAT,
+    INT32,
+    INT64,
+    VOID,
+    ArrayType,
+    IRBuilder,
+    Instruction,
+    Module,
+    Opcode,
+    PointerType,
+    StructType,
+    print_module,
+    verify_module,
+)
+from repro.ir.types import INT8, INT16
+
+
+class TestTypeSizes:
+    @pytest.mark.parametrize(
+        "t,size",
+        [
+            (INT8, 1),
+            (INT16, 2),
+            (INT32, 4),
+            (INT64, 8),
+            (FLOAT, 4),
+            (DOUBLE, 8),
+            (PointerType(DOUBLE), 8),
+        ],
+    )
+    def test_scalar_sizes(self, t, size):
+        assert t.sizeof() == size
+
+    def test_array_size_is_product(self):
+        assert ArrayType(DOUBLE, 10).sizeof() == 80
+        assert ArrayType(ArrayType(FLOAT, 4), 3).sizeof() == 48
+
+    def test_array_dims_and_scalar_elem(self):
+        t = ArrayType(ArrayType(DOUBLE, 5), 3)
+        assert t.dims == (3, 5)
+        assert t.scalar_elem == DOUBLE
+
+    def test_void_has_no_size(self):
+        with pytest.raises(IRError):
+            VOID.sizeof()
+
+    def test_type_equality(self):
+        assert ArrayType(DOUBLE, 4) == ArrayType(DOUBLE, 4)
+        assert PointerType(INT32) != PointerType(INT64)
+        assert INT32 != FLOAT
+
+
+class TestStructLayout:
+    def test_field_offsets_respect_alignment(self):
+        st = StructType("s", [("a", INT32), ("b", DOUBLE), ("c", INT32)])
+        assert st.field_offset("a") == 0
+        assert st.field_offset("b") == 8  # padded to 8
+        assert st.field_offset("c") == 16
+        assert st.sizeof() == 24  # tail padding to alignment 8
+
+    def test_packed_double_struct(self):
+        st = StructType("c", [("r", DOUBLE), ("i", DOUBLE)])
+        assert st.sizeof() == 16
+        assert st.field_offset("i") == 8
+
+    def test_struct_with_array_field(self):
+        inner = StructType("c", [("r", DOUBLE), ("i", DOUBLE)])
+        st = StructType("v", [("c", ArrayType(inner, 3))])
+        assert st.sizeof() == 48
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(IRError):
+            StructType("s", [("x", INT32), ("x", INT32)])
+
+    def test_unknown_field_rejected(self):
+        st = StructType("s", [("x", INT32)])
+        with pytest.raises(IRError):
+            st.field_offset("y")
+
+
+class TestBuilder:
+    def make_simple(self):
+        module = Module("t")
+        b = IRBuilder(module)
+        b.start_function("main", [], INT32)
+        slot = b.alloca(DOUBLE, "x")
+        b.store(b.const_float(2.0, DOUBLE), slot)
+        value = b.load(slot)
+        total = b.fadd(value, b.const_float(1.0, DOUBLE))
+        b.store(total, slot)
+        b.ret(b.const_int(0, INT32))
+        b.finish_function()
+        return module
+
+    def test_builder_produces_verified_module(self):
+        module = self.make_simple()
+        verify_module(module)
+        assert module.num_instructions == 6
+
+    def test_sids_are_unique_and_registered(self):
+        module = self.make_simple()
+        sids = [i.sid for i in module.function("main").all_instructions()]
+        assert sids == sorted(set(sids))
+        for instr in module.function("main").all_instructions():
+            assert module.instruction(instr.sid) is instr
+
+    def test_fp_arith_flag(self):
+        module = self.make_simple()
+        fadds = [
+            i for i in module.function("main").all_instructions()
+            if i.is_fp_arith
+        ]
+        assert len(fadds) == 1
+        assert fadds[0].opcode is Opcode.FADD
+
+    def test_load_requires_pointer(self):
+        module = Module("t")
+        b = IRBuilder(module)
+        b.start_function("main", [], VOID)
+        with pytest.raises(IRError):
+            b.load(b.const_int(1))
+
+    def test_printer_round_structure(self):
+        module = self.make_simple()
+        text = print_module(module)
+        assert "func @main" in text
+        assert "fadd" in text
+        assert "alloca" in text
+
+    def test_loop_info_naming(self):
+        module = Module("t")
+        b = IRBuilder(module)
+        b.start_function("f", [], VOID)
+        info = b.new_loop(header_line=12, depth=1, label="hot")
+        assert info.name == "hot"
+        info2 = b.new_loop(header_line=20, depth=2, parent_id=info.loop_id)
+        assert info2.name == "f:20"
+        assert info2.parent_id == info.loop_id
+
+
+class TestInstructionValidation:
+    def test_wrong_operand_count(self):
+        with pytest.raises(IRError):
+            Instruction(0, Opcode.FADD, None, ())
+
+    def test_missing_result(self):
+        with pytest.raises(IRError):
+            Instruction(0, Opcode.LOAD, None, (IRBuilder.const_int(1),))
+
+    def test_bad_predicate(self):
+        r = __import__("repro.ir.values", fromlist=["VirtualReg"])
+        reg = r.VirtualReg(0, INT32)
+        with pytest.raises(IRError):
+            Instruction(0, Opcode.ICMP, reg,
+                        (IRBuilder.const_int(1), IRBuilder.const_int(2)),
+                        pred="bogus")
+
+
+class TestVerifier:
+    def test_unterminated_block_rejected(self):
+        module = Module("t")
+        b = IRBuilder(module)
+        b.start_function("main", [], VOID)
+        b.alloca(DOUBLE)
+        with pytest.raises(IRError):
+            verify_module(module)
+
+    def test_use_before_def_rejected(self):
+        module = Module("t")
+        b = IRBuilder(module)
+        b.start_function("main", [], VOID)
+        ghost = b.new_reg(DOUBLE)  # never defined
+        b.fadd(ghost, b.const_float(1.0, DOUBLE))
+        b.ret()
+        with pytest.raises(IRError):
+            verify_module(module)
+
+    def test_call_to_unknown_function_rejected(self):
+        module = Module("t")
+        b = IRBuilder(module)
+        b.start_function("main", [], VOID)
+        b.call("nothere", [], DOUBLE)
+        b.ret()
+        with pytest.raises(IRError):
+            verify_module(module)
+
+    def test_intrinsic_call_allowed(self):
+        module = Module("t")
+        b = IRBuilder(module)
+        b.start_function("main", [], VOID)
+        b.call("sqrt", [b.const_float(2.0, DOUBLE)], DOUBLE)
+        b.ret()
+        verify_module(module)
+
+    def test_marker_with_unknown_loop_rejected(self):
+        module = Module("t")
+        b = IRBuilder(module)
+        b.start_function("main", [], VOID)
+        b.emit(Opcode.LOOP_ENTER, None, (), loop_id=99)
+        b.ret()
+        with pytest.raises(IRError):
+            verify_module(module)

@@ -1,0 +1,109 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.frontend.lexer import tokenize
+from repro.frontend.tokens import TokenKind
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_source_yields_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1
+        assert toks[0].kind is TokenKind.EOF
+
+    def test_identifier(self):
+        tok = tokenize("hello")[0]
+        assert tok.kind is TokenKind.IDENT
+        assert tok.text == "hello"
+
+    def test_identifier_with_underscore_and_digits(self):
+        tok = tokenize("_foo_42")[0]
+        assert tok.kind is TokenKind.IDENT
+        assert tok.text == "_foo_42"
+
+    def test_keywords_are_distinguished(self):
+        toks = tokenize("int x for while return")
+        assert toks[0].kind is TokenKind.KEYWORD
+        assert toks[1].kind is TokenKind.IDENT
+        assert [t.text for t in toks[2:5]] == ["for", "while", "return"]
+        assert all(t.kind is TokenKind.KEYWORD for t in toks[2:5])
+
+    def test_punctuators_longest_match(self):
+        assert texts("a+++b") == ["a", "++", "+", "b"]
+        assert texts("a<<=1") == ["a", "<<=", "1"]
+        assert texts("p->x") == ["p", "->", "x"]
+        assert texts("a&&b") == ["a", "&&", "b"]
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize("int $x;")
+
+
+class TestNumericLiterals:
+    def test_decimal_int(self):
+        tok = tokenize("12345")[0]
+        assert tok.kind is TokenKind.INT_LIT
+        assert tok.value == 12345
+
+    def test_hex_int(self):
+        tok = tokenize("0x1F")[0]
+        assert tok.value == 31
+
+    def test_bad_hex_raises(self):
+        with pytest.raises(LexError):
+            tokenize("0x")
+
+    def test_simple_float(self):
+        tok = tokenize("3.25")[0]
+        assert tok.kind is TokenKind.FLOAT_LIT
+        assert tok.value == 3.25
+
+    def test_float_with_exponent(self):
+        tok = tokenize("1.5e3")[0]
+        assert tok.value == 1500.0
+
+    def test_float_with_negative_exponent(self):
+        tok = tokenize("2e-2")[0]
+        assert tok.kind is TokenKind.FLOAT_LIT
+        assert tok.value == pytest.approx(0.02)
+
+    def test_float_f_suffix_consumed(self):
+        toks = tokenize("1.0f + 2.0")
+        assert toks[0].kind is TokenKind.FLOAT_LIT
+        assert toks[1].is_punct("+")
+
+    def test_trailing_dot_float(self):
+        tok = tokenize("7.")[0]
+        assert tok.kind is TokenKind.FLOAT_LIT
+        assert tok.value == 7.0
+
+    def test_int_then_member_not_float(self):
+        # `1.x` is not valid C, but `a[1].x` must lex dot separately.
+        assert texts("s.x") == ["s", ".", "x"]
+
+
+class TestTrivia:
+    def test_line_comment(self):
+        assert texts("a // comment\n b") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert texts("a /* x\ny */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("/* never ends")
+
+    def test_locations_track_lines_and_columns(self):
+        toks = tokenize("a\n  b")
+        assert toks[0].loc.line == 1 and toks[0].loc.col == 1
+        assert toks[1].loc.line == 2 and toks[1].loc.col == 3

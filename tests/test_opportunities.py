@@ -1,0 +1,167 @@
+"""Opportunity-classifier tests: the paper's case studies must land in
+the categories its §4.4 narratives assign them."""
+
+import pytest
+
+from repro.analysis.opportunities import (
+    Opportunity,
+    OpportunityKind,
+    classify_loop,
+    classify_program,
+    subtree_reasons,
+)
+from repro.analysis.report import LoopReport
+from repro.frontend import parse_source
+from repro.frontend.lower import lower
+from repro.interp import Interpreter
+from repro.vectorizer import analyze_program_loops
+from repro.workloads import get_workload
+
+
+def classify_workload(name, **params):
+    w = get_workload(name)
+    source = w.source(**params)
+    program, analyzer = parse_source(source)
+    module = lower(analyzer, name)
+    decisions = analyze_program_loops(program, analyzer)
+    interp = Interpreter(module)
+    interp.run(w.entry)
+    reports = w.analyze(**params).loops
+    return classify_program(reports, decisions, module, interp.dyn_parent)
+
+
+class TestUnitRules:
+    def _report(self, **kw):
+        defaults = dict(loop_name="L", percent_packed=0.0,
+                        percent_vec_unit=0.0, percent_vec_nonunit=0.0)
+        defaults.update(kw)
+        return LoopReport(**defaults)
+
+    def test_vectorized_decision_wins(self):
+        from repro.vectorizer.autovec import LoopDecision
+
+        decision = LoopDecision("main", 1, "L", vectorized=True)
+        opp = classify_loop(
+            self._report(percent_vec_unit=100.0), decision
+        )
+        assert opp.kind is OpportunityKind.ALREADY_VECTORIZED
+
+    def test_high_packed_wins_without_decision(self):
+        opp = classify_loop(
+            self._report(percent_packed=95.0, percent_vec_unit=100.0), None
+        )
+        assert opp.kind is OpportunityKind.ALREADY_VECTORIZED
+
+    def test_low_potential_is_no_potential(self):
+        opp = classify_loop(self._report(percent_vec_unit=5.0), None)
+        assert opp.kind is OpportunityKind.NO_POTENTIAL
+
+    def test_rows_render(self):
+        opp = Opportunity("L", OpportunityKind.LAYOUT, 50.0, 0.0, [],
+                          "advice")
+        assert "layout" in opp.row()
+
+
+class TestPaperCaseStudies:
+    def test_gauss_seidel_is_static_transform(self):
+        opps = classify_workload("gauss_seidel")
+        assert opps[0].kind is OpportunityKind.STATIC_TRANSFORM
+
+    def test_pde_solver_is_control_flow(self):
+        opps = classify_workload("pde_solver", block=8, grid=3)
+        assert opps[0].kind is OpportunityKind.CONTROL_FLOW
+
+    def test_gromacs_is_runtime_dependent(self):
+        opps = classify_workload("gromacs_inner")
+        assert opps[0].kind is OpportunityKind.RUNTIME_DEPENDENT
+
+    def test_milc_is_layout(self):
+        opps = classify_workload("milc_su3mv", sites=32)
+        assert opps[0].kind is OpportunityKind.LAYOUT
+
+    def test_cactus_is_already_vectorized(self):
+        opps = classify_workload("cactus_leapfrog")
+        assert all(
+            o.kind is OpportunityKind.ALREADY_VECTORIZED for o in opps
+        )
+
+    def test_povray_is_control_flow(self):
+        opps = classify_workload("povray_bbox")
+        assert opps[0].kind is OpportunityKind.CONTROL_FLOW
+
+
+class TestSubtreeReasons:
+    def test_inner_loop_reasons_bubble_up(self):
+        w = get_workload("gauss_seidel")
+        program, analyzer = parse_source(w.source())
+        module = lower(analyzer, "gs")
+        decisions = analyze_program_loops(program, analyzer)
+        reasons = subtree_reasons(module, decisions, "time_loop")
+        assert any("loop-carried" in r for r in reasons)
+        assert "contains an inner loop" not in reasons
+
+    def test_dynamic_nesting_crosses_calls(self):
+        w = get_workload("pde_solver")
+        source = w.source(block=8, grid=3)
+        program, analyzer = parse_source(source)
+        module = lower(analyzer, "pde")
+        decisions = analyze_program_loops(program, analyzer)
+        interp = Interpreter(module)
+        interp.run()
+        with_dyn = subtree_reasons(module, decisions, "grid_loop",
+                                   interp.dyn_parent)
+        without = subtree_reasons(module, decisions, "grid_loop")
+        assert any("control flow" in r for r in with_dyn)
+        assert not any("control flow" in r for r in without)
+
+
+class TestIrregularKinds:
+    """The data-dependent vs. static-non-affine distinction feeding the
+    classifier."""
+
+    def test_modulo_is_static_non_affine(self):
+        src = """
+double A[8]; double B[8];
+int main() {
+  int i;
+  L: for (i = 0; i < 8; i++) { int k = (i * 3) % 8; A[i] = B[k]; }
+  return 0;
+}
+"""
+        program, analyzer = parse_source(src)
+        decisions = analyze_program_loops(program, analyzer)
+        loop = next(d for d in decisions if d.label == "L")
+        assert any("non-affine" in r for r in loop.reasons)
+        assert not any("data-dependent" in r for r in loop.reasons)
+
+    def test_index_array_is_data_dependent(self):
+        src = """
+double A[8]; double B[8]; int idx[8];
+int main() {
+  int i;
+  L: for (i = 0; i < 8; i++) A[idx[i]] = B[i];
+  return 0;
+}
+"""
+        program, analyzer = parse_source(src)
+        decisions = analyze_program_loops(program, analyzer)
+        loop = next(d for d in decisions if d.label == "L")
+        assert any("data-dependent" in r for r in loop.reasons)
+
+    def test_poisoned_scalar_inherits_data_kind(self):
+        src = """
+double A[8]; double B[8]; int idx[8];
+int main() {
+  int i;
+  L: for (i = 0; i < 8; i++) {
+    int j = idx[i];
+    int j3 = 3 * j;
+    A[i] = B[j3 % 8];
+  }
+  return 0;
+}
+"""
+        program, analyzer = parse_source(src)
+        decisions = analyze_program_loops(program, analyzer)
+        loop = next(d for d in decisions if d.label == "L")
+        assert any("data-dependent" in r for r in loop.reasons)

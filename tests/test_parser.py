@@ -1,0 +1,213 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.frontend import ast
+from repro.frontend.parser import parse
+
+
+def parse_main_body(body: str):
+    program = parse(f"int main() {{ {body} }}")
+    return program.functions[0].body.stmts
+
+
+def first_expr(body: str):
+    stmts = parse_main_body(body)
+    assert isinstance(stmts[0], ast.ExprStmt)
+    return stmts[0].expr
+
+
+class TestTopLevel:
+    def test_global_and_function(self):
+        program = parse("double g; int main() { return 0; }")
+        assert len(program.globals) == 1
+        assert program.globals[0].name == "g"
+        assert program.functions[0].name == "main"
+
+    def test_multi_dim_global_array(self):
+        program = parse("double A[4][5]; int main() { return 0; }")
+        decl = program.globals[0]
+        assert len(decl.spec.array_dims) == 2
+
+    def test_struct_declaration(self):
+        program = parse(
+            "struct pt { double x; double y; }; int main() { return 0; }"
+        )
+        assert program.structs[0].name == "pt"
+        assert [f[0] for f in program.structs[0].fields] == ["x", "y"]
+
+    def test_struct_with_array_field(self):
+        program = parse(
+            "struct v { double c[3]; }; int main() { return 0; }"
+        )
+        fname, fspec = program.structs[0].fields[0]
+        assert fname == "c"
+        assert len(fspec.array_dims) == 1
+
+    def test_function_params(self):
+        program = parse("void f(int n, double *p) {} int main() { return 0; }")
+        fn = program.functions[0]
+        assert [p.name for p in fn.params] == ["n", "p"]
+        assert fn.params[1].spec.pointer_depth == 1
+
+    def test_void_param_list(self):
+        program = parse("int main(void) { return 0; }")
+        assert program.functions[0].params == []
+
+    def test_multiple_declarators_split(self):
+        program = parse("int a, b, c; int main() { return 0; }")
+        assert [g.name for g in program.globals] == ["a", "b", "c"]
+
+
+class TestStatements:
+    def test_labeled_for_loop(self):
+        stmts = parse_main_body("int i; hot: for (i = 0; i < 4; i++) {}")
+        loop = stmts[1]
+        assert isinstance(loop, ast.For)
+        assert loop.label == "hot"
+
+    def test_for_with_decl_init(self):
+        stmts = parse_main_body("for (int i = 0; i < 4; i++) {}")
+        assert isinstance(stmts[0].init, ast.VarDecl)
+
+    def test_for_all_parts_optional(self):
+        stmts = parse_main_body("for (;;) { break; }")
+        loop = stmts[0]
+        assert loop.init is None and loop.cond is None and loop.step is None
+
+    def test_while_and_do_while(self):
+        stmts = parse_main_body(
+            "int i; while (i < 3) i++; do { i--; } while (i > 0);"
+        )
+        assert isinstance(stmts[1], ast.While)
+        assert isinstance(stmts[2], ast.DoWhile)
+
+    def test_if_else_chain(self):
+        stmts = parse_main_body(
+            "int x; if (x) x = 1; else if (x > 2) x = 2; else x = 3;"
+        )
+        node = stmts[1]
+        assert isinstance(node, ast.If)
+        assert isinstance(node.els, ast.If)
+
+    def test_break_continue_return(self):
+        stmts = parse_main_body(
+            "for (;;) { break; } for (;;) { continue; } return 1;"
+        )
+        assert isinstance(stmts[0].body.stmts[0], ast.Break)
+        assert isinstance(stmts[1].body.stmts[0], ast.Continue)
+        assert isinstance(stmts[2], ast.Return)
+
+    def test_local_multi_declarator_is_decl_group(self):
+        stmts = parse_main_body("int i, j;")
+        assert isinstance(stmts[0], ast.DeclGroup)
+        assert [d.name for d in stmts[0].decls] == ["i", "j"]
+
+    def test_empty_statement(self):
+        stmts = parse_main_body(";")
+        assert isinstance(stmts[0], ast.Block)
+        assert stmts[0].stmts == []
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = first_expr("1 + 2 * 3;")
+        assert isinstance(expr, ast.BinOp) and expr.op == "+"
+        assert isinstance(expr.right, ast.BinOp) and expr.right.op == "*"
+
+    def test_parentheses_override(self):
+        expr = first_expr("(1 + 2) * 3;")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_assignment_right_associative(self):
+        expr = first_expr("1 ? 2 : 3;")
+        assert isinstance(expr, ast.Cond)
+
+    def test_compound_assignment(self):
+        program = parse("double s; int main() { s += 2.0; return 0; }")
+        stmt = program.functions[0].body.stmts[0]
+        assert isinstance(stmt.expr, ast.Assign)
+        assert stmt.expr.op == "+"
+
+    def test_chained_index_and_member(self):
+        expr = first_expr("a[1][2].x;") if False else None
+        program = parse(
+            "struct p { double x; };\n"
+            "struct p A[3][4];\n"
+            "int main() { A[1][2].x; return 0; }"
+        )
+        node = program.functions[0].body.stmts[0].expr
+        assert isinstance(node, ast.Member)
+        assert isinstance(node.base, ast.Index)
+
+    def test_pointer_deref_and_arrow(self):
+        program = parse(
+            "struct p { double x; };\n"
+            "int main() { struct p *q; (*q).x; q->x; return 0; }"
+        )
+        stmts = program.functions[0].body.stmts
+        assert isinstance(stmts[1].expr, ast.Member)
+        assert not stmts[1].expr.arrow
+        assert stmts[2].expr.arrow
+
+    def test_cast_expression(self):
+        expr = first_expr("(double)1;")
+        assert isinstance(expr, ast.CastExpr)
+
+    def test_cast_vs_parenthesized_expr(self):
+        expr = first_expr("(1) + 2;")
+        assert isinstance(expr, ast.BinOp)
+
+    def test_prefix_and_postfix_incdec(self):
+        stmts = parse_main_body("int i; ++i; i++;")
+        assert stmts[1].expr.prefix is True
+        assert stmts[2].expr.prefix is False
+
+    def test_unary_operators(self):
+        expr = first_expr("-1;")
+        assert isinstance(expr, ast.UnOp) and expr.op == "-"
+        expr = first_expr("!1;")
+        assert expr.op == "!"
+
+    def test_address_of(self):
+        stmts = parse_main_body("int x; &x;")
+        assert isinstance(stmts[1].expr, ast.AddrOf)
+
+    def test_call_with_args(self):
+        expr = first_expr("sqrt(2.0);")
+        assert isinstance(expr, ast.Call)
+        assert expr.name == "sqrt"
+        assert len(expr.args) == 1
+
+    def test_sizeof(self):
+        expr = first_expr("sizeof(double);")
+        assert isinstance(expr, ast.SizeofExpr)
+
+    def test_logical_short_circuit_ops(self):
+        expr = first_expr("1 && 2 || 3;")
+        assert expr.op == "||"
+        assert expr.left.op == "&&"
+
+    def test_shift_and_bitwise(self):
+        expr = first_expr("1 << 2 & 3;")
+        assert expr.op == "&"
+        assert expr.left.op == "<<"
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "int main() { return 0 }",          # missing semicolon
+            "int main() { if 1 {} }",            # missing parens
+            "int main() { for (;;) }",           # missing body
+            "int main() { 1 +; }",               # dangling operator
+            "int ",                               # truncated
+            "struct s { double x; } int main() {}",  # missing ';'
+        ],
+    )
+    def test_invalid_source_raises(self, source):
+        with pytest.raises(ParseError):
+            parse(source)

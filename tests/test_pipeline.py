@@ -1,0 +1,116 @@
+"""End-to-end pipeline tests (the §4.1 methodology as a single call)."""
+
+import pytest
+
+from repro.analysis.pipeline import (
+    analyze_loop,
+    analyze_module,
+    analyze_program,
+)
+from repro.errors import AnalysisError
+from repro.frontend import compile_source
+
+
+SRC = """
+double A[24];
+double B[24];
+
+int main() {
+  int i, r;
+  init: for (i = 0; i < 24; i++) B[i] = (double)i * 0.25;
+  hot: for (r = 0; r < 12; r++) {
+    body: for (i = 0; i < 24; i++) {
+      A[i] = A[i] * 0.999 + B[i];
+    }
+  }
+  return 0;
+}
+"""
+
+
+class TestAnalyzeLoop:
+    def test_by_label(self):
+        module = compile_source(SRC)
+        report = analyze_loop(module, "body")
+        assert report.loop_name == "body"
+        assert report.total_candidate_ops == 48  # one instance: 24 * 2
+
+    def test_by_function_line(self):
+        module = compile_source(SRC)
+        info = module.loop_by_name("init")
+        report = analyze_loop(module, f"main:{info.header_line}")
+        assert report.total_candidate_ops == 24
+
+    def test_instance_selection(self):
+        module = compile_source(SRC)
+        r0 = analyze_loop(module, "body", instance=0)
+        r5 = analyze_loop(module, "body", instance=5)
+        assert r0.total_candidate_ops == r5.total_candidate_ops
+
+    def test_unknown_loop_raises(self):
+        module = compile_source(SRC)
+        with pytest.raises(AnalysisError):
+            analyze_loop(module, "nope")
+
+    def test_missing_instance_raises(self):
+        module = compile_source(SRC)
+        with pytest.raises(AnalysisError):
+            analyze_loop(module, "body", instance=999)
+
+    def test_integer_characterization_option(self):
+        module = compile_source(SRC)
+        fp_only = analyze_loop(module, "body")
+        with_int = analyze_loop(module, "body", include_integer=True)
+        assert with_int.total_candidate_ops > fp_only.total_candidate_ops
+
+
+class TestAnalyzeProgram:
+    def test_hot_loops_analyzed_with_packed_column(self):
+        report = analyze_program(SRC, benchmark="demo")
+        names = [loop.loop_name for loop in report.loops]
+        assert "body" in names
+        assert "init" not in names  # below the 10% threshold
+        body = next(l for l in report.loops if l.loop_name == "body")
+        assert body.percent_cycles > 50.0
+        assert body.percent_packed == 100.0  # clean stride-1 axpy
+        assert body.percent_vec_unit == 100.0
+
+    def test_table_rendering(self):
+        report = analyze_program(SRC, benchmark="demo")
+        table = report.table()
+        assert "Benchmark" in table
+        assert "demo" in table
+
+    def test_threshold_controls_row_count(self):
+        all_rows = analyze_program(SRC, threshold=0.001)
+        few_rows = analyze_program(SRC, threshold=0.5)
+        assert len(all_rows.loops) >= len(few_rows.loops)
+
+
+class TestAnalyzeModule:
+    def test_module_only_analysis_has_no_packed(self):
+        module = compile_source(SRC)
+        report = analyze_module(module)
+        assert report.loops
+        assert all(l.percent_packed == 0.0 for l in report.loops)
+
+
+class TestAnalyzeKernelByName:
+    def test_registered_workload(self):
+        import repro
+
+        report = repro.analyze_kernel("utdsp_fir_array")
+        assert report.loops[0].loop_name == "fir_n"
+
+    def test_unknown_workload(self):
+        import repro
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            repro.analyze_kernel("not_a_kernel")
+
+    def test_param_override(self):
+        import repro
+
+        small = repro.analyze_kernel("utdsp_fir_array", ntap=4, nout=8)
+        assert small.loops[0].total_candidate_ops < 200

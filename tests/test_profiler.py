@@ -1,0 +1,163 @@
+"""Profiler tests: cost model, cycle attribution, hot-loop selection,
+Percent Packed accounting."""
+
+import pytest
+
+from repro.frontend import parse_source
+from repro.frontend.driver import compile_source
+from repro.frontend.lower import lower
+from repro.interp import Interpreter
+from repro.ir.instructions import Opcode
+from repro.profiler import CostModel, DEFAULT_COST_MODEL, hot_loops, profile_loops
+from repro.vectorizer import analyze_program_loops
+from repro.vectorizer.packed import percent_packed, vectorized_fraction
+
+
+SRC = """
+double A[32];
+double B[32];
+
+void heavy() {
+  int i, r;
+  hot: for (r = 0; r < 20; r++) {
+    inner: for (i = 0; i < 32; i++) {
+      A[i] = A[i] * 1.0001 + B[i];
+    }
+  }
+}
+
+int main() {
+  int i;
+  cold: for (i = 0; i < 32; i++) B[i] = (double)i;
+  heavy();
+  return 0;
+}
+"""
+
+
+@pytest.fixture
+def setup():
+    module = compile_source(SRC)
+    interp = Interpreter(module)
+    interp.run()
+    return module, interp
+
+
+class TestCostModel:
+    def test_default_costs_cover_all_opcodes(self):
+        for op in Opcode:
+            assert DEFAULT_COST_MODEL.cost(int(op)) >= 0.0
+
+    def test_scaled(self):
+        slow = DEFAULT_COST_MODEL.scaled(2.0)
+        assert slow.cost(int(Opcode.FADD)) == (
+            2.0 * DEFAULT_COST_MODEL.cost(int(Opcode.FADD))
+        )
+
+    def test_override(self):
+        cm = CostModel({int(Opcode.FDIV): 99.0})
+        assert cm.cost(int(Opcode.FDIV)) == 99.0
+        assert cm.cost(int(Opcode.FADD)) == DEFAULT_COST_MODEL.cost(
+            int(Opcode.FADD)
+        )
+
+
+class TestProfiles:
+    def test_percentages_reflect_weight(self, setup):
+        module, interp = setup
+        profiles = {p.name: p for p in profile_loops(module, interp).values()}
+        assert profiles["hot"].percent_cycles > 80.0
+        assert profiles["cold"].percent_cycles < 10.0
+
+    def test_inclusive_contains_children(self, setup):
+        module, interp = setup
+        profiles = {p.name: p for p in profile_loops(module, interp).values()}
+        assert profiles["hot"].inclusive_cycles >= (
+            profiles["inner"].inclusive_cycles
+        )
+        assert profiles["hot"].direct_fp_ops == 0
+        assert profiles["inner"].direct_fp_ops == 20 * 32 * 2
+
+    def test_dynamic_nesting_through_calls(self, setup):
+        """`hot` lives in a function called from main: its dynamic parent
+        is the call site's loop context (none here), and `inner`'s parent
+        is `hot` even though they're in the same function."""
+        module, interp = setup
+        profiles = {p.name: p for p in profile_loops(module, interp).values()}
+        hot = profiles["hot"]
+        inner = profiles["inner"]
+        assert inner.parent == hot.loop_id
+
+    def test_hot_loop_selection(self, setup):
+        module, interp = setup
+        hot = hot_loops(module, interp, threshold=0.10)
+        names = [p.name for p in hot]
+        assert "inner" in names
+        assert "cold" not in names
+        # `hot` adds ~nothing beyond `inner`: the paper's parent rule
+        # excludes it.
+        assert "hot" not in names
+
+    def test_threshold_respected(self, setup):
+        module, interp = setup
+        assert hot_loops(module, interp, threshold=0.999) == []
+
+
+class TestPercentPacked:
+    def test_vectorized_fraction_remainders(self, setup):
+        module, interp = setup
+        inner = module.loop_by_name("inner")
+        assert vectorized_fraction(interp, inner.loop_id, 2) == 1.0
+        # 32 iterations: with 5 lanes, 30 of 32 in full groups.
+        assert vectorized_fraction(interp, inner.loop_id, 5) == (
+            pytest.approx(30 / 32)
+        )
+
+    def test_packed_for_vectorized_loop(self):
+        program, analyzer = parse_source(SRC)
+        module = lower(analyzer)
+        decisions = analyze_program_loops(program, analyzer)
+        interp = Interpreter(module)
+        interp.run()
+        inner = module.loop_by_name("inner")
+        pct = percent_packed(module, interp, decisions, inner.loop_id)
+        assert pct == 100.0
+
+    def test_packed_zero_for_refused_loop(self):
+        src = """
+double A[16];
+int main() {
+  int i;
+  L: for (i = 1; i < 16; i++) A[i] = A[i-1] * 0.5;
+  return 0;
+}
+"""
+        program, analyzer = parse_source(src)
+        module = lower(analyzer)
+        decisions = analyze_program_loops(program, analyzer)
+        interp = Interpreter(module)
+        interp.run()
+        loop = module.loop_by_name("L")
+        assert percent_packed(module, interp, decisions, loop.loop_id) == 0.0
+
+    def test_packed_aggregates_over_subtree(self):
+        src = """
+double A[16]; double B[16];
+int main() {
+  int i, j;
+  outer: for (j = 0; j < 4; j++) {
+    vec: for (i = 0; i < 16; i++) A[i] = B[i] * 2.0;
+    ser: for (i = 1; i < 16; i++) A[i] = A[i-1] + 1.0;
+  }
+  return 0;
+}
+"""
+        program, analyzer = parse_source(src)
+        module = lower(analyzer)
+        decisions = analyze_program_loops(program, analyzer)
+        interp = Interpreter(module)
+        interp.run()
+        outer = module.loop_by_name("outer")
+        pct = percent_packed(module, interp, decisions, outer.loop_id)
+        # vec contributes 16 packed fmuls, ser 15 scalar fadds per j.
+        assert pct == pytest.approx(100.0 * 16 / 31, abs=0.5)

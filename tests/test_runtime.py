@@ -1,0 +1,114 @@
+"""Memory model and layout helper tests."""
+
+import pytest
+
+from repro.errors import MemoryError_, VectraError
+from repro.ir.types import DOUBLE, INT32, ArrayType, StructType
+from repro.runtime import (
+    GLOBAL_BASE,
+    Memory,
+    aos_field_offset,
+    element_offset,
+    flatten_index,
+    soa_field_offset,
+)
+
+
+class TestMemory:
+    def test_global_allocation_is_aligned_and_disjoint(self):
+        mem = Memory()
+        a = mem.alloc_global(ArrayType(DOUBLE, 4))
+        b = mem.alloc_global(INT32)
+        c = mem.alloc_global(DOUBLE)
+        assert a >= GLOBAL_BASE
+        assert b >= a + 32
+        assert c % 8 == 0
+        assert c >= b + 4
+
+    def test_stack_frames_reuse_addresses(self):
+        mem = Memory()
+        save = mem.push_frame()
+        a1 = mem.alloc_stack(DOUBLE)
+        mem.pop_frame(save)
+        save2 = mem.push_frame()
+        a2 = mem.alloc_stack(DOUBLE)
+        mem.pop_frame(save2)
+        assert a1 == a2
+
+    def test_load_default_for_unwritten(self):
+        mem = Memory()
+        assert mem.load(GLOBAL_BASE, 0.0) == 0.0
+
+    def test_store_then_load(self):
+        mem = Memory()
+        mem.store(GLOBAL_BASE + 8, 3.25)
+        assert mem.load(GLOBAL_BASE + 8, 0.0) == 3.25
+
+    def test_invalid_address_rejected(self):
+        mem = Memory()
+        with pytest.raises(MemoryError_):
+            mem.load(0, 0.0)
+        with pytest.raises(MemoryError_):
+            mem.store(-8, 1.0)
+
+    def test_initialize_and_read_flat_round_trip(self):
+        mem = Memory()
+        t = ArrayType(ArrayType(DOUBLE, 3), 2)
+        base = mem.alloc_global(t)
+        values = [float(i) for i in range(6)]
+        mem.initialize(base, t, values)
+        assert mem.read_flat(base, t) == values
+
+    def test_initialize_struct(self):
+        mem = Memory()
+        st = StructType("c", [("r", DOUBLE), ("i", DOUBLE)])
+        base = mem.alloc_global(st)
+        mem.initialize(base, st, [1.0, 2.0])
+        assert mem.load(base, 0.0) == 1.0
+        assert mem.load(base + 8, 0.0) == 2.0
+
+    def test_short_initializer_rejected(self):
+        mem = Memory()
+        t = ArrayType(DOUBLE, 3)
+        base = mem.alloc_global(t)
+        with pytest.raises(MemoryError_):
+            mem.initialize(base, t, [1.0])
+
+
+class TestLayoutHelpers:
+    def test_flatten_index_row_major(self):
+        assert flatten_index((3, 4), (0, 0)) == 0
+        assert flatten_index((3, 4), (1, 2)) == 6
+        assert flatten_index((3, 4), (2, 3)) == 11
+
+    def test_flatten_index_bounds(self):
+        with pytest.raises(VectraError):
+            flatten_index((3, 4), (3, 0))
+        with pytest.raises(VectraError):
+            flatten_index((3,), (0, 0))
+
+    def test_element_offset(self):
+        assert element_offset((4, 5), (2, 3), 8) == (2 * 5 + 3) * 8
+
+    def test_aos_offset(self):
+        st = StructType("pt", [("x", DOUBLE), ("y", DOUBLE)])
+        assert aos_field_offset(st, 0, "x") == 0
+        assert aos_field_offset(st, 3, "y") == 3 * 16 + 8
+
+    def test_soa_offset(self):
+        st = StructType("pt", [("x", DOUBLE), ("y", DOUBLE)])
+        assert soa_field_offset(st, 10, 3, "x") == 24
+        assert soa_field_offset(st, 10, 3, "y") == 80 + 24
+
+    def test_soa_unknown_field(self):
+        st = StructType("pt", [("x", DOUBLE)])
+        with pytest.raises(VectraError):
+            soa_field_offset(st, 4, 0, "z")
+
+    def test_aos_vs_soa_stride_contrast(self):
+        """The §3.3 motivation: AoS strides by struct size, SoA by elem."""
+        st = StructType("pt", [("x", DOUBLE), ("y", DOUBLE)])
+        aos = [aos_field_offset(st, i, "x") for i in range(4)]
+        soa = [soa_field_offset(st, 100, i, "x") for i in range(4)]
+        assert [b - a for a, b in zip(aos, aos[1:])] == [16, 16, 16]
+        assert [b - a for a, b in zip(soa, soa[1:])] == [8, 8, 8]

@@ -1,0 +1,213 @@
+"""Semantic analysis tests: typing, scoping, error detection."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.frontend import ast, parse_source
+from repro.ir.types import (
+    DOUBLE,
+    FLOAT,
+    INT32,
+    INT64,
+    ArrayType,
+    PointerType,
+    StructType,
+)
+
+
+def analyze_main(body: str, prelude: str = ""):
+    return parse_source(f"{prelude}\nint main() {{ {body} }}")
+
+
+def expr_type(body: str, prelude: str = ""):
+    program, _ = analyze_main(body, prelude)
+    stmt = program.functions[-1].body.stmts[-1]
+    assert isinstance(stmt, ast.ExprStmt)
+    return stmt.expr.type
+
+
+class TestTypes:
+    def test_int_literal_type(self):
+        assert expr_type("1;") == INT32
+
+    def test_large_int_literal_is_i64(self):
+        assert expr_type("4294967296;") == INT64
+
+    def test_float_literal_is_double(self):
+        assert expr_type("1.5;") == DOUBLE
+
+    def test_mixed_arith_promotes_to_double(self):
+        assert expr_type("int x; x + 1.5;") == DOUBLE
+
+    def test_float_var_promotes(self):
+        assert expr_type("float f; f + 1;") == FLOAT
+
+    def test_comparison_is_int(self):
+        assert expr_type("1.5 < 2.5;") == INT32
+
+    def test_array_index_peels_dimension(self):
+        t = expr_type("A[1];", "double A[4][5];")
+        assert isinstance(t, ArrayType)
+        assert expr_type("A[1][2];", "double A[4][5];") == DOUBLE
+
+    def test_pointer_index(self):
+        assert expr_type("double *p; p[3];") == DOUBLE
+
+    def test_pointer_arith_keeps_pointer_type(self):
+        t = expr_type("double *p; p + 2;")
+        assert isinstance(t, PointerType)
+
+    def test_pointer_difference_is_int(self):
+        assert expr_type("double *p; double *q; p - q;") == INT64
+
+    def test_address_of(self):
+        t = expr_type("double x; &x;")
+        assert t == PointerType(DOUBLE)
+
+    def test_array_decays_under_address(self):
+        t = expr_type("&A[0];", "double A[4];")
+        assert t == PointerType(DOUBLE)
+
+    def test_struct_member(self):
+        t = expr_type("P.x;", "struct pt { double x; int k; }; struct pt P;")
+        assert t == DOUBLE
+
+    def test_arrow_member(self):
+        t = expr_type(
+            "struct pt *p; p->k;",
+            "struct pt { double x; int k; };",
+        )
+        assert t == INT32
+
+    def test_cast(self):
+        assert expr_type("(float)1;") == FLOAT
+
+    def test_intrinsic_returns_double(self):
+        assert expr_type("sqrt(4.0);") == DOUBLE
+
+    def test_call_types_checked_against_signature(self):
+        program, analyzer = parse_source(
+            "double f(double a, int b) { return a; }\n"
+            "int main() { f(1.5, 2); return 0; }"
+        )
+        sig = analyzer.functions["f"]
+        assert sig.param_types == [DOUBLE, INT32]
+        assert sig.return_type == DOUBLE
+
+    def test_array_param_decays(self):
+        _, analyzer = parse_source(
+            "double f(double a[10]) { return a[0]; }\n"
+            "int main() { return 0; }"
+        )
+        assert isinstance(analyzer.functions["f"].param_types[0], PointerType)
+
+    def test_const_int_dim(self):
+        program, analyzer = parse_source(
+            "int main() { const int N = 4; double A[N]; A[0] = 1.0; "
+            "return 0; }"
+        )
+        decl = program.functions[0].body.stmts[1]
+        assert decl.symbol.type == ArrayType(DOUBLE, 4)
+
+    def test_constant_expression_dims(self):
+        _, analyzer = parse_source(
+            "double A[2 * 3 + 1];\nint main() { return 0; }"
+        )
+        sym = analyzer.global_scope.lookup("A")
+        assert sym.type.count == 7
+
+
+class TestScoping:
+    def test_inner_scope_shadows(self):
+        program, _ = analyze_main(
+            "int x; x = 1; { double x; x = 2.0; } x = 3;"
+        )
+        stmts = program.functions[0].body.stmts
+        assert stmts[1].expr.target.type == INT32
+        assert stmts[2].stmts[1].expr.target.type == DOUBLE
+
+    def test_for_init_scope_is_loop_local(self):
+        with pytest.raises(SemanticError):
+            analyze_main("for (int i = 0; i < 3; i++) {} i = 1;")
+
+    def test_undeclared_name_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze_main("y = 1;")
+
+    def test_redeclaration_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze_main("int x; double x;")
+
+    def test_globals_visible_in_functions(self):
+        analyze_main("g = 2.0;", "double g;")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "prelude,body",
+        [
+            ("", "int x; x[0];"),                # index non-array
+            ("", "double d; d.x;"),              # member of non-struct
+            ("", "int p; *p;"),                  # deref non-pointer
+            ("double A[3];", "A = 0;"),          # assign to array
+            ("", "1 = 2;"),                      # assign to rvalue
+            ("", "&1;"),                         # address of rvalue
+            ("", "break;"),                      # break outside loop
+            ("", "return 1.0;"),                 # main returns int: ok...
+        ],
+    )
+    def test_bad_programs(self, prelude, body):
+        if body == "return 1.0;":
+            analyze_main(body, prelude)  # arithmetic conversion: legal
+            return
+        with pytest.raises(SemanticError):
+            analyze_main(body, prelude)
+
+    def test_void_variable_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze_main("void v;")
+
+    def test_unknown_struct_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze_main("struct nope s;")
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze_main("P.z;", "struct pt { double x; }; struct pt P;")
+
+    def test_wrong_arity_call(self):
+        with pytest.raises(SemanticError):
+            analyze_main("sqrt(1.0, 2.0);")
+
+    def test_unknown_function(self):
+        with pytest.raises(SemanticError):
+            analyze_main("nosuch(1);")
+
+    def test_missing_main(self):
+        with pytest.raises(SemanticError):
+            parse_source("int helper() { return 1; }")
+
+    def test_return_value_from_void(self):
+        with pytest.raises(SemanticError):
+            parse_source("void f() { return 1; } int main() { return 0; }")
+
+    def test_missing_return_value(self):
+        with pytest.raises(SemanticError):
+            parse_source("int f() { return; } int main() { return 0; }")
+
+    def test_modulo_requires_ints(self):
+        with pytest.raises(SemanticError):
+            analyze_main("1.5 % 2.0;")
+
+    def test_non_constant_global_init(self):
+        with pytest.raises(SemanticError):
+            parse_source("double g; double h = g; int main() { return 0; }")
+
+    def test_non_constant_array_dim(self):
+        with pytest.raises(SemanticError):
+            analyze_main("int n; double A[n];")
+
+    def test_shadowing_intrinsic_rejected(self):
+        with pytest.raises(SemanticError):
+            parse_source("double sqrt(double x) { return x; } "
+                         "int main() { return 0; }")

@@ -1,0 +1,80 @@
+"""Binary trace serialization round-trip tests."""
+
+import io
+
+import pytest
+
+from repro.errors import TraceError
+from repro.frontend import compile_source
+from repro.interp import run_and_trace
+from repro.trace.serialize import load_trace, read_trace, save_trace, write_trace
+
+
+SRC = """
+double A[4];
+int main() {
+  int i;
+  L: for (i = 0; i < 4; i++) A[i] = (double)i * 2.0;
+  return 0;
+}
+"""
+
+
+@pytest.fixture
+def module():
+    return compile_source(SRC)
+
+
+def test_round_trip_preserves_all_fields(module):
+    trace = run_and_trace(module)
+    buf = io.BytesIO()
+    write_trace(trace, buf)
+    buf.seek(0)
+    back = read_trace(buf, module)
+    assert len(back) == len(trace)
+    for a, b in zip(trace.records, back.records):
+        assert a.node == b.node
+        assert a.sid == b.sid
+        assert int(a.opcode) == int(b.opcode)
+        assert a.loop_id == b.loop_id
+        assert tuple(a.deps) == tuple(b.deps)
+        assert tuple(a.addrs) == tuple(b.addrs)
+        assert a.addr == b.addr
+        assert a.store_addr == b.store_addr
+
+
+def test_round_trip_via_files(module, tmp_path):
+    trace = run_and_trace(module)
+    path = str(tmp_path / "t.vtrc")
+    save_trace(trace, path)
+    back = load_trace(path, module)
+    assert len(back) == len(trace)
+
+
+def test_spans_survive_round_trip(module):
+    trace = run_and_trace(module)
+    buf = io.BytesIO()
+    write_trace(trace, buf)
+    buf.seek(0)
+    back = read_trace(buf, module)
+    loop = module.loop_by_name("L")
+    assert len(back.loop_instances(loop.loop_id)) == 1
+
+
+def test_bad_magic_rejected(module):
+    with pytest.raises(TraceError):
+        read_trace(io.BytesIO(b"NOPE" + b"\x00" * 16), module)
+
+
+def test_truncated_header_rejected(module):
+    with pytest.raises(TraceError):
+        read_trace(io.BytesIO(b"VT"), module)
+
+
+def test_truncated_record_rejected(module):
+    trace = run_and_trace(module)
+    buf = io.BytesIO()
+    write_trace(trace, buf)
+    data = buf.getvalue()[: len(buf.getvalue()) - 7]
+    with pytest.raises(TraceError):
+        read_trace(io.BytesIO(data), module)

@@ -1,0 +1,104 @@
+"""Dependence-test unit tests for the static vectorizer."""
+
+from repro.frontend import parse_source
+from repro.vectorizer.dependence import carried_dependence
+from repro.vectorizer.subscripts import access_of_lvalue
+
+
+def accesses_from(body: str, prelude: str, n_exprs: int):
+    program, _ = parse_source(f"{prelude}\nint main() {{ {body} }}")
+    stmts = program.functions[-1].body.stmts[-n_exprs:]
+    return [access_of_lvalue(s.expr, is_write=False) for s in stmts]
+
+
+def dep(body, prelude, ivar="i", writes=(True, False)):
+    a, b = accesses_from(body, prelude, 2)
+    a.is_write, b.is_write = writes
+    return carried_dependence(a, b, ivar)
+
+
+class TestStrongSIV:
+    PRELUDE = "double A[20][20]; double B[20]; int i; int j;"
+
+    def test_same_subscript_is_loop_independent(self):
+        assert dep("B[i]; B[i];", self.PRELUDE) is None
+
+    def test_distance_one_is_carried(self):
+        reason = dep("B[i]; B[i-1];", self.PRELUDE)
+        assert reason is not None
+        assert "distance" in reason
+
+    def test_fractional_distance_is_independent(self):
+        # B[2i] vs B[2i+1]: even vs odd elements never collide.
+        assert dep("B[2*i]; B[2*i+1];", self.PRELUDE) is None
+
+    def test_invariant_dim_disjoint_rows(self):
+        """A[i][j] write vs A[i-1][j] read in a j-loop: rows differ by a
+        constant, so the j-loop carries nothing (the Gauss-Seidel row
+        case)."""
+        assert dep("A[i][j]; A[i-1][j];", self.PRELUDE, ivar="j") is None
+
+    def test_same_row_distance_in_j(self):
+        reason = dep("A[i][j]; A[i][j-1];", self.PRELUDE, ivar="j")
+        assert reason is not None and "distance" in reason
+
+    def test_inconsistent_multi_dim_distances_independent(self):
+        # A[i][i] vs A[i-1][i-2]: would need t=1 and t=2 simultaneously.
+        assert dep("A[i][i]; A[i-1][i-2];", self.PRELUDE) is None
+
+    def test_consistent_diagonal_distance_carried(self):
+        reason = dep("A[i][i]; A[i-1][i-1];", self.PRELUDE)
+        assert reason is not None
+
+    def test_invariant_same_location_carried(self):
+        """B[j] accessed every i iteration: same location each time."""
+        reason = dep("B[j]; B[j];", self.PRELUDE, ivar="i")
+        assert reason is not None
+        assert "same location" in reason
+
+    def test_different_coefficients_conservative(self):
+        reason = dep("B[i]; B[2*i];", self.PRELUDE)
+        assert reason is not None
+        assert "weak SIV" in reason
+
+    def test_symbolic_difference_conservative(self):
+        prelude = self.PRELUDE + " int k;"
+        reason = dep("B[i]; B[i+k];", prelude)
+        assert reason is not None
+
+
+class TestBasesAndFields:
+    def test_distinct_arrays_never_alias(self):
+        prelude = "double A[10]; double B[10]; int i;"
+        assert dep("A[i]; B[i-3];", prelude) is None
+
+    def test_pointer_vs_array_may_alias(self):
+        prelude = "double A[10]; double *p; int i;"
+        reason = dep("A[i]; p[i];", prelude)
+        assert reason is not None
+        assert "alias" in reason
+
+    def test_struct_fields_disjoint(self):
+        prelude = (
+            "struct pt { double x; double y; }; struct pt P[8]; int i;"
+        )
+        assert dep("P[i].x; P[i-1].y;", prelude) is None
+
+    def test_same_field_distance_carried(self):
+        prelude = (
+            "struct pt { double x; double y; }; struct pt P[8]; int i;"
+        )
+        reason = dep("P[i].x; P[i-1].x;", prelude)
+        assert reason is not None
+
+    def test_soa_struct_fields_distinct_bases(self):
+        prelude = (
+            "struct soa { double x[8]; double y[8]; }; struct soa S; int i;"
+        )
+        assert dep("S.x[i]; S.y[i];", prelude) is None
+
+    def test_irregular_subscript_conservative(self):
+        prelude = "double A[10]; int idx[10]; int i;"
+        reason = dep("A[idx[i]]; A[i];", prelude)
+        assert reason is not None
+        assert "irregular" in reason

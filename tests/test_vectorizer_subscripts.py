@@ -1,0 +1,160 @@
+"""Affine subscript / access extraction tests."""
+
+from repro.frontend import ast, parse_source
+from repro.vectorizer.subscripts import (
+    LinExpr,
+    access_of_lvalue,
+    linearize,
+)
+
+
+def expr_of(body: str, prelude: str = ""):
+    program, _ = parse_source(f"{prelude}\nint main() {{ {body} }}")
+    stmt = program.functions[-1].body.stmts[-1]
+    return stmt.expr
+
+
+class TestLinExpr:
+    def test_algebra(self):
+        a = LinExpr(1, {"i": 2})
+        b = LinExpr(3, {"i": -2, "j": 1})
+        s = a + b
+        assert s.const == 4
+        assert s.coeff("i") == 0
+        assert s.coeff("j") == 1
+        d = a - b
+        assert d.const == -2
+        assert d.coeff("i") == 4
+
+    def test_scale_and_drop(self):
+        e = LinExpr(2, {"i": 3}).scale(4)
+        assert e.const == 8 and e.coeff("i") == 12
+        assert e.drop("i").is_const
+
+    def test_substitute(self):
+        e = LinExpr(1, {"t": 2})
+        env = {"t": LinExpr(0, {"i": 1})}
+        out = e.substitute(env)
+        assert out.coeff("i") == 2 and out.const == 1
+
+    def test_substitute_poison(self):
+        e = LinExpr(0, {"t": 1})
+        assert e.substitute({"t": None}) is None
+
+    def test_equality_and_repr(self):
+        assert LinExpr(1, {"i": 2}) == LinExpr(1, {"i": 2})
+        assert "i" in repr(LinExpr(0, {"i": 1}))
+
+
+class TestLinearize:
+    def check(self, body, const, coeffs, prelude="int i; int j; int n;"):
+        expr = expr_of(body, prelude)
+        lin = linearize(expr)
+        assert lin is not None
+        assert lin.const == const
+        assert lin.coeffs == coeffs
+
+    def test_literal(self):
+        self.check("5;", 5, {})
+
+    def test_variable(self):
+        self.check("i;", 0, {"i": 1})
+
+    def test_affine_combo(self):
+        self.check("2 * i + j - 3;", -3, {"i": 2, "j": 1})
+
+    def test_nested_parens(self):
+        self.check("3 * (i + 2);", 6, {"i": 3})
+
+    def test_negation(self):
+        self.check("-i + 1;", 1, {"i": -1})
+
+    def test_const_symbol_folds(self):
+        program, _ = parse_source(
+            "int main() { const int N = 8; int i; i = N * 2; return 0; }"
+        )
+        assign = program.functions[0].body.stmts[-2].expr
+        lin = linearize(assign.value)
+        assert lin.const == 16
+
+    def test_non_affine_returns_none(self):
+        assert linearize(expr_of("i * j;", "int i; int j;")) is None
+        assert linearize(expr_of("i % 4;", "int i;")) is None
+        assert linearize(expr_of("i / 2;", "int i;")) is None
+
+
+class TestAccessExtraction:
+    def get_access(self, body, prelude, write=False):
+        expr = expr_of(body, prelude)
+        return access_of_lvalue(expr, is_write=write)
+
+    def test_1d_array(self):
+        acc = self.get_access("A[i];", "double A[10]; int i;")
+        assert acc.base == "A"
+        assert acc.kind == "array"
+        assert acc.steps == [8]
+        assert acc.subs[0].coeff("i") == 1
+        assert acc.stride_wrt("i") == 8
+
+    def test_2d_array_row_major_strides(self):
+        acc = self.get_access("A[i][j];", "double A[4][6]; int i; int j;")
+        assert acc.steps == [48, 8]
+        assert acc.stride_wrt("i") == 48
+        assert acc.stride_wrt("j") == 8
+
+    def test_aos_member_access(self):
+        acc = self.get_access(
+            "P[i].y;",
+            "struct pt { double x; double y; }; struct pt P[8]; int i;",
+        )
+        assert acc.base == "P"
+        assert acc.field_const == 8
+        assert acc.stride_wrt("i") == 16
+
+    def test_struct_var_field_becomes_base(self):
+        acc = self.get_access(
+            "S.x[i];",
+            "struct soa { double x[8]; double y[8]; }; struct soa S; int i;",
+        )
+        assert acc.base == "S.x"
+        assert acc.kind == "array"
+        assert acc.stride_wrt("i") == 8
+
+    def test_pointer_index(self):
+        acc = self.get_access("p[i];", "double *p; int i;")
+        assert acc.base == "p"
+        assert acc.kind == "pointer"
+        assert acc.stride_wrt("i") == 8
+
+    def test_bare_deref(self):
+        acc = self.get_access("*p;", "double *p;")
+        assert acc.base == "p"
+        assert acc.is_affine
+        assert acc.stride_wrt("i") == 0
+
+    def test_irregular_subscript_flagged(self):
+        acc = self.get_access(
+            "A[B[i]];", "double A[10]; int B[10]; int i;"
+        )
+        assert acc.base == "A"
+        assert not acc.is_affine
+
+    def test_scalar_is_not_an_access(self):
+        assert self.get_access("x;", "double x;") is None
+
+    def test_nested_aos_matrix(self):
+        prelude = (
+            "struct complex { double r; double i; };\n"
+            "struct mat { struct complex e[3][3]; };\n"
+            "struct mat L[10]; int s; int i; int j;"
+        )
+        acc = self.get_access("L[s].e[i][j].r;", prelude)
+        assert acc.base == "L"
+        assert acc.steps == [144, 48, 16]
+        assert acc.stride_wrt("s") == 144
+
+    def test_offset_expr_flattens(self):
+        acc = self.get_access("A[i][j];", "double A[4][6]; int i; int j;")
+        off = acc.offset_expr()
+        assert off.coeff("i") == 48
+        assert off.coeff("j") == 8

@@ -1,0 +1,87 @@
+"""Workload registry and per-workload smoke tests."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.interp import run_module
+from repro.workloads import get_workload, list_workloads
+from repro.workloads.base import Workload
+
+
+ALL_NAMES = [w.name for w in list_workloads()]
+
+
+class TestRegistry:
+    def test_all_categories_populated(self):
+        for category in ("spec", "utdsp", "kernel", "casestudy"):
+            assert list_workloads(category), f"no workloads in {category}"
+
+    def test_expected_counts(self):
+        assert len(list_workloads("utdsp")) == 12  # 6 kernels x 2 styles
+        assert len(list_workloads("kernel")) == 2
+        assert len(list_workloads("spec")) >= 15
+        assert len(list_workloads()) >= 40
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(WorkloadError):
+            get_workload("nope")
+
+    def test_unknown_param_raises(self):
+        w = get_workload("gauss_seidel")
+        with pytest.raises(WorkloadError):
+            w.source(bogus=3)
+
+    def test_every_workload_documents_its_model(self):
+        for w in list_workloads():
+            assert w.models, f"{w.name} lacks a models= record"
+            assert w.description
+
+    def test_duplicate_registration_rejected(self):
+        from repro.workloads.loader import register
+
+        with pytest.raises(WorkloadError):
+            register(Workload(
+                name="gauss_seidel", category="kernel",
+                source_fn=lambda: "", default_params={},
+            ))
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+class TestEveryWorkload:
+    def test_compiles_and_runs(self, name):
+        w = get_workload(name)
+        module = w.compile()
+        value, interp = run_module(module, w.entry)
+        assert interp.executed_instructions > 0
+
+    def test_analyze_loops_exist(self, name):
+        w = get_workload(name)
+        module = w.compile()
+        for label in w.analyze_loops:
+            assert module.loop_by_name(label) is not None, (
+                f"{name}: loop {label} not found"
+            )
+
+
+class TestAnalyzeSmoke:
+    """A cheap analysis sanity check on one workload per category."""
+
+    @pytest.mark.parametrize(
+        "name,params",
+        [
+            ("gauss_seidel", {"n": 12, "t": 1}),
+            ("utdsp_fir_array", {"ntap": 8, "nout": 16}),
+            ("milc_su3mv", {"sites": 16}),
+            ("cactus_leapfrog", {"nx": 10, "ny": 4, "nz": 3}),
+        ],
+    )
+    def test_analysis_produces_rows(self, name, params):
+        report = get_workload(name).analyze(**params)
+        assert report.loops
+        for loop in report.loops:
+            assert loop.total_candidate_ops > 0
+            assert 0.0 <= loop.percent_vec_unit <= 100.0
+            assert 0.0 <= loop.percent_vec_nonunit <= 100.0
+            assert (
+                loop.percent_vec_unit + loop.percent_vec_nonunit <= 100.01
+            )
