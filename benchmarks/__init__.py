@@ -1,0 +1,8 @@
+"""Benchmarks regenerating the paper's artifacts, plus micro-benchmarks.
+
+A real package so the tier-1 suite can import shared harness modules
+(e.g. :mod:`benchmarks.algorithm1_common`) for small-N smoke coverage.
+Collection stays limited to ``tests/`` via ``testpaths`` in
+``pyproject.toml``; run ``pytest benchmarks/`` explicitly for the full
+regeneration.
+"""

@@ -1,0 +1,106 @@
+"""Shared harness for the Algorithm 1 batched-vs-scalar micro-benchmark.
+
+Builds a seeded-random synthetic DDG (directly in CSR form, no trace
+needed), runs Algorithm 1 over all candidate instructions both ways —
+K scalar :func:`compute_timestamps` passes vs. one K-wide
+:func:`batched_parallel_partitions` scan — verifies the partitions are
+bit-identical, and reports wall times.  Used at large N by
+``benchmarks/test_algorithm1_batch.py`` (which records
+``BENCH_algorithm1.json``) and at small N by the tier-1 smoke test.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from array import array
+from typing import Dict, List
+
+from repro.analysis.candidates import candidate_sids
+from repro.analysis.timestamps import (
+    batched_parallel_partitions,
+    parallel_partitions,
+)
+from repro.ddg.graph import _CSR_TYPECODE, DDG
+from repro.ir.instructions import Opcode
+
+_FP_OPS = (Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV)
+
+
+def synthetic_ddg(
+    num_nodes: int,
+    num_sids: int,
+    max_preds: int = 3,
+    window: int = 64,
+    seed: int = 0,
+) -> DDG:
+    """A seeded-random topological DAG with ``num_sids`` FP-candidate
+    static instructions, packed straight into CSR form.
+
+    Edges point backwards within a bounded window, mimicking the local
+    producer-consumer structure of a loop subtrace.
+    """
+    rng = random.Random(seed)
+    sids: List[int] = []
+    opcodes: List[int] = []
+    pred_indices = array(_CSR_TYPECODE)
+    pred_offsets = array(_CSR_TYPECODE, [0])
+    for i in range(num_nodes):
+        sid = rng.randrange(num_sids) + 1
+        sids.append(sid)
+        opcodes.append(int(_FP_OPS[sid % len(_FP_OPS)]))
+        lo = max(0, i - window)
+        k = rng.randint(0, min(max_preds, i - lo))
+        if k:
+            pred_indices.extend(sorted(rng.sample(range(lo, i), k)))
+        pred_offsets.append(len(pred_indices))
+    return DDG(sids, opcodes, pred_indices=pred_indices,
+               pred_offsets=pred_offsets)
+
+
+def scalar_all_partitions(ddg: DDG, sids) -> Dict[int, Dict[int, List[int]]]:
+    """The pre-batching behaviour: one full Algorithm 1 pass per sid."""
+    return {sid: parallel_partitions(ddg, sid) for sid in sids}
+
+
+def run_comparison(
+    num_nodes: int,
+    num_sids: int,
+    repeats: int = 3,
+    seed: int = 0,
+) -> dict:
+    """Time scalar-vs-batched Algorithm 1 on one synthetic DDG.
+
+    Returns a JSON-ready payload; ``identical`` asserts the two engines
+    produced bit-identical per-sid partitions.
+    """
+    ddg = synthetic_ddg(num_nodes, num_sids, seed=seed)
+    sids = candidate_sids(ddg)
+
+    scalar_s = min(
+        _timed(scalar_all_partitions, ddg, sids)[0] for _ in range(repeats)
+    )
+    batched_s, batched = min(
+        (_timed(batched_parallel_partitions, ddg, sids)
+         for _ in range(repeats)),
+        key=lambda pair: pair[0],
+    )
+    scalar = scalar_all_partitions(ddg, sids)
+
+    return {
+        "nodes": len(ddg),
+        "edges": ddg.num_edges,
+        "candidates": len(sids),
+        "seed": seed,
+        "repeats": repeats,
+        "scalar_s": round(scalar_s, 6),
+        "batched_s": round(batched_s, 6),
+        "speedup": round(scalar_s / batched_s, 2) if batched_s else 0.0,
+        "identical": scalar == batched,
+    }
+
+
+def _timed(fn, *args):
+    start = time.perf_counter()
+    result = fn(*args)
+    return time.perf_counter() - start, result

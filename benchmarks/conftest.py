@@ -8,11 +8,13 @@ drivers, not microbenchmarks).
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
 
-RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULTS_DIR = REPO_ROOT / "results"
 
 
 @pytest.fixture(scope="session")
@@ -26,3 +28,18 @@ def write_result(results_dir: pathlib.Path, name: str, text: str) -> None:
     path.write_text(text)
     # Also surface in the pytest -s output for convenience.
     print(f"\n[{name}]\n{text}")
+
+
+def write_bench_json(name: str, payload: dict,
+                     directory: pathlib.Path = REPO_ROOT) -> pathlib.Path:
+    """Record a machine-readable bench artifact (``BENCH_*.json``).
+
+    Serialization is deterministic — sorted keys, fixed indentation,
+    trailing newline — so reruns with identical measurements produce
+    byte-identical files.
+    """
+    path = directory / name
+    text = json.dumps(payload, sort_keys=True, indent=2) + "\n"
+    path.write_text(text)
+    print(f"\n[{name}]\n{text}")
+    return path

@@ -1,0 +1,31 @@
+"""Micro-benchmark: batched Algorithm 1 vs. the scalar per-sid loop.
+
+The pre-batching pipeline re-ran Algorithm 1 once per candidate static
+instruction — K independent O(N+E) passes per loop.  The batched engine
+makes ONE pass carrying a K-lane packed timestamp vector per node.  This
+bench measures both on a seeded-random DDG of the acceptance scale
+(>= 50k nodes, >= 8 candidate instructions), checks the partitions are
+bit-identical, and records the wall times in ``BENCH_algorithm1.json``
+at the repo root.
+"""
+
+from benchmarks.algorithm1_common import run_comparison
+from benchmarks.conftest import write_bench_json
+
+NUM_NODES = 60_000
+NUM_SIDS = 12
+MIN_SPEEDUP = 3.0
+
+
+def test_algorithm1_batched_speedup(benchmark):
+    payload = benchmark.pedantic(
+        run_comparison, args=(NUM_NODES, NUM_SIDS), rounds=1, iterations=1
+    )
+    write_bench_json("BENCH_algorithm1.json", payload)
+    assert payload["identical"], "batched partitions diverged from scalar"
+    assert payload["nodes"] >= 50_000
+    assert payload["candidates"] >= 8
+    assert payload["speedup"] >= MIN_SPEEDUP, (
+        f"batched engine only {payload['speedup']}x faster "
+        f"(need >= {MIN_SPEEDUP}x)"
+    )

@@ -26,13 +26,10 @@ def candidate_opcodes(include_integer: bool = False) -> FrozenSet[int]:
 
 def candidate_sids(ddg: DDG, include_integer: bool = False) -> List[int]:
     """Static instruction ids with at least one candidate instance in the
-    graph, in first-execution order."""
+    graph, in first-execution order.  Reads the DDG's precomputed
+    sid -> opcode index instead of rescanning the node columns."""
     ops = candidate_opcodes(include_integer)
-    seen = {}
-    for sid, opcode in zip(ddg.sids, ddg.opcodes):
-        if opcode in ops and sid not in seen:
-            seen[sid] = None
-    return list(seen)
+    return [sid for sid, opcode in ddg.sid_opcodes.items() if opcode in ops]
 
 
 def candidate_nodes(ddg: DDG, include_integer: bool = False) -> List[int]:

@@ -50,11 +50,12 @@ def kumar_timestamps(ddg: DDG, weights: str = "unit") -> List[int]:
     else:
         raise AnalysisError(f"unknown weight scheme {weights!r}")
     ts = [0] * len(ddg)
-    preds = ddg.preds
+    indices = ddg.pred_indices
+    offsets = ddg.pred_offsets
     for i in range(len(ddg)):
         t = 0
-        for p in preds[i]:
-            tp = ts[p]
+        for j in range(offsets[i], offsets[i + 1]):
+            tp = ts[indices[j]]
             if tp > t:
                 t = tp
         ts[i] = t + node_weight[i]

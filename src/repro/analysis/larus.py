@@ -63,13 +63,14 @@ def larus_loop_parallelism(
         )
     finish = [0] * len(ddg)
     last_in_iter: Dict[int, int] = {}
-    preds = ddg.preds
+    indices = ddg.pred_indices
+    offsets = ddg.pred_offsets
     total = 0
     for i in range(len(ddg)):
         itn = node_iter[i]
         t = last_in_iter.get(itn, 0)
-        for p in preds[i]:
-            fp = finish[p]
+        for j in range(offsets[i], offsets[i + 1]):
+            fp = finish[indices[j]]
             if fp > t:
                 t = fp
         finish[i] = t + 1

@@ -14,12 +14,15 @@ of singleton partitions are on dependence chains and not vectorizable.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.analysis.candidates import candidate_sids
 from repro.analysis.nonunit import nonunit_stride_subpartitions
 from repro.analysis.stride import unit_stride_subpartitions
-from repro.analysis.timestamps import parallel_partitions
+from repro.analysis.timestamps import (
+    batched_parallel_partitions,
+    parallel_partitions,
+)
 from repro.analysis.report import InstructionReport, LoopReport
 from repro.ddg.graph import DDG
 from repro.ir.module import Module
@@ -45,9 +48,9 @@ def _mnemonic_of(module: Optional[Module], sid: int, ddg: DDG) -> str:
         return module.instruction(sid).mnemonic
     from repro.ir.instructions import OPCODE_INFO, Opcode
 
-    for s, opcode in zip(ddg.sids, ddg.opcodes):
-        if s == sid:
-            return OPCODE_INFO[Opcode(opcode)].mnemonic
+    opcode = ddg.sid_opcodes.get(sid)
+    if opcode is not None:
+        return OPCODE_INFO[Opcode(opcode)].mnemonic
     return "?"
 
 
@@ -57,6 +60,7 @@ def instruction_metrics(
     module: Optional[Module] = None,
     elem_size: Optional[int] = None,
     relax_reductions: bool = False,
+    partitions: Optional[Dict[int, List[int]]] = None,
 ) -> InstructionReport:
     """Run the full per-instruction analysis: Algorithm 1, unit-stride
     subpartitioning, and the non-unit-stride waitlist scan.
@@ -64,15 +68,22 @@ def instruction_metrics(
     With ``relax_reductions``, dependences through detected reduction
     accumulators are ignored (the paper's future-work extension),
     modeling a reduction-vectorizing compiler.
+
+    ``partitions`` lets a caller that already ran Algorithm 1 (the
+    batched engine in :func:`loop_metrics`) pass its result in; otherwise
+    one scalar pass is made here.
     """
     if elem_size is None:
         elem_size = _elem_size(module, sid)
-    if relax_reductions:
-        from repro.analysis.reductions import reduction_relaxed_partitions
+    if partitions is None:
+        if relax_reductions:
+            from repro.analysis.reductions import (
+                reduction_relaxed_partitions,
+            )
 
-        partitions = reduction_relaxed_partitions(ddg, sid)
-    else:
-        partitions = parallel_partitions(ddg, sid)
+            partitions = reduction_relaxed_partitions(ddg, sid)
+        else:
+            partitions = parallel_partitions(ddg, sid)
     num_instances = sum(len(p) for p in partitions.values())
     unit_sizes: List[int] = []
     nonunit_sizes: List[int] = []
@@ -119,7 +130,11 @@ def loop_metrics(
     relax_reductions: bool = False,
 ) -> LoopReport:
     """Aggregate the paper's loop-level metrics over all candidate
-    instructions in the graph."""
+    instructions in the graph.
+
+    Algorithm 1 runs through the batched engine: one K-wide topological
+    scan for all K candidate instructions instead of K scalar passes.
+    """
     report = LoopReport(loop_name=loop_name)
     total_ops = 0
     total_partitions = 0
@@ -127,9 +142,19 @@ def loop_metrics(
     nonunit_ops = 0
     unit_sizes: List[int] = []
     nonunit_sizes: List[int] = []
-    for sid in candidate_sids(ddg, include_integer):
+    sids = candidate_sids(ddg, include_integer)
+    removed_by_sid = None
+    if relax_reductions and sids:
+        from repro.analysis.reductions import removed_edges_by_sid
+
+        removed_by_sid = removed_edges_by_sid(ddg, sids)
+    partitions_by_sid = batched_parallel_partitions(
+        ddg, sids, removed_by_sid
+    )
+    for sid in sids:
         ir = instruction_metrics(ddg, sid, module,
-                                 relax_reductions=relax_reductions)
+                                 relax_reductions=relax_reductions,
+                                 partitions=partitions_by_sid[sid])
         report.instructions.append(ir)
         total_ops += ir.num_instances
         total_partitions += ir.num_partitions

@@ -32,11 +32,36 @@ from repro.vectorizer.packed import percent_packed
 __all__ = [
     "compile_source",
     "run_and_trace",
+    "select_instance_subtrace",
     "analyze_loop",
     "analyze_module",
     "analyze_program",
     "analyze_kernel",
 ]
+
+
+def select_instance_subtrace(trace, loop_id: int, loop_name: str,
+                             instance: int):
+    """The subtrace of the one loop instance a windowed trace recorded.
+
+    A trace collected with ``instances={instance}`` contains exactly one
+    span of ``loop_id`` — the requested instance, renumbered 0 by the
+    window filter.  Select it explicitly: no recorded span means the
+    requested instance never executed; more than one means the window
+    filter misbehaved, and silently taking span 0 would analyze the wrong
+    iteration.
+    """
+    spans = trace.loop_instances(loop_id)
+    if not spans:
+        raise AnalysisError(
+            f"loop {loop_name!r} instance {instance} never executed"
+        )
+    if len(spans) != 1:
+        raise AnalysisError(
+            f"loop {loop_name!r}: expected one recorded span for instance "
+            f"{instance}, found {len(spans)}"
+        )
+    return trace.subtrace(loop_id, 0)
 
 
 def analyze_loop(
@@ -59,11 +84,7 @@ def analyze_loop(
         )
     trace = run_and_trace(module, entry, args, loop=info.loop_id,
                           instances={instance})
-    if not trace.records:
-        raise AnalysisError(
-            f"loop {loop_name!r} instance {instance} never executed"
-        )
-    sub = trace.subtrace(info.loop_id, 0)
+    sub = select_instance_subtrace(trace, info.loop_id, loop_name, instance)
     ddg = build_ddg(sub)
     report = loop_metrics(ddg, module, loop_name, include_integer,
                           relax_reductions)
@@ -80,6 +101,7 @@ def analyze_program(
     cost_model: Optional[CostModel] = None,
     vec_config: Optional[VectorizerConfig] = None,
     include_integer: bool = False,
+    relax_reductions: bool = False,
 ) -> BenchmarkReport:
     """The full §4.1 methodology for one program."""
     program, analyzer = parse_source(source)
@@ -98,7 +120,8 @@ def analyze_program(
     for prof in hot:
         info = module.loops[prof.loop_id]
         loop_report = analyze_loop(
-            module, info.name, entry, args, instance, include_integer
+            module, info.name, entry, args, instance, include_integer,
+            relax_reductions,
         )
         loop_report.benchmark = benchmark
         loop_report.percent_cycles = prof.percent_cycles
@@ -116,6 +139,7 @@ def analyze_module(
     threshold: float = 0.10,
     instance: int = 0,
     include_integer: bool = False,
+    relax_reductions: bool = False,
 ) -> BenchmarkReport:
     """Hot-loop analysis without a source AST (no Percent Packed column)."""
     interp = Interpreter(module)
@@ -125,7 +149,8 @@ def analyze_module(
     for prof in hot:
         info = module.loops[prof.loop_id]
         loop_report = analyze_loop(
-            module, info.name, entry, args, instance, include_integer
+            module, info.name, entry, args, instance, include_integer,
+            relax_reductions,
         )
         loop_report.benchmark = module.name
         loop_report.percent_cycles = prof.percent_cycles

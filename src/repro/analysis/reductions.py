@@ -16,7 +16,7 @@ dependence edges that are due to updates of reduction variables" (§3,
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.analysis.timestamps import parallel_partitions
 from repro.ddg.graph import DDG
@@ -28,6 +28,34 @@ _STORE = int(Opcode.STORE)
 #: Only associative accumulations qualify (fadd/fsub chains; a product
 #: reduction via fmul also qualifies mathematically and is included).
 _REDUCIBLE = frozenset({int(Opcode.FADD), int(Opcode.FSUB), int(Opcode.FMUL)})
+
+
+def cached_reduction_chains(ddg: DDG) -> Dict[int, Set[int]]:
+    """:func:`detect_reduction_chains`, computed once per DDG.
+
+    The detection scan is a whole-graph pass; per-candidate-sid callers
+    (``loop_metrics`` analyzes every candidate of a loop) share one result
+    cached on the graph object itself.
+    """
+    chains = ddg.__dict__.get("_reduction_chains")
+    if chains is None:
+        chains = detect_reduction_chains(ddg)
+        ddg.__dict__["_reduction_chains"] = chains
+    return chains
+
+
+def removed_edges_by_sid(
+    ddg: DDG, sids: Sequence[int]
+) -> Dict[int, Set[Tuple[int, int]]]:
+    """Reduction edges to ignore, keyed by sid — the batched engine's
+    ``removed_edges_by_sid`` input.  Sids without a detected reduction
+    chain are simply absent (their lane keeps every edge)."""
+    chains = cached_reduction_chains(ddg)
+    return {
+        sid: reduction_edges(ddg, chains[sid])
+        for sid in sids
+        if sid in chains
+    }
 
 
 def detect_reduction_chains(ddg: DDG) -> Dict[int, Set[int]]:
@@ -53,7 +81,12 @@ def detect_reduction_chains(ddg: DDG) -> Dict[int, Set[int]]:
 
 def reduction_edges(ddg: DDG, accumulators: Set[int]) -> Set[Tuple[int, int]]:
     """DDG edges carrying the reduction chain: store->load edges through
-    an accumulator address."""
+    an accumulator address.  Cached per (DDG, accumulator set)."""
+    cache = ddg.__dict__.setdefault("_reduction_edge_cache", {})
+    key = frozenset(accumulators)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
     removed: Set[Tuple[int, int]] = set()
     store_nodes: Dict[int, List[int]] = {}
     for i, opcode in enumerate(ddg.opcodes):
@@ -64,9 +97,10 @@ def reduction_edges(ddg: DDG, accumulators: Set[int]) -> Set[Tuple[int, int]]:
     }
     for i, opcode in enumerate(ddg.opcodes):
         if opcode == _LOAD and ddg.mem_addrs[i] in accumulators:
-            for p in ddg.preds[i]:
+            for p in ddg.pred_row(i):
                 if p in stores_flat:
                     removed.add((p, i))
+    cache[key] = removed
     return removed
 
 
@@ -76,7 +110,7 @@ def reduction_relaxed_partitions(
     """Algorithm 1 partitions for ``sid`` with its reduction dependences
     ignored.  If ``sid`` has no detected reduction chain, the result
     equals the unrelaxed partitioning."""
-    chains = detect_reduction_chains(ddg)
+    chains = cached_reduction_chains(ddg)
     accumulators = chains.get(sid)
     if not accumulators:
         return parallel_partitions(ddg, sid)

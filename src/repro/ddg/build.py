@@ -4,43 +4,67 @@ One linear pass: every non-marker record becomes a node; its recorded
 producer node ids become predecessor edges when the producer is inside the
 trace window (dependences on values produced before the window — e.g. data
 initialized outside the analyzed loop — simply have no edge, matching the
-paper's per-loop subtrace analysis)."""
+paper's per-loop subtrace analysis).
+
+The adjacency is packed straight into the DDG's CSR form (flat index +
+offset arrays) — no intermediate list-of-tuples is materialized."""
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from array import array
+from typing import Dict, List
 
 from repro.trace.trace import Trace
-from repro.ddg.graph import DDG
+from repro.ddg.graph import _CSR_TYPECODE, DDG
 
 
 def build_ddg(trace: Trace) -> DDG:
     index: Dict[int, int] = {}
     sids: List[int] = []
     opcodes: List[int] = []
-    preds: List[Tuple[int, ...]] = []
-    addrs: List[Tuple[int, ...]] = []
+    # Accumulate CSR vectors as plain lists (fast appends), convert to
+    # typed arrays in one C-level pass at the end.
+    pred_indices: List[int] = []
+    pred_offsets: List[int] = [0]
+    addrs: List[tuple] = []
     store_addrs: List[int] = []
     mem_addrs: List[int] = []
 
+    # Bound methods hoisted out of the per-record loop: this function is
+    # the single hottest Python loop in the pipeline after tracing.
+    sid_append = sids.append
+    op_append = opcodes.append
+    idx_extend = pred_indices.extend
+    off_append = pred_offsets.append
+    addr_append = addrs.append
+    store_append = store_addrs.append
+    mem_append = mem_addrs.append
+
+    n = 0
     for rec in trace.records:
         if rec.is_marker:
             continue
-        i = len(sids)
-        index[rec.node] = i
-        sids.append(rec.sid)
-        opcodes.append(int(rec.opcode))
+        sid_append(rec.sid)
+        op_append(int(rec.opcode))
         if rec.deps:
-            ps = tuple(
-                sorted(
-                    {index[d] for d in rec.deps if d in index}
-                )
-            )
-        else:
-            ps = ()
-        preds.append(ps)
-        addrs.append(rec.addrs)
-        store_addrs.append(rec.store_addr)
-        mem_addrs.append(rec.addr)
+            idx_extend(sorted({index[d] for d in rec.deps if d in index}))
+        # The node enters the producer index only after its own deps are
+        # resolved, so every emitted edge provably satisfies p < n: the
+        # DDG constructor can skip its structural re-validation.
+        index[rec.node] = n
+        n += 1
+        off_append(len(pred_indices))
+        addr_append(rec.addrs)
+        store_append(rec.store_addr)
+        mem_append(rec.addr)
 
-    return DDG(sids, opcodes, preds, addrs, store_addrs, mem_addrs)
+    return DDG(
+        sids,
+        opcodes,
+        addrs=addrs,
+        store_addrs=store_addrs,
+        mem_addrs=mem_addrs,
+        pred_indices=array(_CSR_TYPECODE, pred_indices),
+        pred_offsets=array(_CSR_TYPECODE, pred_offsets),
+        validate=False,
+    )

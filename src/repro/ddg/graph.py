@@ -9,13 +9,23 @@ Nodes are stored in execution order, which is a topological order: an
 instruction can only consume already-produced values, so every edge points
 from a lower index to a higher index.  All analyses exploit this (the
 paper's "topological sort traversal" is a single linear scan here).
+
+Predecessor adjacency is stored in CSR form: one flat ``array``-typed
+index vector plus an offsets vector, so the batched Algorithm 1 engine
+walks a contiguous buffer instead of chasing per-node tuples.  The old
+list-of-tuples view survives as the lazy :attr:`preds` property for
+callers (and tests) that still want it.
 """
 
 from __future__ import annotations
 
+from array import array
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import AnalysisError
+
+#: array typecode for CSR vectors — signed 64-bit, large-trace safe.
+_CSR_TYPECODE = "q"
 
 
 class DDG:
@@ -25,7 +35,10 @@ class DDG:
     ----------
     sids:      static instruction id per node.
     opcodes:   opcode int per node.
-    preds:     tuple of predecessor node indices per node.
+    pred_indices: flat CSR vector of predecessor node indices.
+    pred_offsets: CSR offsets; node ``i``'s predecessors are
+               ``pred_indices[pred_offsets[i]:pred_offsets[i+1]]``.
+    preds:     lazy list-of-tuples view of the CSR adjacency.
     addrs:     operand source-address tuple per node (candidates only).
     store_addrs: address the node's result was first stored to (0 if none).
     mem_addrs: accessed address for load/store nodes (0 otherwise).
@@ -35,55 +48,158 @@ class DDG:
         self,
         sids: Sequence[int],
         opcodes: Sequence[int],
-        preds: Sequence[Tuple[int, ...]],
+        preds: Optional[Sequence[Tuple[int, ...]]] = None,
         addrs: Optional[Sequence[Tuple[int, ...]]] = None,
         store_addrs: Optional[Sequence[int]] = None,
         mem_addrs: Optional[Sequence[int]] = None,
+        *,
+        pred_indices: Optional[Sequence[int]] = None,
+        pred_offsets: Optional[Sequence[int]] = None,
+        validate: bool = True,
     ):
         n = len(sids)
-        if len(opcodes) != n or len(preds) != n:
+        if len(opcodes) != n:
             raise AnalysisError("DDG column lengths disagree")
         self.sids = list(sids)
         self.opcodes = list(opcodes)
-        self.preds = list(preds)
+        if pred_indices is not None or pred_offsets is not None:
+            if preds is not None:
+                raise AnalysisError(
+                    "pass either preds or pred_indices/pred_offsets, not both"
+                )
+            if pred_indices is None or pred_offsets is None:
+                raise AnalysisError(
+                    "pred_indices and pred_offsets must be given together"
+                )
+            self.pred_indices = (
+                pred_indices
+                if isinstance(pred_indices, array)
+                else array(_CSR_TYPECODE, pred_indices)
+            )
+            self.pred_offsets = (
+                pred_offsets
+                if isinstance(pred_offsets, array)
+                else array(_CSR_TYPECODE, pred_offsets)
+            )
+        else:
+            if preds is None or len(preds) != n:
+                raise AnalysisError("DDG column lengths disagree")
+            indices = array(_CSR_TYPECODE)
+            offsets = array(_CSR_TYPECODE, [0])
+            for ps in preds:
+                indices.extend(ps)
+                offsets.append(len(indices))
+            self.pred_indices = indices
+            self.pred_offsets = offsets
         self.addrs = list(addrs) if addrs is not None else [()] * n
         self.store_addrs = (
             list(store_addrs) if store_addrs is not None else [0] * n
         )
         self.mem_addrs = list(mem_addrs) if mem_addrs is not None else [0] * n
-        for i, ps in enumerate(self.preds):
-            for p in ps:
+        # ``validate=False`` is for constructors that guarantee a
+        # well-formed topological CSR by construction (build_ddg); every
+        # other path keeps the O(N+E) structural check.
+        if validate:
+            self._validate_csr()
+        self._preds_view: Optional[List[Tuple[int, ...]]] = None
+        self._sid_nodes: Optional[Dict[int, List[int]]] = None
+        self._sid_opcodes: Optional[Dict[int, int]] = None
+
+    def _validate_csr(self) -> None:
+        offsets = self.pred_offsets
+        indices = self.pred_indices
+        n = len(self.sids)
+        if len(offsets) != n + 1 or offsets[0] != 0 or (
+            offsets[n] != len(indices)
+        ):
+            raise AnalysisError("malformed CSR predecessor offsets")
+        # Rows are tiny (a handful of preds), so this stays a plain loop
+        # over pre-converted lists — builtin-call-per-row variants lose.
+        idx = indices.tolist()
+        lo = 0
+        for i, hi in enumerate(offsets.tolist()[1:]):
+            if hi < lo:
+                raise AnalysisError("malformed CSR predecessor offsets")
+            for p in idx[lo:hi]:
                 if not 0 <= p < i:
                     raise AnalysisError(
                         f"edge {p} -> {i} violates topological node order"
                     )
+            lo = hi
 
     def __len__(self) -> int:
         return len(self.sids)
 
     @property
+    def preds(self) -> List[Tuple[int, ...]]:
+        """List-of-tuples compatibility view of the CSR adjacency (lazy,
+        built once)."""
+        if self._preds_view is None:
+            indices = self.pred_indices
+            offsets = self.pred_offsets
+            self._preds_view = [
+                tuple(indices[offsets[i] : offsets[i + 1]])
+                for i in range(len(self.sids))
+            ]
+        return self._preds_view
+
+    def pred_row(self, i: int) -> array:
+        """Predecessors of node ``i`` as a flat array slice."""
+        return self.pred_indices[
+            self.pred_offsets[i] : self.pred_offsets[i + 1]
+        ]
+
+    @property
     def num_edges(self) -> int:
-        return sum(len(p) for p in self.preds)
+        return len(self.pred_indices)
 
     def successors(self) -> List[List[int]]:
         """Adjacency in the forward direction (computed on demand)."""
         succs: List[List[int]] = [[] for _ in range(len(self.sids))]
-        for i, ps in enumerate(self.preds):
-            for p in ps:
-                succs[p].append(i)
+        indices = self.pred_indices
+        offsets = self.pred_offsets
+        for i in range(len(self.sids)):
+            for j in range(offsets[i], offsets[i + 1]):
+                succs[indices[j]].append(i)
         return succs
+
+    # -- static-instruction indexes ---------------------------------------
+
+    def _build_sid_index(self) -> None:
+        nodes: Dict[int, List[int]] = {}
+        opcode_of: Dict[int, int] = {}
+        for i, (sid, opcode) in enumerate(zip(self.sids, self.opcodes)):
+            members = nodes.get(sid)
+            if members is None:
+                nodes[sid] = [i]
+                opcode_of[sid] = opcode
+            else:
+                members.append(i)
+        self._sid_nodes = nodes
+        self._sid_opcodes = opcode_of
+
+    @property
+    def sid_nodes(self) -> Dict[int, List[int]]:
+        """sid -> node indices of its instances, in execution order
+        (lazy, built once; treat as read-only)."""
+        if self._sid_nodes is None:
+            self._build_sid_index()
+        return self._sid_nodes
+
+    @property
+    def sid_opcodes(self) -> Dict[int, int]:
+        """sid -> opcode of its first instance (lazy, built once)."""
+        if self._sid_opcodes is None:
+            self._build_sid_index()
+        return self._sid_opcodes
 
     def instances_of(self, sid: int) -> List[int]:
         """Node indices of all dynamic instances of static instruction ``sid``."""
-        return [i for i, s in enumerate(self.sids) if s == sid]
+        return list(self.sid_nodes.get(sid, ()))
 
     def static_ids(self) -> List[int]:
         """Distinct static instruction ids present, in first-seen order."""
-        seen: Dict[int, None] = {}
-        for s in self.sids:
-            if s not in seen:
-                seen[s] = None
-        return list(seen)
+        return list(self.sid_nodes)
 
     def has_path(self, src: int, dst: int) -> bool:
         """Reachability test (used by tests to verify Property 3.1)."""

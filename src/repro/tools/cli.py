@@ -38,22 +38,11 @@ def _cmd_analyze(args) -> int:
 
     workload = get_workload(args.workload)
     params = _parse_params(args.param)
-    if args.relax_reductions:
-        # Reduction relaxation goes through the loop analyzer directly.
-        from repro.analysis.pipeline import analyze_loop
-        from repro.analysis.report import BenchmarkReport
-
-        module = workload.compile(**params)
-        report = BenchmarkReport(benchmark=workload.name)
-        for loop_name in workload.analyze_loops:
-            loop_report = analyze_loop(
-                module, loop_name, workload.entry,
-                include_integer=args.integer, relax_reductions=True,
-            )
-            loop_report.benchmark = workload.name
-            report.loops.append(loop_report)
-    else:
-        report = workload.analyze(include_integer=args.integer, **params)
+    report = workload.analyze(
+        include_integer=args.integer,
+        relax_reductions=args.relax_reductions,
+        **params,
+    )
     print(LoopReport.header())
     for loop in report.loops:
         print(loop.row())

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.metrics import loop_metrics
+from repro.analysis.pipeline import select_instance_subtrace
 from repro.analysis.report import BenchmarkReport
 from repro.ddg.build import build_ddg
 from repro.errors import WorkloadError
@@ -27,6 +28,7 @@ def analyze_workload(
     instance: int = 0,
     vec_config: Optional[VectorizerConfig] = None,
     include_integer: bool = False,
+    relax_reductions: bool = False,
 ) -> BenchmarkReport:
     """Analyze the named ``loops`` of one program (compile once, profile
     once, then per-loop subtrace analysis — the §4.1 methodology with an
@@ -52,9 +54,11 @@ def analyze_workload(
             )
         trace = run_and_trace(module, entry, args, loop=info.loop_id,
                               instances={instance})
-        sub = trace.subtrace(info.loop_id, 0)
+        sub = select_instance_subtrace(trace, info.loop_id, loop_name,
+                                       instance)
         ddg = build_ddg(sub)
-        loop_report = loop_metrics(ddg, module, loop_name, include_integer)
+        loop_report = loop_metrics(ddg, module, loop_name, include_integer,
+                                   relax_reductions)
         loop_report.benchmark = benchmark
         prof = profiles.get(info.loop_id)
         if prof is not None:
@@ -105,6 +109,7 @@ class Workload:
     def analyze(self, instance: int = 0,
                 vec_config: Optional[VectorizerConfig] = None,
                 include_integer: bool = False,
+                relax_reductions: bool = False,
                 **overrides) -> BenchmarkReport:
         return analyze_workload(
             self.source(**overrides),
@@ -114,4 +119,5 @@ class Workload:
             instance=instance,
             vec_config=vec_config,
             include_integer=include_integer,
+            relax_reductions=relax_reductions,
         )

@@ -163,3 +163,51 @@ class TestDDGClass:
             [(), (), ()],
         )
         assert candidate_sids(ddg) == [3, 9]
+
+
+class TestCSRLayout:
+    """The CSR repacking: flat index/offset arrays are the storage; the
+    tuple view and the sid indexes are derived."""
+
+    def test_tuple_input_packs_to_csr(self):
+        preds = [(), (0,), (0, 1), (2,)]
+        ddg = DDG([1, 1, 2, 2], [10, 10, 11, 11], preds)
+        assert list(ddg.pred_offsets) == [0, 0, 1, 3, 4]
+        assert list(ddg.pred_indices) == [0, 0, 1, 2]
+        assert ddg.num_edges == 4
+
+    def test_preds_view_round_trips(self):
+        preds = [(), (0,), (0, 1), (2,)]
+        ddg = DDG([1, 1, 2, 2], [10, 10, 11, 11], preds)
+        assert ddg.preds == preds
+        assert ddg.preds is ddg.preds  # built once, cached
+
+    def test_csr_input_direct(self):
+        ddg = DDG([1, 1, 1], [10, 10, 10],
+                  pred_indices=[0, 0, 1], pred_offsets=[0, 0, 1, 3])
+        assert ddg.preds == [(), (0,), (0, 1)]
+        assert ddg.pred_row(2).tolist() == [0, 1]
+
+    def test_csr_and_tuples_both_rejected(self):
+        with pytest.raises(AnalysisError):
+            DDG([1], [10], [()], pred_indices=[], pred_offsets=[0, 0])
+
+    def test_partial_csr_rejected(self):
+        with pytest.raises(AnalysisError):
+            DDG([1], [10], pred_indices=[])
+
+    def test_malformed_offsets_rejected(self):
+        with pytest.raises(AnalysisError):
+            DDG([1, 1], [10, 10], pred_indices=[0], pred_offsets=[0, 1])
+        with pytest.raises(AnalysisError):
+            DDG([1, 1], [10, 10], pred_indices=[0], pred_offsets=[0, 1, 0])
+
+    def test_csr_topological_violation_rejected(self):
+        with pytest.raises(AnalysisError):
+            DDG([1, 1], [10, 10], pred_indices=[1], pred_offsets=[0, 1, 1])
+
+    def test_sid_indexes(self):
+        ddg = DDG([5, 7, 5], [10, 11, 10], [(), (), ()])
+        assert ddg.sid_nodes == {5: [0, 2], 7: [1]}
+        assert ddg.sid_opcodes == {5: 10, 7: 11}
+        assert ddg.instances_of(42) == []

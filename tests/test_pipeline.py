@@ -57,6 +57,30 @@ class TestAnalyzeLoop:
         with pytest.raises(AnalysisError):
             analyze_loop(module, "body", instance=999)
 
+    def test_missing_instance_error_names_requested_instance(self):
+        module = compile_source(SRC)
+        with pytest.raises(AnalysisError, match=r"'body' instance 999"):
+            analyze_loop(module, "body", instance=999)
+
+    def test_instance_selection_picks_requested_iteration(self):
+        """The subtrace must be the *requested* dynamic instance, not
+        whatever span happens to come first: inner trip count varies with
+        the outer index, so each instance has a distinct op count."""
+        src = """
+double A[32];
+int main() {
+  int i, r;
+  outer: for (r = 1; r < 5; r++) {
+    inner: for (i = 0; i < r * 4; i++) A[i] = A[i] * 2.0;
+  }
+  return 0;
+}
+"""
+        module = compile_source(src)
+        for instance, trip in enumerate([4, 8, 12, 16]):
+            report = analyze_loop(module, "inner", instance=instance)
+            assert report.total_candidate_ops == trip
+
     def test_integer_characterization_option(self):
         module = compile_source(SRC)
         fp_only = analyze_loop(module, "body")
@@ -93,6 +117,54 @@ class TestAnalyzeModule:
         report = analyze_module(module)
         assert report.loops
         assert all(l.percent_packed == 0.0 for l in report.loops)
+
+
+REDUCTION_SRC = """
+double A[48];
+double total;
+
+int main() {
+  int i;
+  init: for (i = 0; i < 48; i++) A[i] = (double)i * 0.5;
+  double s = 0.0;
+  red: for (i = 0; i < 48; i++) {
+    s += A[i];
+  }
+  total = s;
+  return 0;
+}
+"""
+
+
+class TestRelaxReductionsPlumbing:
+    """Regression: the full drivers must forward ``relax_reductions`` to
+    ``analyze_loop`` — without it the §4.1 pipeline could never produce
+    reduction-relaxed Table-1 rows despite the CLI flag existing."""
+
+    def _red_loop(self, report):
+        return next(l for l in report.loops if l.loop_name == "red")
+
+    def test_analyze_program_forwards_relax_reductions(self):
+        strict = analyze_program(REDUCTION_SRC, threshold=0.01)
+        relaxed = analyze_program(REDUCTION_SRC, threshold=0.01,
+                                  relax_reductions=True)
+        strict_red = self._red_loop(strict)
+        relaxed_red = self._red_loop(relaxed)
+        # The accumulation chain collapses: fewer, larger partitions.
+        strict_parts = [i.num_partitions for i in strict_red.instructions]
+        relaxed_parts = [i.num_partitions for i in relaxed_red.instructions]
+        assert relaxed_parts != strict_parts
+        assert relaxed_red.percent_vec_unit > strict_red.percent_vec_unit
+        assert relaxed_red.avg_concurrency > strict_red.avg_concurrency
+
+    def test_analyze_module_forwards_relax_reductions(self):
+        module = compile_source(REDUCTION_SRC)
+        strict = analyze_module(module, threshold=0.01)
+        relaxed = analyze_module(module, threshold=0.01,
+                                 relax_reductions=True)
+        strict_red = self._red_loop(strict)
+        relaxed_red = self._red_loop(relaxed)
+        assert relaxed_red.percent_vec_unit > strict_red.percent_vec_unit
 
 
 class TestAnalyzeKernelByName:

@@ -114,6 +114,22 @@ class TestAlgorithm1Properties:
             flat = sorted(x for p in parts.values() for x in p)
             assert flat == ddg.instances_of(sid)
 
+    @given(random_dags())
+    @settings(max_examples=60, deadline=None)
+    def test_batched_engine_matches_scalar(self, ddg):
+        """One K-lane batched scan == K scalar Algorithm 1 passes."""
+        from repro.analysis.timestamps import (
+            batched_parallel_partitions,
+            compute_all_timestamps,
+        )
+
+        targets = ddg.static_ids()
+        all_ts = compute_all_timestamps(ddg, targets)
+        all_parts = batched_parallel_partitions(ddg, targets)
+        for sid in targets:
+            assert all_ts[sid] == compute_timestamps(ddg, sid)
+            assert all_parts[sid] == parallel_partitions(ddg, sid)
+
 
 class TestStrideProperties:
     @given(access_tuple_lists())

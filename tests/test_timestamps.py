@@ -1,15 +1,21 @@
-"""Algorithm 1 tests, including the paper's Listing 1/2 expectations and
-Property 3.1 / 3.2 checks on small graphs."""
+"""Algorithm 1 tests, including the paper's Listing 1/2 expectations,
+Property 3.1 / 3.2 checks on small graphs, and batched-vs-scalar
+equivalence on seeded-random DDGs."""
+
+import random
 
 import pytest
 
 from repro.analysis.timestamps import (
     average_partition_size,
+    batched_parallel_partitions,
+    compute_all_timestamps,
     compute_timestamps,
     critical_path_length,
     parallel_partitions,
 )
 from repro.ddg import DDG, build_ddg
+from repro.errors import AnalysisError
 from repro.frontend import compile_source
 from repro.interp import run_and_trace
 from repro.ir.instructions import Opcode
@@ -72,6 +78,106 @@ class TestSyntheticGraphs:
         assert parts == {}
         assert average_partition_size(parts) == 0.0
         assert critical_path_length(parts) == 0
+
+
+def random_ddg(rng, max_nodes=60, max_sids=6):
+    """A seeded-random topological DAG with a handful of static ids."""
+    n = rng.randint(1, max_nodes)
+    sids = [rng.randint(1, max_sids) for _ in range(n)]
+    opcodes = [FMUL if s % 2 else FADD for s in sids]
+    preds = []
+    for i in range(n):
+        k = rng.randint(0, min(3, i))
+        preds.append(tuple(sorted(rng.sample(range(i), k))))
+    return DDG(sids, opcodes, preds)
+
+
+class TestBatchedEngine:
+    """The batched K-lane engine must be bit-identical to K scalar
+    Algorithm 1 passes — including under per-sid edge removal (the
+    reduction-relaxation path)."""
+
+    def test_equals_scalar_on_random_ddgs(self):
+        for seed in range(30):
+            rng = random.Random(seed)
+            ddg = random_ddg(rng)
+            targets = sorted(set(ddg.sids)) + [999]  # 999: absent sid
+            all_ts = compute_all_timestamps(ddg, targets)
+            all_parts = batched_parallel_partitions(ddg, targets)
+            assert sorted(all_ts) == sorted(targets)
+            for sid in targets:
+                assert all_ts[sid] == compute_timestamps(ddg, sid), seed
+                assert all_parts[sid] == parallel_partitions(ddg, sid), seed
+
+    def test_equals_scalar_with_removed_edges(self):
+        for seed in range(30):
+            rng = random.Random(1000 + seed)
+            ddg = random_ddg(rng)
+            edges = [
+                (p, i) for i, ps in enumerate(ddg.preds) for p in ps
+            ]
+            targets = sorted(set(ddg.sids))
+            removed_by_sid = {}
+            for sid in targets:
+                if edges and rng.random() < 0.7:
+                    removed_by_sid[sid] = set(
+                        rng.sample(edges, rng.randint(1, len(edges)))
+                    )
+            all_ts = compute_all_timestamps(ddg, targets, removed_by_sid)
+            all_parts = batched_parallel_partitions(
+                ddg, targets, removed_by_sid
+            )
+            for sid in targets:
+                removed = removed_by_sid.get(sid)
+                assert all_ts[sid] == compute_timestamps(
+                    ddg, sid, removed
+                ), seed
+                assert all_parts[sid] == parallel_partitions(
+                    ddg, sid, removed_edges=removed
+                ), seed
+
+    def test_removing_all_edges_flattens_every_lane(self):
+        ddg = chain_ddg(5)
+        edges = {(i - 1, i) for i in range(1, 5)}
+        parts = batched_parallel_partitions(ddg, [1], {1: edges})
+        assert parts[1] == {1: [0, 1, 2, 3, 4]}
+
+    def test_lanes_are_independent_under_removal(self):
+        # Removal on sid 1's lane must not perturb sid 2's lane.
+        ddg = DDG([1, 2, 1, 2], [FMUL, FADD, FMUL, FADD],
+                  [(), (0,), (1,), (2,)])
+        edges = {(0, 1), (1, 2), (2, 3)}
+        parts = batched_parallel_partitions(ddg, [1, 2], {1: edges})
+        assert parts[1] == parallel_partitions(ddg, 1, removed_edges=edges)
+        assert parts[2] == parallel_partitions(ddg, 2)
+
+    def test_empty_targets(self):
+        assert compute_all_timestamps(chain_ddg(3), []) == {}
+        assert batched_parallel_partitions(chain_ddg(3), []) == {}
+
+    def test_empty_graph(self):
+        ddg = DDG([], [], [])
+        assert compute_all_timestamps(ddg, [1]) == {1: []}
+        assert batched_parallel_partitions(ddg, [1]) == {1: {}}
+
+    def test_duplicate_targets_raise(self):
+        with pytest.raises(AnalysisError):
+            compute_all_timestamps(chain_ddg(3), [1, 1])
+
+    def test_wide_lane_count(self):
+        # More lanes than machine-word bits still packs correctly.
+        rng = random.Random(42)
+        n = 80
+        sids = [rng.randint(1, 70) for _ in range(n)]
+        preds = [
+            tuple(sorted(rng.sample(range(i), rng.randint(0, min(2, i)))))
+            for i in range(n)
+        ]
+        ddg = DDG(sids, [FMUL] * n, preds)
+        targets = sorted(set(sids))
+        all_ts = compute_all_timestamps(ddg, targets)
+        for sid in targets:
+            assert all_ts[sid] == compute_timestamps(ddg, sid)
 
 
 class TestProperties:
