@@ -1,0 +1,25 @@
+"""End-to-end benchmark: columnar streaming pipeline vs DynInstr path.
+
+Runs a ~1M-record FP kernel through both pipelines (trace collection +
+DDG construction), asserts the DDGs are bit-identical, and records the
+wall times in ``BENCH_trace_pipeline.json`` at the repo root.  The
+acceptance bar is a >= 3x reduction in tracing overhead — (traced run −
+plain run) + DDG build — at this scale.
+"""
+
+from benchmarks.conftest import write_bench_json
+from benchmarks.trace_pipeline_common import run_comparison
+
+MIN_RECORDS = 1_000_000
+MIN_SPEEDUP = 3.0
+
+
+def test_trace_pipeline_speedup(benchmark):
+    payload = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    write_bench_json("BENCH_trace_pipeline.json", payload)
+    assert payload["identical"], "columnar DDG diverged from DynInstr path"
+    assert payload["records"] >= MIN_RECORDS
+    assert payload["speedup"] >= MIN_SPEEDUP, (
+        f"columnar pipeline only {payload['speedup']}x faster "
+        f"(need >= {MIN_SPEEDUP}x)"
+    )

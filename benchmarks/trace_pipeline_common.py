@@ -1,0 +1,112 @@
+"""Harness for the columnar-vs-DynInstr trace pipeline comparison.
+
+Measures the end-to-end cost of producing an analysis-ready DDG from an
+execution — trace collection plus DDG construction — on both pipelines:
+
+- **legacy**: ``run_and_trace(columnar=False)`` materializes one
+  ``DynInstr`` object per executed instruction, then ``build_ddg`` walks
+  the object list.
+- **columnar**: the interpreter streams into a :class:`ColumnarSink`
+  (flat typed columns, no per-record objects) and ``build_ddg`` takes
+  the fused ``to_ddg`` path over the columns.
+
+The reported metric is *tracing overhead*: (traced run − plain run) +
+DDG construction, so interpreter time common to both pipelines does not
+dilute the comparison.  Phases are timed min-of-N with the rep loops
+interleaved (legacy, then columnar, each round) so machine noise lands
+on both sides, and a full garbage collection precedes every timed phase.
+The two DDGs are asserted bit-identical before any number is reported.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+
+from repro.ddg.build import build_ddg
+from repro.frontend import compile_source
+from repro.interp import run_and_trace, run_module
+
+#: ~1M dynamic records: 40 repetitions of a 512-iteration FP kernel with
+#: loads from four arrays, a recurrence on C, and dense FP arithmetic —
+#: the record mix (1- and 2-dep rows, loads, stores) of a real stencil.
+KERNEL = """
+double A[512]; double B[512]; double C[512]; double D[512];
+int main() {
+  int i; int r;
+  for (i = 0; i < 512; i++) {
+    A[i] = 0.5 * (double)i;
+    B[i] = 1.0 + 0.25 * (double)i;
+    C[i] = 0.0;
+    D[i] = 2.0;
+  }
+  rep: for (r = 0; r < 40; r++) {
+    body: for (i = 0; i < 512; i++) {
+      C[i] = C[i] + A[i] * B[i] + D[i] * 0.5 - B[i] * C[i];
+    }
+  }
+  return 0;
+}
+"""
+
+REPS = 3
+
+
+def _timed(fn):
+    gc.collect()
+    t0 = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - t0, result
+
+
+def ddgs_identical(a, b) -> bool:
+    return (
+        a.sids == b.sids
+        and a.opcodes == b.opcodes
+        and list(a.pred_indices) == list(b.pred_indices)
+        and list(a.pred_offsets) == list(b.pred_offsets)
+        and [tuple(t) for t in a.addrs] == [tuple(t) for t in b.addrs]
+        and list(a.store_addrs) == list(b.store_addrs)
+        and list(a.mem_addrs) == list(b.mem_addrs)
+    )
+
+
+def run_comparison(source: str = KERNEL, reps: int = REPS) -> dict:
+    module = compile_source(source)
+
+    plain = min(_timed(lambda: run_module(module))[0] for _ in range(reps))
+
+    legacy_run = legacy_ddg = columnar_run = columnar_ddg = float("inf")
+    ddg_l = ddg_c = None
+    records = 0
+    for _ in range(reps):
+        t_run, trace = _timed(lambda: run_and_trace(module, columnar=False))
+        t_ddg, ddg_l = _timed(lambda: build_ddg(trace))
+        legacy_run = min(legacy_run, t_run)
+        legacy_ddg = min(legacy_ddg, t_ddg)
+        del trace
+
+        t_run, trace = _timed(lambda: run_and_trace(module))
+        t_ddg, ddg_c = _timed(lambda: build_ddg(trace))
+        columnar_run = min(columnar_run, t_run)
+        columnar_ddg = min(columnar_ddg, t_ddg)
+        records = len(trace)
+        del trace
+
+    identical = ddgs_identical(ddg_l, ddg_c)
+    legacy_overhead = (legacy_run - plain) + legacy_ddg
+    columnar_overhead = (columnar_run - plain) + columnar_ddg
+    return {
+        "records": records,
+        "ddg_nodes": len(ddg_l.sids),
+        "identical": identical,
+        "reps": reps,
+        "plain_run_s": round(plain, 4),
+        "legacy_run_s": round(legacy_run, 4),
+        "legacy_ddg_s": round(legacy_ddg, 4),
+        "legacy_overhead_s": round(legacy_overhead, 4),
+        "columnar_run_s": round(columnar_run, 4),
+        "columnar_ddg_s": round(columnar_ddg, 4),
+        "columnar_overhead_s": round(columnar_overhead, 4),
+        "speedup": round(legacy_overhead / columnar_overhead, 2),
+    }

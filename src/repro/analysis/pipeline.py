@@ -8,11 +8,23 @@ The flow mirrors the paper's methodology (§4.1):
    subtrace of one representative dynamic instance;
 4. build the DDG, run Algorithm 1 + the stride analyses, and attach the
    static-vectorizer Percent Packed for comparison.
+
+Step 3 uses the fused columnar path: the windowed re-run streams records
+straight into DDG-shaped columns (:class:`ColumnarLoopSink`), so no
+per-record objects and no separate DDG-construction pass exist between
+interpretation and analysis.
+
+Because each hot loop's windowed re-run is independent, step 3 fans out
+across a process pool when ``jobs > 1`` (each worker recompiles the
+source — modules are cheap to rebuild and deterministic, so reports are
+byte-identical to the serial path).  Pool failures fall back to serial.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Sequence
 
 from repro.analysis.metrics import loop_metrics
 from repro.analysis.report import BenchmarkReport, LoopReport
@@ -21,11 +33,16 @@ from repro.errors import AnalysisError
 from repro.frontend import parse_source
 from repro.frontend.driver import compile_source
 from repro.frontend.lower import lower
-from repro.interp.interpreter import Interpreter, run_and_trace
+from repro.interp.interpreter import (
+    DEFAULT_FUEL,
+    Interpreter,
+    run_and_trace,
+)
 from repro.ir.module import Module
 from repro.ir.verifier import verify_module
 from repro.profiler.costmodel import CostModel
 from repro.profiler.hotloops import hot_loops, profile_loops
+from repro.trace.columnar import ColumnarLoopSink
 from repro.vectorizer.autovec import VectorizerConfig, analyze_program_loops
 from repro.vectorizer.packed import percent_packed
 
@@ -37,6 +54,7 @@ __all__ = [
     "analyze_module",
     "analyze_program",
     "analyze_kernel",
+    "run_loop_analyses",
 ]
 
 
@@ -64,6 +82,27 @@ def select_instance_subtrace(trace, loop_id: int, loop_name: str,
     return trace.subtrace(loop_id, 0)
 
 
+def _windowed_loop_ddg(module: Module, loop_id: int, loop_name: str,
+                       entry: str, args: Sequence, instance: int,
+                       fuel: int):
+    """Fused trace→DDG for one loop instance: the windowed re-run streams
+    into columnar storage and the DDG drops out without materializing a
+    record list (the same validation as :func:`select_instance_subtrace`,
+    off the sink's span counter)."""
+    sink = ColumnarLoopSink(loop_id, instances={instance})
+    Interpreter(module, sink=sink, fuel=fuel).run(entry, args)
+    if sink.spans_recorded == 0:
+        raise AnalysisError(
+            f"loop {loop_name!r} instance {instance} never executed"
+        )
+    if sink.spans_recorded != 1:
+        raise AnalysisError(
+            f"loop {loop_name!r}: expected one recorded span for instance "
+            f"{instance}, found {sink.spans_recorded}"
+        )
+    return sink.to_ddg()
+
+
 def analyze_loop(
     module: Module,
     loop_name: str,
@@ -72,6 +111,7 @@ def analyze_loop(
     instance: int = 0,
     include_integer: bool = False,
     relax_reductions: bool = False,
+    fuel: int = DEFAULT_FUEL,
 ) -> LoopReport:
     """Dynamic analysis of one loop: trace one instance, build the DDG,
     compute the paper's metrics.  ``loop_name`` is a label or
@@ -82,13 +122,72 @@ def analyze_loop(
         raise AnalysisError(
             f"no loop named {loop_name!r}; known loops: {known}"
         )
-    trace = run_and_trace(module, entry, args, loop=info.loop_id,
-                          instances={instance})
-    sub = select_instance_subtrace(trace, info.loop_id, loop_name, instance)
-    ddg = build_ddg(sub)
+    ddg = _windowed_loop_ddg(module, info.loop_id, loop_name, entry, args,
+                             instance, fuel)
     report = loop_metrics(ddg, module, loop_name, include_integer,
                           relax_reductions)
     return report
+
+
+def _loop_worker(payload) -> LoopReport:
+    """Process-pool entry point: recompile the source and analyze one
+    loop.  Compilation and interpretation are deterministic, so the
+    result is identical to an in-process run on the parent's module."""
+    (source, benchmark, loop_name, entry, args, instance,
+     include_integer, relax_reductions, fuel) = payload
+    module = compile_source(source, benchmark or "module")
+    return analyze_loop(module, loop_name, entry, args, instance,
+                        include_integer, relax_reductions, fuel=fuel)
+
+
+def run_loop_analyses(
+    source: str,
+    benchmark: str,
+    module: Module,
+    loop_names: Sequence[str],
+    entry: str = "main",
+    args: Sequence = (),
+    instance: int = 0,
+    include_integer: bool = False,
+    relax_reductions: bool = False,
+    fuel: int = DEFAULT_FUEL,
+    jobs: int = 1,
+) -> List[LoopReport]:
+    """Per-loop windowed analyses, optionally across a process pool.
+
+    Results are returned in ``loop_names`` order regardless of ``jobs``,
+    so parallel runs produce byte-identical reports.  ``jobs=None`` uses
+    one worker per CPU; any failure to stand up the pool (restricted
+    sandboxes, missing semaphores) falls back to the serial path.
+    """
+    names = list(loop_names)
+    if jobs is None or int(jobs) <= 0:
+        jobs = multiprocessing.cpu_count()
+    jobs = max(1, min(int(jobs), len(names)))
+
+    def serial() -> List[LoopReport]:
+        return [
+            analyze_loop(module, name, entry, args, instance,
+                         include_integer, relax_reductions, fuel=fuel)
+            for name in names
+        ]
+
+    if jobs <= 1 or len(names) <= 1:
+        return serial()
+    payloads = [
+        (source, benchmark, name, entry, tuple(args), instance,
+         include_integer, relax_reductions, fuel)
+        for name in names
+    ]
+    try:
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:
+            ctx = multiprocessing.get_context()
+        with ProcessPoolExecutor(max_workers=jobs, mp_context=ctx) as pool:
+            return list(pool.map(_loop_worker, payloads))
+    except (OSError, PermissionError, ImportError, RuntimeError):
+        return serial()
 
 
 def analyze_program(
@@ -102,8 +201,15 @@ def analyze_program(
     vec_config: Optional[VectorizerConfig] = None,
     include_integer: bool = False,
     relax_reductions: bool = False,
+    fuel: int = DEFAULT_FUEL,
+    jobs: int = 1,
 ) -> BenchmarkReport:
-    """The full §4.1 methodology for one program."""
+    """The full §4.1 methodology for one program.
+
+    ``jobs > 1`` analyzes the hot loops concurrently across a process
+    pool (``None`` = one worker per CPU); reports are byte-identical to
+    ``jobs=1``.
+    """
     program, analyzer = parse_source(source)
     module = lower(analyzer, benchmark or "module")
     verify_module(module)
@@ -111,18 +217,19 @@ def analyze_program(
         vec_config = VectorizerConfig()
     decisions = analyze_program_loops(program, analyzer, vec_config)
 
-    interp = Interpreter(module)
+    interp = Interpreter(module, fuel=fuel)
     interp.run(entry, args)
     profiles = profile_loops(module, interp, cost_model)
     hot = hot_loops(module, interp, threshold, cost_model)
 
+    loop_reports = run_loop_analyses(
+        source, benchmark, module,
+        [module.loops[prof.loop_id].name for prof in hot],
+        entry, args, instance, include_integer, relax_reductions,
+        fuel, jobs,
+    )
     report = BenchmarkReport(benchmark=benchmark)
-    for prof in hot:
-        info = module.loops[prof.loop_id]
-        loop_report = analyze_loop(
-            module, info.name, entry, args, instance, include_integer,
-            relax_reductions,
-        )
+    for prof, loop_report in zip(hot, loop_reports):
         loop_report.benchmark = benchmark
         loop_report.percent_cycles = prof.percent_cycles
         loop_report.percent_packed = percent_packed(
@@ -140,9 +247,11 @@ def analyze_module(
     instance: int = 0,
     include_integer: bool = False,
     relax_reductions: bool = False,
+    fuel: int = DEFAULT_FUEL,
 ) -> BenchmarkReport:
-    """Hot-loop analysis without a source AST (no Percent Packed column)."""
-    interp = Interpreter(module)
+    """Hot-loop analysis without a source AST (no Percent Packed column;
+    serial — without source text there is nothing to ship to workers)."""
+    interp = Interpreter(module, fuel=fuel)
     interp.run(entry, args)
     hot = hot_loops(module, interp, threshold)
     report = BenchmarkReport(benchmark=module.name)
@@ -150,7 +259,7 @@ def analyze_module(
         info = module.loops[prof.loop_id]
         loop_report = analyze_loop(
             module, info.name, entry, args, instance, include_integer,
-            relax_reductions,
+            relax_reductions, fuel=fuel,
         )
         loop_report.benchmark = module.name
         loop_report.percent_cycles = prof.percent_cycles

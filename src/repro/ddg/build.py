@@ -7,7 +7,11 @@ initialized outside the analyzed loop — simply have no edge, matching the
 paper's per-loop subtrace analysis).
 
 The adjacency is packed straight into the DDG's CSR form (flat index +
-offset arrays) — no intermediate list-of-tuples is materialized."""
+offset arrays) — no intermediate list-of-tuples is materialized.
+
+A :class:`~repro.trace.columnar.ColumnarTrace` short-circuits to the
+fused columnar path: the sink already holds DDG-shaped columns, so
+construction is a single flat-array pass with no record objects."""
 
 from __future__ import annotations
 
@@ -19,6 +23,9 @@ from repro.ddg.graph import _CSR_TYPECODE, DDG
 
 
 def build_ddg(trace: Trace) -> DDG:
+    sink = getattr(trace, "columnar_sink", None)
+    if sink is not None:
+        return sink.to_ddg()
     index: Dict[int, int] = {}
     sids: List[int] = []
     opcodes: List[int] = []

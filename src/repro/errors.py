@@ -81,6 +81,15 @@ class TraceError(VectraError):
     """Inconsistent trace contents (unbalanced loop markers, bad ids)."""
 
 
+class FuelExhaustedError(InterpError, TraceError):
+    """The interpreter's instruction budget ran out mid-run.
+
+    Derives from both :class:`InterpError` (it is a run-time fault) and
+    :class:`TraceError` (the collected trace is truncated), so existing
+    handlers for either keep working.
+    """
+
+
 class AnalysisError(VectraError):
     """An analysis pass was invoked on inputs it cannot handle."""
 

@@ -25,13 +25,17 @@ import struct
 from collections import defaultdict
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import InterpError, MemoryError_
+from repro.errors import FuelExhaustedError, InterpError, MemoryError_
 from repro.ir.instructions import Opcode
 from repro.ir.module import Module
 from repro.ir.types import FloatType, IntType, PointerType
 from repro.ir.values import Constant, GlobalRef, VirtualReg
 from repro.runtime.memory import Memory, default_value
-from repro.trace.events import DynInstr
+from repro.trace.columnar import (
+    ColumnarLoopSink,
+    ColumnarSink,
+    ColumnarTrace,
+)
 from repro.trace.sinks import LoopWindowSink, RecordingSink
 from repro.trace.trace import Trace
 
@@ -69,6 +73,10 @@ _OP_LEXIT = Opcode.LOOP_EXIT
 #: Profile-counter key stride: one slot per opcode per loop.
 LOOP_KEY_STRIDE = 128
 
+#: Default interpreter instruction budget (override with ``fuel=`` or the
+#: CLI's ``--fuel``).
+DEFAULT_FUEL = 500_000_000
+
 _pack = struct.pack
 _unpack = struct.unpack
 
@@ -101,7 +109,7 @@ def _cdiv(a: int, b: int) -> int:
 class Interpreter:
     """Executes a module, producing profile counts and (optionally) a trace."""
 
-    def __init__(self, module: Module, sink=None, fuel: int = 500_000_000):
+    def __init__(self, module: Module, sink=None, fuel: int = DEFAULT_FUEL):
         self.module = module
         self.memory = Memory()
         self.sink = sink
@@ -164,6 +172,8 @@ class Interpreter:
         """The collected trace (requires a recording sink)."""
         if self.sink is None:
             raise InterpError("interpreter was run without a trace sink")
+        if isinstance(self.sink, ColumnarSink):
+            return ColumnarTrace(self.module, self.sink)
         return Trace(self.module, self.sink.records)
 
     # -- the dispatch loop -----------------------------------------------------
@@ -172,6 +182,9 @@ class Interpreter:
         memory = self.memory
         mem = memory.data
         sink = self.sink
+        # One bound-method hoist serves every record: emit() takes plain
+        # scalars, so tracing allocates no DynInstr on the hot path.
+        sink_emit = sink.emit if sink is not None else None
         counts = self.op_counts
         module = self.module
         loop_stack = self._loop_stack
@@ -217,8 +230,11 @@ class Interpreter:
                 self._executed += 1
                 counts[loop_key + opc] += 1
                 if self._executed > fuel:
-                    raise InterpError(
-                        f"fuel exhausted after {self._executed} instructions"
+                    raise FuelExhaustedError(
+                        f"instruction budget exhausted after "
+                        f"{self._executed} instructions (fuel={fuel}); "
+                        f"re-run with a larger budget via --fuel or "
+                        f"Interpreter(fuel=...)"
                     )
 
                 if opc is _OP_LOAD:
@@ -237,10 +253,8 @@ class Interpreter:
                     defn[i] = node
                     defa[i] = addr
                     if recording:
-                        sink.on_record(DynInstr(
-                            node, instr.sid, 51, cur_loop,
-                            (pdn, writer), (), addr,
-                        ))
+                        sink_emit(node, instr.sid, 51, cur_loop,
+                                  (pdn, writer), (), addr)
                     continue
 
                 if opc is _OP_STORE:
@@ -254,10 +268,8 @@ class Interpreter:
                     mem[addr] = value
                     self._mem_writer[addr] = node
                     if recording:
-                        sink.on_record(DynInstr(
-                            node, instr.sid, 52, cur_loop,
-                            (vdn, pdn), (), addr,
-                        ))
+                        sink_emit(node, instr.sid, 52, cur_loop,
+                                  (vdn, pdn), (), addr)
                         if vdn >= 0:
                             sink.note_store(vdn, addr)
                     continue
@@ -289,10 +301,8 @@ class Interpreter:
                     defn[i] = node
                     defa[i] = 0
                     if recording:
-                        sink.on_record(DynInstr(
-                            node, instr.sid, opc, cur_loop,
-                            (adn, bdn), (ada, bda), 0,
-                        ))
+                        sink_emit(node, instr.sid, opc._value_, cur_loop,
+                                  (adn, bdn), (ada, bda))
                     continue
 
                 if (
@@ -318,9 +328,7 @@ class Interpreter:
                     defn[i] = node
                     defa[i] = 0
                     if recording:
-                        sink.on_record(DynInstr(
-                            node, instr.sid, opc, cur_loop, (adn, bdn),
-                        ))
+                        sink_emit(node, instr.sid, opc._value_, cur_loop, (adn, bdn))
                     continue
 
                 if opc is _OP_PTRADD:
@@ -331,9 +339,7 @@ class Interpreter:
                     defn[i] = node
                     defa[i] = 0
                     if recording:
-                        sink.on_record(DynInstr(
-                            node, instr.sid, 53, cur_loop, (adn, bdn),
-                        ))
+                        sink_emit(node, instr.sid, 53, cur_loop, (adn, bdn))
                     continue
 
                 if opc is _OP_ICMP or opc is _OP_FCMP:
@@ -357,9 +363,7 @@ class Interpreter:
                     defn[i] = node
                     defa[i] = 0
                     if recording:
-                        sink.on_record(DynInstr(
-                            node, instr.sid, opc, cur_loop, (adn, bdn),
-                        ))
+                        sink_emit(node, instr.sid, opc._value_, cur_loop, (adn, bdn))
                     continue
 
                 if opc is _OP_CBR:
@@ -368,9 +372,7 @@ class Interpreter:
                     instrs = block.instructions
                     pc = 0
                     if recording:
-                        sink.on_record(DynInstr(
-                            node, instr.sid, 61, cur_loop, (cdn,),
-                        ))
+                        sink_emit(node, instr.sid, 61, cur_loop, (cdn,))
                     continue
 
                 if opc is _OP_JUMP:
@@ -378,9 +380,7 @@ class Interpreter:
                     instrs = block.instructions
                     pc = 0
                     if recording:
-                        sink.on_record(DynInstr(
-                            node, instr.sid, 60, cur_loop,
-                        ))
+                        sink_emit(node, instr.sid, 60, cur_loop)
                     continue
 
                 if opc is _OP_LENTER or opc is _OP_LNEXT or opc is _OP_LEXIT:
@@ -396,16 +396,12 @@ class Interpreter:
                             sink.on_marker(70, lid, instance)
                             recording = sink.active
                             if recording:
-                                sink.on_record(DynInstr(
-                                    node, instr.sid, 70, lid,
-                                ))
+                                sink_emit(node, instr.sid, 70, lid)
                     elif opc is _OP_LNEXT:
                         if self._iter_stack:
                             self._iter_stack[-1] += 1
                         if recording:
-                            sink.on_record(DynInstr(
-                                node, instr.sid, 71, lid,
-                            ))
+                            sink_emit(node, instr.sid, 71, lid)
                     else:  # LOOP_EXIT
                         if loop_stack and loop_stack[-1] == lid:
                             loop_stack.pop()
@@ -413,9 +409,7 @@ class Interpreter:
                                 iters = self._iter_stack.pop()
                                 self.loop_iter_hist[lid][iters] += 1
                         if recording:
-                            sink.on_record(DynInstr(
-                                node, instr.sid, 72, lid,
-                            ))
+                            sink_emit(node, instr.sid, 72, lid)
                         if sink is not None:
                             sink.on_marker(72, lid, -1)
                             recording = sink.active
@@ -447,9 +441,7 @@ class Interpreter:
                     # keeps provenance (it is not a computation).
                     defa[i] = vda if isinstance(to_type, PointerType) else 0
                     if recording:
-                        sink.on_record(DynInstr(
-                            node, instr.sid, 40, cur_loop, (vdn,),
-                        ))
+                        sink_emit(node, instr.sid, 40, cur_loop, (vdn,))
                     continue
 
                 if opc is _OP_SDIV or opc is _OP_SREM:
@@ -466,9 +458,7 @@ class Interpreter:
                     defn[i] = node
                     defa[i] = 0
                     if recording:
-                        sink.on_record(DynInstr(
-                            node, instr.sid, opc, cur_loop, (adn, bdn),
-                        ))
+                        sink_emit(node, instr.sid, opc._value_, cur_loop, (adn, bdn))
                     continue
 
                 if (
@@ -500,9 +490,7 @@ class Interpreter:
                     defn[i] = node
                     defa[i] = 0
                     if recording:
-                        sink.on_record(DynInstr(
-                            node, instr.sid, opc, cur_loop, (adn, bdn),
-                        ))
+                        sink_emit(node, instr.sid, opc._value_, cur_loop, (adn, bdn))
                     continue
 
                 if opc is _OP_SELECT:
@@ -514,9 +502,8 @@ class Interpreter:
                     defn[i] = node
                     defa[i] = ada if cond else bda
                     if recording:
-                        sink.on_record(DynInstr(
-                            node, instr.sid, 41, cur_loop, (cdn, adn, bdn),
-                        ))
+                        sink_emit(node, instr.sid, 41, cur_loop,
+                                  (cdn, adn, bdn))
                     continue
 
                 if opc is _OP_COPY:
@@ -526,9 +513,7 @@ class Interpreter:
                     defn[i] = node
                     defa[i] = vda
                     if recording:
-                        sink.on_record(DynInstr(
-                            node, instr.sid, 42, cur_loop, (vdn,),
-                        ))
+                        sink_emit(node, instr.sid, 42, cur_loop, (vdn,))
                     continue
 
                 if opc is _OP_ALLOCA:
@@ -538,18 +523,14 @@ class Interpreter:
                     defn[i] = node
                     defa[i] = 0
                     if recording:
-                        sink.on_record(DynInstr(
-                            node, instr.sid, 50, cur_loop,
-                        ))
+                        sink_emit(node, instr.sid, 50, cur_loop)
                     continue
 
                 if opc is _OP_CALL:
                     triples = [ev(a) for a in instr.operands]
                     if recording:
-                        sink.on_record(DynInstr(
-                            node, instr.sid, 63, cur_loop,
-                            tuple(t[1] for t in triples),
-                        ))
+                        sink_emit(node, instr.sid, 63, cur_loop,
+                                  tuple(t[1] for t in triples))
                     callee = instr.callee
                     native = _INTRINSICS.get(callee)
                     if native is not None:
@@ -578,10 +559,8 @@ class Interpreter:
                     else:
                         value, vdn, vda = None, -1, 0
                     if recording:
-                        sink.on_record(DynInstr(
-                            node, instr.sid, 62, cur_loop,
-                            (vdn,) if instr.operands else (),
-                        ))
+                        sink_emit(node, instr.sid, 62, cur_loop,
+                                  (vdn,) if instr.operands else ())
                     return value, vdn, vda
 
                 raise InterpError(f"unhandled opcode {instr.opcode!r}")
@@ -589,7 +568,7 @@ class Interpreter:
             memory.pop_frame(frame_save)
 
 def run_module(module: Module, entry: str = "main", args: Sequence = (),
-               fuel: int = 500_000_000):
+               fuel: int = DEFAULT_FUEL):
     """Execute a module without tracing; returns (return value, interpreter)."""
     interp = Interpreter(module, sink=None, fuel=fuel)
     value = interp.run(entry, args)
@@ -602,18 +581,30 @@ def run_and_trace(
     args: Sequence = (),
     loop: Optional[int] = None,
     instances: Optional[set] = None,
-    fuel: int = 500_000_000,
+    fuel: int = DEFAULT_FUEL,
+    columnar: bool = True,
 ) -> Trace:
     """Execute a module and collect a trace.
 
     With ``loop`` set, only records inside that loop id are retained (the
     paper's per-loop subtrace); ``instances`` optionally narrows to chosen
     dynamic instances of the loop.
+
+    By default the trace is collected into flat columns
+    (:class:`~repro.trace.columnar.ColumnarSink`) and returned as a
+    :class:`~repro.trace.columnar.ColumnarTrace` — ``records`` stay
+    available as a lazy view, and DDG construction takes the fused fast
+    path.  ``columnar=False`` forces the legacy object-per-record sinks.
     """
-    if loop is None:
+    if columnar:
+        sink = (ColumnarSink() if loop is None
+                else ColumnarLoopSink(loop, instances))
+    elif loop is None:
         sink = RecordingSink()
     else:
         sink = LoopWindowSink(loop, instances)
     interp = Interpreter(module, sink=sink, fuel=fuel)
     interp.run(entry, args)
+    if columnar:
+        return ColumnarTrace(module, sink)
     return Trace(module, sink.records)

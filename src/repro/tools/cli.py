@@ -41,6 +41,7 @@ def _cmd_analyze(args) -> int:
     report = workload.analyze(
         include_integer=args.integer,
         relax_reductions=args.relax_reductions,
+        **_run_opts(args),
         **params,
     )
     print(LoopReport.header())
@@ -68,10 +69,12 @@ def _cmd_analyze_file(args) -> int:
     with open(args.path) as fh:
         source = fh.read()
     if args.loop:
-        report = analyze_workload(source, args.path, [args.loop])
+        report = analyze_workload(source, args.path, [args.loop],
+                                  **_run_opts(args))
     else:
         report = analyze_program(source, benchmark=args.path,
-                                 threshold=args.threshold)
+                                 threshold=args.threshold,
+                                 **_run_opts(args))
     print(report.table())
     return 0
 
@@ -165,7 +168,7 @@ def _cmd_trace(args) -> int:
     if info is None:
         raise VectraError(f"no loop named {args.loop!r}")
     trace = run_and_trace(module, workload.entry, loop=info.loop_id,
-                          instances={args.instance})
+                          instances={args.instance}, **_run_opts(args))
     save_trace(trace, args.output)
     print(f"wrote {len(trace)} records to {args.output}")
     return 0
@@ -268,6 +271,31 @@ def _cmd_dot(args) -> int:
     return 0
 
 
+def _run_opts(args):
+    """Interpreter/analysis options shared by several subcommands,
+    forwarded only when set so library defaults stay authoritative."""
+    opts = {}
+    if getattr(args, "fuel", None) is not None:
+        opts["fuel"] = args.fuel
+    if getattr(args, "jobs", None) is not None:
+        opts["jobs"] = args.jobs
+    return opts
+
+
+def _add_fuel_option(p):
+    p.add_argument("--fuel", type=int, default=None, metavar="N",
+                   help="interpreter instruction budget (default: "
+                        "500,000,000); runs that exhaust it fail with a "
+                        "clear error instead of looping forever")
+
+
+def _add_jobs_option(p):
+    p.add_argument("-j", "--jobs", type=int, default=None, metavar="N",
+                   help="analyze hot loops across N worker processes "
+                        "(0 or negative: one per CPU); results are "
+                        "byte-identical to --jobs 1")
+
+
 def _parse_params(items):
     params = {}
     for item in items or []:
@@ -300,6 +328,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="ignore reduction dependences (the paper's "
                         "future-work extension)")
     p.add_argument("-v", "--verbose", action="store_true")
+    _add_fuel_option(p)
+    _add_jobs_option(p)
     p.set_defaults(func=_cmd_analyze)
 
     p = sub.add_parser("vlength",
@@ -318,6 +348,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("path")
     p.add_argument("--loop", default=None)
     p.add_argument("--threshold", type=float, default=0.10)
+    _add_fuel_option(p)
+    _add_jobs_option(p)
     p.set_defaults(func=_cmd_analyze_file)
 
     p = sub.add_parser("decisions",
@@ -336,6 +368,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--loop", required=True)
     p.add_argument("--instance", type=int, default=0)
     p.add_argument("-o", "--output", default="loop.vtrc")
+    _add_fuel_option(p)
     p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("analyze-trace",

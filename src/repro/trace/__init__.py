@@ -3,6 +3,7 @@
 from repro.trace.events import DynInstr, MARKER_ENTER, MARKER_NEXT, MARKER_EXIT
 from repro.trace.trace import Trace, LoopSpan
 from repro.trace.sinks import RecordingSink, LoopWindowSink
+from repro.trace.columnar import ColumnarLoopSink, ColumnarSink, ColumnarTrace
 
 __all__ = [
     "DynInstr",
@@ -13,4 +14,7 @@ __all__ = [
     "LoopSpan",
     "RecordingSink",
     "LoopWindowSink",
+    "ColumnarSink",
+    "ColumnarLoopSink",
+    "ColumnarTrace",
 ]

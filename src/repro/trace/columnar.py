@@ -1,0 +1,582 @@
+"""Columnar streaming trace storage.
+
+The legacy sinks allocate one :class:`DynInstr` per executed instruction
+and the DDG builder re-walks that object list after the run.  The sinks
+here pack each dynamic record straight into flat per-field columns as it
+is emitted — no per-record object — and :meth:`ColumnarSink.to_ddg`
+turns the columns into the CSR :class:`~repro.ddg.graph.DDG` in one
+tight pass over plain lists.  The combination is the "fused
+interpret→trace→DDG" pipeline: a windowed analysis run produces an
+analysis-ready DDG with no intermediate trace materialization.
+
+Two pieces of bookkeeping keep the columns as small as the data:
+
+- **Runs.**  Node ids are global and monotonically increasing, and the
+  interpreter only skips emitting while a window sink is inactive, so
+  recorded node ids form contiguous runs.  Only each run's (first node,
+  first row) pair is stored; every other node id is recovered by
+  arithmetic.  This also makes the store-address backpatch an O(1)
+  list write (``row = node - run_node0 + run_row0``) instead of a
+  node→record dict.
+- **Loop-id run-length encoding.**  The innermost active loop only
+  changes at loop-marker records, so the per-record ``loop_id`` column
+  is piecewise constant and stored as (row, loop_id) change points.
+
+The legacy ``DynInstr``/``Trace`` API survives as a lazy compat layer:
+:attr:`ColumnarSink.records` materializes the object list on demand and
+:class:`ColumnarTrace` is a :class:`~repro.trace.trace.Trace` whose
+``records`` delegate to it, so serialization, ``LoopSpan`` indexing and
+``subtrace`` slicing keep working unchanged (mirroring the CSR/preds
+tuple-view pattern of the batched Algorithm 1 engine).
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_right
+from typing import Dict, List, Optional, Tuple
+
+from repro.trace.events import (
+    MARKER_ENTER,
+    MARKER_EXIT,
+    MARKER_NEXT,
+    DynInstr,
+)
+from repro.trace.trace import Trace
+
+try:  # optional: vectorizes the dependence remap in to_ddg
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the fallback tests
+    _np = None
+
+
+def _scatter_int(map_, di, n):
+    """Scatter a sparse row->int column into a dense length-``n`` list,
+    routing each row through the row→node map ``di``."""
+    if not map_:
+        return [0] * n
+    rows = _np.fromiter(map_.keys(), _np.int64, len(map_))
+    vals = _np.fromiter(map_.values(), _np.int64, len(map_))
+    out = _np.zeros(n, dtype=_np.int64)
+    out[di[rows]] = vals
+    return out.tolist()
+
+
+class ColumnarSink:
+    """Retains every dynamic record, packed into flat columns.
+
+    Drop-in replacement for :class:`~repro.trace.sinks.RecordingSink`:
+    the interpreter feeds it through :meth:`emit` (opcode as a plain
+    int), and downstream code either consumes the columns directly
+    (:meth:`to_ddg`) or the lazy :attr:`records` compat view.
+    """
+
+    __slots__ = (
+        "sids", "opcodes", "dep_flat", "dep_counts",
+        "addr_map", "mem_map", "store_map",
+        "runs", "loop_breaks", "marker_rows", "active",
+        "_next_node", "_cur_node0", "_cur_row0", "_last_loop", "_records",
+        "_sid_append", "_op_append", "_cnt_append", "_dep_extend",
+    )
+
+    def __init__(self):
+        self.sids: List[int] = []
+        self.opcodes: List[int] = []
+        #: CSR-style dependence column: ``dep_counts[r]`` producer node
+        #: ids per row, concatenated in ``dep_flat``.  Flat ints instead
+        #: of a tuple per row: the cyclic collector has nothing to
+        #: track, which matters at millions of records.  ``dep_flat`` is
+        #: a plain list (list append is ~4x faster per record than
+        #: ``array('q')``; :meth:`to_ddg` converts once in bulk) and the
+        #: u8 counts live in a ``bytearray`` numpy can view zero-copy.
+        self.dep_flat: List[int] = []
+        self.dep_counts = bytearray()
+        #: Sparse columns, keyed by row: most records carry no operand
+        #: addresses, no memory address, and no store backpatch, so a
+        #: map per populated row beats a dense per-record append.
+        self.addr_map: Dict[int, Tuple[int, ...]] = {}
+        self.mem_map: Dict[int, int] = {}
+        self.store_map: Dict[int, int] = {}
+        #: (first node id, first row) of each contiguous recorded run.
+        self.runs: List[Tuple[int, int]] = []
+        #: (row, loop_id) change points of the RLE'd loop-id column.
+        self.loop_breaks: List[Tuple[int, int]] = []
+        #: rows holding loop-marker records (sparse; lets :meth:`to_ddg`
+        #: bulk-copy the marker-free row segments between them).
+        self.marker_rows: List[int] = []
+        self.active = True
+        self._next_node = -1
+        self._cur_node0 = 0
+        self._cur_row0 = 0
+        self._last_loop: Optional[int] = None
+        self._records: Optional[List[DynInstr]] = None
+        # The columns are append-only and never rebound, so the bound
+        # methods can be cached once — each saves an attribute chain per
+        # record in emit().
+        self._sid_append = self.sids.append
+        self._op_append = self.opcodes.append
+        self._cnt_append = self.dep_counts.append
+        self._dep_extend = self.dep_flat.extend
+
+    def __len__(self) -> int:
+        return len(self.sids)
+
+    # -- the streaming write path (hot) ------------------------------------
+
+    def emit(
+        self,
+        node: int,
+        sid: int,
+        opcode: int,
+        loop_id: int,
+        deps: Tuple[int, ...] = (),
+        addrs: Tuple[int, ...] = (),
+        addr: int = 0,
+    ) -> None:
+        row = len(self.sids)
+        if node != self._next_node:
+            self._cur_node0 = node
+            self._cur_row0 = row
+            self.runs.append((node, row))
+        self._next_node = node + 1
+        if loop_id != self._last_loop:
+            self.loop_breaks.append((row, loop_id))
+            self._last_loop = loop_id
+        if opcode >= MARKER_ENTER:
+            self.marker_rows.append(row)
+        self._sid_append(sid)
+        self._op_append(opcode)
+        if deps:
+            self._dep_extend(deps)
+        self._cnt_append(len(deps))
+        if addrs:
+            self.addr_map[row] = addrs
+        if addr:
+            self.mem_map[row] = addr
+
+    def on_marker(self, kind: int, loop_id: int, instance: int) -> None:
+        """Markers are recorded through :meth:`emit`; nothing extra."""
+
+    def note_store(self, producer_node: int, addr: int) -> None:
+        """Backpatch the producer's store address: one map write.
+
+        Backpatches resolve within the current contiguous run (for a
+        full recording that is the whole trace; for a window sink, the
+        open span — the same bound the legacy window sink applies).
+        The first store wins, as in the legacy sinks.
+        """
+        row = producer_node - self._cur_node0 + self._cur_row0
+        if row >= self._cur_row0 and row not in self.store_map:
+            self.store_map[row] = addr
+
+    # -- fused DDG construction --------------------------------------------
+
+    def to_ddg(self):
+        """The CSR DDG over these columns — semantics identical to
+        :func:`repro.ddg.build.build_ddg` on the materialized trace.
+
+        Markers are sparse, so instead of testing every row the pass
+        slices the marker-free segments out of each column wholesale
+        (C-level copies).  The remaining work — the row→node map, the
+        sparse-column scatter, and the dependence remap — runs as
+        vectorized array passes when numpy is available, with an
+        equivalent interpreted fallback (1- and 2-dep rows, which
+        dominate real traces, special-cased past the set/sort
+        machinery).
+        """
+        from repro.ddg.graph import _CSR_TYPECODE, DDG
+
+        sids_col = self.sids
+        opcodes_col = self.opcodes
+        dep_flat = self.dep_flat
+        dep_counts = self.dep_counts
+        n_rows = len(sids_col)
+
+        # Half-open row ranges holding no marker records.
+        segs: List[Tuple[int, int]] = []
+        prev = 0
+        for m in self.marker_rows:
+            if m > prev:
+                segs.append((prev, m))
+            prev = m + 1
+        if prev < n_rows:
+            segs.append((prev, n_rows))
+
+        out_sids: List[int] = []
+        out_ops: List[int] = []
+        n = 0
+        for s, e in segs:
+            out_sids += sids_col[s:e]
+            # Every emit site passes the opcode as a plain int, so the
+            # column slice-copies without a per-element conversion.
+            out_ops += opcodes_col[s:e]
+            n += e - s
+
+        runs = self.runs
+        single_run = len(runs) <= 1
+        node0 = runs[0][0] if runs else 0
+        run_maps = None
+        if not single_run:
+            run_nodes = [r[0] for r in runs]
+            run_rows = [r[1] for r in runs]
+            run_ends = run_rows[1:] + [n_rows]
+            run_maps = (run_nodes, run_rows, run_ends)
+
+        # Execution order is topological order, so every edge the remap
+        # emits satisfies p < n and the DDG constructor can skip
+        # structural validation (same argument as build_ddg's
+        # insert-after-deps ordering).
+        if _np is not None and n:
+            (out_addrs, out_store, out_mem, indices_arr, offsets_arr) = (
+                self._finish_numpy(segs, n, n_rows, single_run, node0,
+                                   run_maps)
+            )
+            return DDG(
+                out_sids,
+                out_ops,
+                addrs=out_addrs,
+                store_addrs=out_store,
+                mem_addrs=out_mem,
+                pred_indices=indices_arr,
+                pred_offsets=offsets_arr,
+                validate=False,
+            )
+
+        # -- interpreted fallback (numpy unavailable) -----------------------
+
+        #: row -> DDG node index (-1 for markers).  One trailing slot is
+        #: left at -1 so the full-trace remap below can resolve the
+        #: interpreter's "no producer" dep sentinel (-1) by plain
+        #: negative indexing — ``ddg_index[-1]`` lands on it — with no
+        #: range check per dep.
+        ddg_index = [-1] * (n_rows + 1)
+        b = 0
+        for s, e in segs:
+            ddg_index[s:e] = range(b, b + (e - s))
+            b += e - s
+
+        # Scatter the sparse columns into dense per-node vectors
+        # (markers carry none of these, so every keyed row maps to a
+        # real DDG node).
+        out_addrs: List[tuple] = [()] * n
+        out_store: List[int] = [0] * n
+        out_mem: List[int] = [0] * n
+        for row, val in self.addr_map.items():
+            out_addrs[ddg_index[row]] = val
+        for row, val in self.store_map.items():
+            out_store[ddg_index[row]] = val
+        for row, val in self.mem_map.items():
+            out_mem[ddg_index[row]] = val
+
+        pred_indices: List[int] = []
+        pred_offsets = [0] * (n + 1)
+        idx_append = pred_indices.append
+        idx_extend = pred_indices.extend
+        count = 0
+        i = 0
+        # ``start`` tracks the dep_flat cursor across ALL rows: the rows
+        # between segments are markers, which carry zero deps, so the
+        # cursor carries over segment gaps unchanged.
+        start = 0
+        if single_run and node0 == 0:
+            # Full recording: node id == row, and a dep is either a
+            # prior node or the -1 sentinel, which negative-indexes into
+            # the trailing -1 slot of ddg_index.  No bounds tests at all.
+            for s, e in segs:
+                for row in range(s, e):
+                    nd = dep_counts[row]
+                    if nd == 1:
+                        p = ddg_index[dep_flat[start]]
+                        if p >= 0:
+                            idx_append(p)
+                            count += 1
+                    elif nd == 2:
+                        p0 = ddg_index[dep_flat[start]]
+                        p1 = ddg_index[dep_flat[start + 1]]
+                        if p0 > p1:
+                            p0, p1 = p1, p0
+                        if p1 >= 0:
+                            if p0 >= 0 and p0 != p1:
+                                idx_append(p0)
+                                count += 1
+                            idx_append(p1)
+                            count += 1
+                    elif nd:
+                        acc = {ddg_index[d]
+                               for d in dep_flat[start:start + nd]}
+                        acc.discard(-1)
+                        if acc:
+                            ordered = sorted(acc)
+                            idx_extend(ordered)
+                            count += len(ordered)
+                    start += nd
+                    i += 1
+                    pred_offsets[i] = count
+        elif single_run:
+            for s, e in segs:
+                for row in range(s, e):
+                    nd = dep_counts[row]
+                    if nd == 1:
+                        d = dep_flat[start]
+                        if d >= node0:
+                            p = ddg_index[d - node0]
+                            if p >= 0:
+                                idx_append(p)
+                                count += 1
+                    elif nd == 2:
+                        d0 = dep_flat[start]
+                        d1 = dep_flat[start + 1]
+                        p0 = ddg_index[d0 - node0] if d0 >= node0 else -1
+                        p1 = ddg_index[d1 - node0] if d1 >= node0 else -1
+                        if p0 > p1:
+                            p0, p1 = p1, p0
+                        if p1 >= 0:
+                            if p0 >= 0 and p0 != p1:
+                                idx_append(p0)
+                                count += 1
+                            idx_append(p1)
+                            count += 1
+                    elif nd:
+                        acc = {ddg_index[d - node0]
+                               for d in dep_flat[start:start + nd]
+                               if d >= node0}
+                        acc.discard(-1)
+                        if acc:
+                            ordered = sorted(acc)
+                            idx_extend(ordered)
+                            count += len(ordered)
+                    start += nd
+                    i += 1
+                    pred_offsets[i] = count
+        else:
+            run_nodes, run_rows, run_ends = run_maps
+            for s, e in segs:
+                for row in range(s, e):
+                    nd = dep_counts[row]
+                    if nd:
+                        acc = set()
+                        for d in dep_flat[start:start + nd]:
+                            j = bisect_right(run_nodes, d) - 1
+                            if j >= 0:
+                                r = d - run_nodes[j] + run_rows[j]
+                                if r < run_ends[j]:
+                                    acc.add(ddg_index[r])
+                        acc.discard(-1)
+                        if acc:
+                            ordered = sorted(acc)
+                            idx_extend(ordered)
+                            count += len(ordered)
+                    start += nd
+                    i += 1
+                    pred_offsets[i] = count
+
+        return DDG(
+            out_sids,
+            out_ops,
+            addrs=out_addrs,
+            store_addrs=out_store,
+            mem_addrs=out_mem,
+            pred_indices=array(_CSR_TYPECODE, pred_indices),
+            pred_offsets=array(_CSR_TYPECODE, pred_offsets),
+            validate=False,
+        )
+
+    def _finish_numpy(self, segs, n, n_rows, single_run, node0, run_maps):
+        """Row→node map, sparse-column scatter and dependence remap as
+        vectorized array passes.  Bit-identical to the interpreted
+        fallback in :meth:`to_ddg`."""
+        # row -> DDG node index (-1 for markers), with one trailing -1
+        # slot so the full-trace remap can resolve the interpreter's
+        # "no producer" dep sentinel (-1) by plain negative indexing.
+        di = _np.full(n_rows + 1, -1, dtype=_np.int64)
+        b = 0
+        for s, e in segs:
+            di[s:e] = _np.arange(b, b + (e - s), dtype=_np.int64)
+            b += e - s
+
+        # Scatter the sparse columns into dense per-node vectors
+        # (markers carry none of these, so every keyed row maps to a
+        # real DDG node).  The int-valued columns scatter wholesale;
+        # operand-address tuples stay a Python loop over the few keyed
+        # rows.
+        out_addrs: List[tuple] = [()] * n
+        addr_map = self.addr_map
+        if addr_map:
+            rows = _np.fromiter(addr_map.keys(), _np.int64, len(addr_map))
+            for p, val in zip(di[rows].tolist(), addr_map.values()):
+                out_addrs[p] = val
+        out_store = _scatter_int(self.store_map, di, n)
+        out_mem = _scatter_int(self.mem_map, di, n)
+
+        indices_arr, offsets_arr = self._remap_deps_numpy(
+            di, n, n_rows, single_run, node0, run_maps
+        )
+        return out_addrs, out_store, out_mem, indices_arr, offsets_arr
+
+    def _remap_deps_numpy(self, di, n, n_rows, single_run, node0, run_maps):
+        """The dependence remap as a handful of C-level array passes.
+
+        Bit-identical to the interpreted loops in :meth:`to_ddg`: map
+        every dep to its DDG node (or -1), then produce each row's
+        sorted unique preds via one global sort of (row-major,
+        pred-minor) composite keys followed by an adjacent-duplicate
+        mask.  Returns (pred_indices, pred_offsets) as ``array('q')``.
+        """
+        from repro.ddg.graph import _CSR_TYPECODE
+
+        df = _np.asarray(self.dep_flat, dtype=_np.int64)
+        if single_run:
+            if node0:
+                idx = df - node0
+                idx = _np.where((idx >= 0) & (idx < n_rows), idx, n_rows)
+            else:
+                # Full recording: node id == row; the -1 dep sentinel
+                # wraps to the trailing -1 slot of di.
+                idx = df
+            mapped = di[idx]
+        else:
+            run_nodes, run_rows, run_ends = run_maps
+            rn = _np.asarray(run_nodes, dtype=_np.int64)
+            rr = _np.asarray(run_rows, dtype=_np.int64)
+            rend = _np.asarray(run_ends, dtype=_np.int64)
+            j = _np.searchsorted(rn, df, side="right") - 1
+            jc = _np.maximum(j, 0)
+            rows = df - rn[jc] + rr[jc]
+            mapped = di[_np.where((j >= 0) & (rows < rend[jc]), rows, n_rows)]
+
+        counts = _np.frombuffer(self.dep_counts, dtype=_np.uint8)
+        stride = n + 2
+        key = _np.repeat(_np.arange(n_rows, dtype=_np.int64), counts)
+        key *= stride
+        key += mapped
+        key += 1
+        key.sort()
+        srid = key // stride
+        smapped = key - srid * stride
+        smapped -= 1
+        m = key.shape[0]
+        if m:
+            keep = _np.empty(m, dtype=bool)
+            keep[0] = True
+            _np.not_equal(key[1:], key[:-1], out=keep[1:])
+            keep &= smapped >= 0
+            kept = smapped[keep]
+            row_counts = _np.bincount(srid[keep], minlength=n_rows)
+        else:
+            kept = smapped
+            row_counts = _np.zeros(n_rows, dtype=_np.int64)
+
+        mask = _np.ones(n_rows, dtype=bool)
+        if self.marker_rows:
+            mask[self.marker_rows] = False
+        pred_offsets = _np.empty(n + 1, dtype=_np.int64)
+        pred_offsets[0] = 0
+        _np.cumsum(row_counts[mask], out=pred_offsets[1:])
+        indices_arr = array(_CSR_TYPECODE)
+        indices_arr.frombytes(kept.tobytes())
+        offsets_arr = array(_CSR_TYPECODE)
+        offsets_arr.frombytes(pred_offsets.tobytes())
+        return indices_arr, offsets_arr
+
+    # -- legacy compat view ------------------------------------------------
+
+    @property
+    def records(self) -> List[DynInstr]:
+        """Lazy ``DynInstr`` materialization of the columns (built once;
+        rebuilt if more records arrived since)."""
+        recs = self._records
+        if recs is not None and len(recs) == len(self.sids):
+            return recs
+        recs = []
+        append = recs.append
+        runs = self.runs
+        breaks = self.loop_breaks
+        dep_flat = self.dep_flat
+        dep_counts = self.dep_counts
+        addr_get = self.addr_map.get
+        mem_get = self.mem_map.get
+        store_get = self.store_map.get
+        n_runs = len(runs)
+        n_breaks = len(breaks)
+        ri = 0
+        bi = 0
+        node = 0
+        loop_id = -1
+        row = 0
+        start = 0
+        for sid, op in zip(self.sids, self.opcodes):
+            if ri < n_runs and runs[ri][1] == row:
+                node = runs[ri][0]
+                ri += 1
+            if bi < n_breaks and breaks[bi][0] == row:
+                loop_id = breaks[bi][1]
+                bi += 1
+            nd = dep_counts[row]
+            ds = tuple(dep_flat[start:start + nd]) if nd else ()
+            start += nd
+            append(DynInstr(node, sid, op, loop_id, ds,
+                            addr_get(row, ()), mem_get(row, 0),
+                            store_get(row, 0)))
+            node += 1
+            row += 1
+        self._records = recs
+        return recs
+
+
+class ColumnarLoopSink(ColumnarSink):
+    """Columnar variant of :class:`~repro.trace.sinks.LoopWindowSink`:
+    retains records only inside chosen instances of one loop.
+
+    ``spans_recorded`` counts the window activations — the number of
+    loop spans the columns contain — so the fused analysis path can
+    validate instance selection without building spans from records.
+    """
+
+    __slots__ = ("loop_id", "instances", "spans_recorded", "_depth")
+
+    def __init__(self, loop_id: int, instances: Optional[set] = None):
+        super().__init__()
+        self.loop_id = loop_id
+        self.instances = instances
+        self.active = False
+        self.spans_recorded = 0
+        self._depth = 0
+
+    def _wanted(self, instance: int) -> bool:
+        return self.instances is None or instance in self.instances
+
+    def on_marker(self, kind: int, loop_id: int, instance: int) -> None:
+        if loop_id != self.loop_id:
+            return
+        if kind == MARKER_ENTER:
+            if self._depth == 0 and self._wanted(instance):
+                self.active = True
+                self.spans_recorded += 1
+            self._depth += 1
+        elif kind == MARKER_EXIT:
+            self._depth -= 1
+            if self._depth <= 0:
+                self._depth = 0
+                self.active = False
+
+
+class ColumnarTrace(Trace):
+    """A :class:`Trace` view over a columnar sink.
+
+    ``records`` materializes lazily; span indexing, subtraces and
+    serialization work unchanged through it.  :func:`~repro.ddg.build
+    .build_ddg` recognizes the attached sink and takes the fused
+    columnar path instead of walking the records.
+    """
+
+    def __init__(self, module, sink: ColumnarSink):
+        self.module = module
+        self.columnar_sink = sink
+        self._spans = None
+
+    def __len__(self) -> int:
+        return len(self.columnar_sink)
+
+    @property
+    def records(self) -> List[DynInstr]:
+        return self.columnar_sink.records

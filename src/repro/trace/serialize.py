@@ -2,11 +2,16 @@
 
 The paper's tool writes the run-time trace to disk and analyzes it
 offline; this module provides the same capability.  Format (little
-endian):
+endian, unchanged since version 1):
 
 - header: magic ``VTRC``, u32 version, u64 record count
 - per record: u64 node, u32 sid, u8 opcode, i32 loop_id, u64 addr,
   u64 store_addr, u8 ndeps, i64 deps..., u8 naddrs, u64 addrs...
+
+I/O is chunked: the writer accumulates records in a ``bytearray`` and
+flushes ~1 MiB at a time; the reader slurps the stream once and decodes
+with ``unpack_from`` over the buffer.  Millions of records cost a
+handful of syscalls instead of several per record.
 """
 
 from __future__ import annotations
@@ -25,25 +30,32 @@ VERSION = 1
 _HEADER = struct.Struct("<4sIQ")
 _FIXED = struct.Struct("<QIBiQQ")
 
+#: Flush threshold for the write buffer.
+_CHUNK = 1 << 20
+
 
 def write_trace(trace: Trace, fh: BinaryIO) -> None:
-    fh.write(_HEADER.pack(MAGIC, VERSION, len(trace.records)))
-    for rec in trace.records:
-        fh.write(_FIXED.pack(rec.node, rec.sid, int(rec.opcode),
-                             rec.loop_id, rec.addr, rec.store_addr))
-        fh.write(struct.pack("<B", len(rec.deps)))
-        if rec.deps:
-            fh.write(struct.pack(f"<{len(rec.deps)}q", *rec.deps))
-        fh.write(struct.pack("<B", len(rec.addrs)))
-        if rec.addrs:
-            fh.write(struct.pack(f"<{len(rec.addrs)}Q", *rec.addrs))
-
-
-def _read_exact(fh: BinaryIO, n: int) -> bytes:
-    data = fh.read(n)
-    if len(data) != n:
-        raise TraceError("truncated trace record")
-    return data
+    records = trace.records
+    fh.write(_HEADER.pack(MAGIC, VERSION, len(records)))
+    buf = bytearray()
+    pack_fixed = _FIXED.pack
+    pack = struct.pack
+    for rec in records:
+        buf += pack_fixed(rec.node, rec.sid, int(rec.opcode),
+                          rec.loop_id, rec.addr, rec.store_addr)
+        deps = rec.deps
+        buf.append(len(deps))
+        if deps:
+            buf += pack(f"<{len(deps)}q", *deps)
+        addrs = rec.addrs
+        buf.append(len(addrs))
+        if addrs:
+            buf += pack(f"<{len(addrs)}Q", *addrs)
+        if len(buf) >= _CHUNK:
+            fh.write(buf)
+            del buf[:]
+    if buf:
+        fh.write(buf)
 
 
 def read_trace(fh: BinaryIO, module: Module) -> Trace:
@@ -55,25 +67,42 @@ def read_trace(fh: BinaryIO, module: Module) -> Trace:
         raise TraceError("not a vectra trace file")
     if version != VERSION:
         raise TraceError(f"unsupported trace version {version}")
+    data = fh.read()
     records: List[DynInstr] = []
-    for _ in range(count):
-        fixed = _read_exact(fh, _FIXED.size)
-        node, sid, opcode, loop_id, addr, store_addr = _FIXED.unpack(fixed)
-        (ndeps,) = struct.unpack("<B", _read_exact(fh, 1))
-        deps = (
-            struct.unpack(f"<{ndeps}q", _read_exact(fh, 8 * ndeps))
-            if ndeps
-            else ()
-        )
-        (naddrs,) = struct.unpack("<B", _read_exact(fh, 1))
-        addrs = (
-            struct.unpack(f"<{naddrs}Q", _read_exact(fh, 8 * naddrs))
-            if naddrs
-            else ()
-        )
-        records.append(
-            DynInstr(node, sid, opcode, loop_id, deps, addrs, addr, store_addr)
-        )
+    append = records.append
+    unpack_fixed = _FIXED.unpack_from
+    fixed_size = _FIXED.size
+    unpack_from = struct.unpack_from
+    pos = 0
+    end = len(data)
+    try:
+        for _ in range(count):
+            node, sid, opcode, loop_id, addr, store_addr = unpack_fixed(
+                data, pos
+            )
+            pos += fixed_size
+            ndeps = data[pos]
+            pos += 1
+            if ndeps:
+                deps = unpack_from(f"<{ndeps}q", data, pos)
+                pos += 8 * ndeps
+            else:
+                deps = ()
+            naddrs = data[pos]
+            pos += 1
+            if naddrs:
+                addrs = unpack_from(f"<{naddrs}Q", data, pos)
+                pos += 8 * naddrs
+            else:
+                addrs = ()
+            if pos > end:
+                raise TraceError("truncated trace record")
+            append(
+                DynInstr(node, sid, opcode, loop_id, deps, addrs, addr,
+                         store_addr)
+            )
+    except (struct.error, IndexError):
+        raise TraceError("truncated trace record") from None
     return Trace(module, records)
 
 

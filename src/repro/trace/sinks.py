@@ -4,11 +4,18 @@ The paper analyzes *subtraces* — "a subtrace was started upon loop entry
 and terminated upon loop exit" (§4.1).  :class:`LoopWindowSink` implements
 exactly that; :class:`RecordingSink` retains everything (used for whole-
 program analyses and small tests).
+
+The interpreter feeds sinks through the :meth:`emit` protocol — plain
+scalar fields, no record object — so columnar sinks
+(:mod:`repro.trace.columnar`) can pack columns without ever allocating a
+:class:`DynInstr`.  The object-based sinks here build the record inside
+``emit`` and keep their historical ``on_record`` hook for callers that
+already hold one.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.trace.events import (
     MARKER_ENTER,
@@ -22,20 +29,37 @@ class RecordingSink:
 
     def __init__(self):
         self.records: List[DynInstr] = []
-        self._by_node: Dict[int, DynInstr] = {}
         self.active = True
+
+    def emit(
+        self,
+        node: int,
+        sid: int,
+        opcode: int,
+        loop_id: int,
+        deps: Tuple[int, ...] = (),
+        addrs: Tuple[int, ...] = (),
+        addr: int = 0,
+    ) -> None:
+        self.records.append(
+            DynInstr(node, sid, opcode, loop_id, deps, addrs, addr)
+        )
 
     def on_record(self, rec: DynInstr) -> None:
         self.records.append(rec)
-        self._by_node[rec.node] = rec
 
     def on_marker(self, kind: int, loop_id: int, instance: int) -> None:
-        """Markers are recorded through :meth:`on_record`; nothing extra."""
+        """Markers are recorded through :meth:`emit`; nothing extra."""
 
     def note_store(self, producer_node: int, addr: int) -> None:
-        rec = self._by_node.get(producer_node)
-        if rec is not None and rec.store_addr == 0:
-            rec.store_addr = addr
+        # A full recording retains every executed instruction, so node
+        # ids equal list positions: the backpatch is one indexed write
+        # (no node->record dict).
+        records = self.records
+        if producer_node < len(records):
+            rec = records[producer_node]
+            if rec.node == producer_node and rec.store_addr == 0:
+                rec.store_addr = addr
 
 
 class LoopWindowSink:
@@ -45,6 +69,11 @@ class LoopWindowSink:
     in the resulting trace); otherwise only instance indices in the given
     set are kept.  Nested re-entry of the same loop id (possible through
     recursion) is handled with a depth counter.
+
+    The store-address backpatch index ``_by_node`` is bounded: it only
+    holds records of the currently open span and is dropped when the
+    span closes, so retained bookkeeping stays O(window) even when the
+    sink records many instances back to back.
     """
 
     def __init__(self, loop_id: int, instances: Optional[set] = None):
@@ -69,7 +98,24 @@ class LoopWindowSink:
             self._depth -= 1
             if self._depth <= 0:
                 self._depth = 0
-                self.active = False
+                if self.active:
+                    self.active = False
+                    # Span closed: no later store can backpatch into it
+                    # (stores outside the window are never recorded), so
+                    # the index is dead weight — drop it.
+                    self._by_node.clear()
+
+    def emit(
+        self,
+        node: int,
+        sid: int,
+        opcode: int,
+        loop_id: int,
+        deps: Tuple[int, ...] = (),
+        addrs: Tuple[int, ...] = (),
+        addr: int = 0,
+    ) -> None:
+        self.on_record(DynInstr(node, sid, opcode, loop_id, deps, addrs, addr))
 
     def on_record(self, rec: DynInstr) -> None:
         self.records.append(rec)

@@ -5,18 +5,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.analysis.metrics import loop_metrics
-from repro.analysis.pipeline import select_instance_subtrace
+from repro.analysis.pipeline import run_loop_analyses, select_instance_subtrace
 from repro.analysis.report import BenchmarkReport
-from repro.ddg.build import build_ddg
 from repro.errors import WorkloadError
 from repro.frontend import parse_source
 from repro.frontend.lower import lower
-from repro.interp.interpreter import Interpreter, run_and_trace
+from repro.interp.interpreter import DEFAULT_FUEL, Interpreter
 from repro.ir.verifier import verify_module
 from repro.profiler.hotloops import profile_loops
 from repro.vectorizer.autovec import VectorizerConfig, analyze_program_loops
 from repro.vectorizer.packed import percent_packed
+
+__all__ = ["Workload", "analyze_workload", "select_instance_subtrace"]
 
 
 def analyze_workload(
@@ -29,10 +29,16 @@ def analyze_workload(
     vec_config: Optional[VectorizerConfig] = None,
     include_integer: bool = False,
     relax_reductions: bool = False,
+    fuel: int = DEFAULT_FUEL,
+    jobs: int = 1,
 ) -> BenchmarkReport:
     """Analyze the named ``loops`` of one program (compile once, profile
-    once, then per-loop subtrace analysis — the §4.1 methodology with an
-    explicit loop list instead of hot-loop discovery)."""
+    once, then per-loop fused windowed analysis — the §4.1 methodology
+    with an explicit loop list instead of hot-loop discovery).
+
+    ``jobs > 1`` fans the per-loop re-runs across a process pool with
+    byte-identical results (see
+    :func:`repro.analysis.pipeline.run_loop_analyses`)."""
     program, analyzer = parse_source(source)
     module = lower(analyzer, benchmark)
     verify_module(module)
@@ -40,11 +46,11 @@ def analyze_workload(
         vec_config = VectorizerConfig()
     decisions = analyze_program_loops(program, analyzer, vec_config)
 
-    interp = Interpreter(module)
+    interp = Interpreter(module, fuel=fuel)
     interp.run(entry, args)
     profiles = profile_loops(module, interp)
 
-    report = BenchmarkReport(benchmark=benchmark)
+    infos = []
     for loop_name in loops:
         info = module.loop_by_name(loop_name)
         if info is None:
@@ -52,13 +58,14 @@ def analyze_workload(
             raise WorkloadError(
                 f"{benchmark}: no loop named {loop_name!r} (known: {known})"
             )
-        trace = run_and_trace(module, entry, args, loop=info.loop_id,
-                              instances={instance})
-        sub = select_instance_subtrace(trace, info.loop_id, loop_name,
-                                       instance)
-        ddg = build_ddg(sub)
-        loop_report = loop_metrics(ddg, module, loop_name, include_integer,
-                                   relax_reductions)
+        infos.append(info)
+
+    loop_reports = run_loop_analyses(
+        source, benchmark, module, list(loops), entry, args, instance,
+        include_integer, relax_reductions, fuel, jobs,
+    )
+    report = BenchmarkReport(benchmark=benchmark)
+    for info, loop_report in zip(infos, loop_reports):
         loop_report.benchmark = benchmark
         prof = profiles.get(info.loop_id)
         if prof is not None:
@@ -110,6 +117,8 @@ class Workload:
                 vec_config: Optional[VectorizerConfig] = None,
                 include_integer: bool = False,
                 relax_reductions: bool = False,
+                fuel: int = DEFAULT_FUEL,
+                jobs: int = 1,
                 **overrides) -> BenchmarkReport:
         return analyze_workload(
             self.source(**overrides),
@@ -120,4 +129,6 @@ class Workload:
             vec_config=vec_config,
             include_integer=include_integer,
             relax_reductions=relax_reductions,
+            fuel=fuel,
+            jobs=jobs,
         )

@@ -92,3 +92,52 @@ class TestCLI:
         code, out = run_cli(capsys, "analyze-file", str(src), "--loop", "L")
         assert code == 0
         assert "L" in out
+
+
+class TestRunOptions:
+    """--jobs / --fuel plumbing through the analysis subcommands."""
+
+    def test_analyze_jobs_output_identical(self, capsys):
+        argv = ["analyze", "gemsfdtd_update"]
+        code1, serial = run_cli(capsys, *argv, "--jobs", "1")
+        code2, parallel = run_cli(capsys, *argv, "--jobs", "2")
+        assert code1 == code2 == 0
+        assert parallel == serial
+
+    def test_analyze_file_jobs_output_identical(self, capsys, tmp_path):
+        src = tmp_path / "k.c"
+        src.write_text(
+            "double A[16]; double B[16];\n"
+            "int main() { int i;\n"
+            "  P: for (i=0;i<16;i++) A[i] = (double)i * 2.0;\n"
+            "  Q: for (i=0;i<16;i++) B[i] = A[i] + 1.0;\n"
+            "  return 0; }\n"
+        )
+        code1, serial = run_cli(capsys, "analyze-file", str(src),
+                                "--jobs", "1")
+        code2, parallel = run_cli(capsys, "analyze-file", str(src),
+                                  "--jobs", "2")
+        assert code1 == code2 == 0
+        assert parallel == serial
+
+    def test_fuel_exhaustion_fails_cleanly(self, capsys):
+        code = main(["analyze", "utdsp_fir_array", "--fuel", "50"])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "instruction budget exhausted" in err
+        assert "--fuel" in err
+
+    def test_trace_fuel_exhaustion_fails_cleanly(self, capsys, tmp_path):
+        out_path = str(tmp_path / "x.vtrc")
+        code = main(["trace", "utdsp_fir_array", "--loop", "fir_n",
+                     "-o", out_path, "--fuel", "50"])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "instruction budget exhausted" in err
+
+    def test_generous_fuel_unchanged_output(self, capsys):
+        argv = ["analyze", "utdsp_mult_array"]
+        code1, default = run_cli(capsys, *argv)
+        code2, explicit = run_cli(capsys, *argv, "--fuel", "100000000")
+        assert code1 == code2 == 0
+        assert explicit == default

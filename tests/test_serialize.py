@@ -78,3 +78,27 @@ def test_truncated_record_rejected(module):
     data = buf.getvalue()[: len(buf.getvalue()) - 7]
     with pytest.raises(TraceError):
         read_trace(io.BytesIO(data), module)
+
+
+def test_windowed_subtrace_round_trip(module):
+    """The buffered writer/reader preserve a windowed subtrace — the
+    collect-then-analyze artifact the CLI's ``trace`` command dumps —
+    field for field, markers included."""
+    loop = module.loop_by_name("L")
+    trace = run_and_trace(module, loop=loop.loop_id, instances={0})
+    sub = trace.subtrace(loop.loop_id, 0)
+    buf = io.BytesIO()
+    write_trace(sub, buf)
+    buf.seek(0)
+    back = read_trace(buf, module)
+    assert len(back) == len(sub)
+    for a, b in zip(sub.records, back.records):
+        assert a.node == b.node
+        assert a.sid == b.sid
+        assert int(a.opcode) == int(b.opcode)
+        assert a.loop_id == b.loop_id
+        assert tuple(a.deps) == tuple(b.deps)
+        assert tuple(a.addrs) == tuple(b.addrs)
+        assert a.addr == b.addr
+        assert a.store_addr == b.store_addr
+    assert len(back.loop_instances(loop.loop_id)) == 1

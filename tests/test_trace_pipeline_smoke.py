@@ -1,0 +1,39 @@
+"""Tier-1 smoke test for the trace-pipeline benchmark harness.
+
+Runs the comparison harness on a scaled-down kernel — identity
+assertions only, no timing thresholds (timings on shared CI machines
+are noise; the >= 3x acceptance bar lives in benchmarks/).
+"""
+
+from benchmarks.trace_pipeline_common import run_comparison
+
+SMALL_KERNEL = """
+double A[32]; double B[32]; double C[32];
+int main() {
+  int i; int r;
+  for (i = 0; i < 32; i++) {
+    A[i] = 0.5 * (double)i;
+    B[i] = 1.0 + 0.25 * (double)i;
+    C[i] = 0.0;
+  }
+  rep: for (r = 0; r < 3; r++) {
+    body: for (i = 0; i < 32; i++) {
+      C[i] = C[i] + A[i] * B[i] - B[i] * C[i];
+    }
+  }
+  return 0;
+}
+"""
+
+
+def test_harness_smoke():
+    payload = run_comparison(SMALL_KERNEL, reps=1)
+    assert payload["identical"]
+    assert payload["records"] > 0
+    assert payload["ddg_nodes"] > 0
+    assert set(payload) >= {
+        "speedup",
+        "legacy_overhead_s",
+        "columnar_overhead_s",
+        "plain_run_s",
+    }
