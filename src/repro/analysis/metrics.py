@@ -26,6 +26,7 @@ from repro.analysis.timestamps import (
 from repro.analysis.report import InstructionReport, LoopReport
 from repro.ddg.graph import DDG
 from repro.ir.module import Module
+from repro.obs import get_telemetry
 
 
 def _elem_size(module: Optional[Module], sid: int, default: int = 8) -> int:
@@ -128,6 +129,7 @@ def loop_metrics(
     loop_name: str = "",
     include_integer: bool = False,
     relax_reductions: bool = False,
+    tel=None,
 ) -> LoopReport:
     """Aggregate the paper's loop-level metrics over all candidate
     instructions in the graph.
@@ -135,6 +137,8 @@ def loop_metrics(
     Algorithm 1 runs through the batched engine: one K-wide topological
     scan for all K candidate instructions instead of K scalar passes.
     """
+    if tel is None:
+        tel = get_telemetry()
     report = LoopReport(loop_name=loop_name)
     total_ops = 0
     total_partitions = 0
@@ -148,22 +152,35 @@ def loop_metrics(
         from repro.analysis.reductions import removed_edges_by_sid
 
         removed_by_sid = removed_edges_by_sid(ddg, sids)
-    partitions_by_sid = batched_parallel_partitions(
-        ddg, sids, removed_by_sid
-    )
-    for sid in sids:
-        ir = instruction_metrics(ddg, sid, module,
-                                 relax_reductions=relax_reductions,
-                                 partitions=partitions_by_sid[sid])
-        report.instructions.append(ir)
-        total_ops += ir.num_instances
-        total_partitions += ir.num_partitions
-        unit_ops += ir.unit_vec_ops
-        nonunit_ops += ir.nonunit_vec_ops
-        unit_sizes.extend(s for s in ir.unit_subpartition_sizes if s >= 2)
-        nonunit_sizes.extend(
-            s for s in ir.nonunit_subpartition_sizes if s >= 2
+    with tel.span("algorithm1"):
+        partitions_by_sid = batched_parallel_partitions(
+            ddg, sids, removed_by_sid
         )
+    if tel.enabled:
+        tel.count("algorithm1.scans", 1 if sids else 0)
+        tel.count("algorithm1.candidate_sids", len(sids))
+        tel.count("algorithm1.lanes_packed", len(sids))
+    with tel.span("stride"):
+        for sid in sids:
+            ir = instruction_metrics(ddg, sid, module,
+                                     relax_reductions=relax_reductions,
+                                     partitions=partitions_by_sid[sid])
+            report.instructions.append(ir)
+            total_ops += ir.num_instances
+            total_partitions += ir.num_partitions
+            unit_ops += ir.unit_vec_ops
+            nonunit_ops += ir.nonunit_vec_ops
+            unit_sizes.extend(
+                s for s in ir.unit_subpartition_sizes if s >= 2
+            )
+            nonunit_sizes.extend(
+                s for s in ir.nonunit_subpartition_sizes if s >= 2
+            )
+    if tel.enabled:
+        tel.count("algorithm1.partitions", total_partitions)
+        tel.count("algorithm1.candidate_ops", total_ops)
+        tel.count("stride.unit_subpartitions", len(unit_sizes))
+        tel.count("stride.nonunit_subpartitions", len(nonunit_sizes))
     report.total_candidate_ops = total_ops
     if total_partitions:
         report.avg_concurrency = total_ops / total_partitions

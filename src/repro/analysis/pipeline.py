@@ -17,7 +17,15 @@ interpretation and analysis.
 Because each hot loop's windowed re-run is independent, step 3 fans out
 across a process pool when ``jobs > 1`` (each worker recompiles the
 source — modules are cheap to rebuild and deterministic, so reports are
-byte-identical to the serial path).  Pool failures fall back to serial.
+byte-identical to the serial path).  Pool failures fall back to serial,
+with a ``vectra.pipeline`` warning so the degradation is visible.
+
+Every driver takes an optional ``tel`` telemetry object (default: the
+process-wide active telemetry, a no-op unless e.g. the CLI's
+``--profile`` installed a live one) and records stage spans plus work
+counters; pool workers collect their own telemetry and ship a snapshot
+back with each report, which the parent merges — serial and parallel
+runs report identical counter totals.
 """
 
 from __future__ import annotations
@@ -40,11 +48,14 @@ from repro.interp.interpreter import (
 )
 from repro.ir.module import Module
 from repro.ir.verifier import verify_module
+from repro.obs import Telemetry, get_logger, get_telemetry, use_telemetry
 from repro.profiler.costmodel import CostModel
 from repro.profiler.hotloops import hot_loops, profile_loops
 from repro.trace.columnar import ColumnarLoopSink
 from repro.vectorizer.autovec import VectorizerConfig, analyze_program_loops
 from repro.vectorizer.packed import percent_packed
+
+_log = get_logger("pipeline")
 
 __all__ = [
     "compile_source",
@@ -84,13 +95,27 @@ def select_instance_subtrace(trace, loop_id: int, loop_name: str,
 
 def _windowed_loop_ddg(module: Module, loop_id: int, loop_name: str,
                        entry: str, args: Sequence, instance: int,
-                       fuel: int):
+                       fuel: int, tel=None):
     """Fused trace→DDG for one loop instance: the windowed re-run streams
     into columnar storage and the DDG drops out without materializing a
     record list (the same validation as :func:`select_instance_subtrace`,
     off the sink's span counter)."""
+    if tel is None:
+        tel = get_telemetry()
     sink = ColumnarLoopSink(loop_id, instances={instance})
-    Interpreter(module, sink=sink, fuel=fuel).run(entry, args)
+    with tel.span("loop.rerun"):
+        interp = Interpreter(module, sink=sink, fuel=fuel)
+        interp.run(entry, args)
+    if tel.enabled:
+        stats = sink.stats()
+        tel.count("interp.runs")
+        tel.count("interp.instructions", interp.executed_instructions)
+        tel.count("trace.records.kept", stats["rows"])
+        tel.count("trace.records.filtered",
+                  interp.executed_instructions - stats["rows"])
+        tel.count("trace.markers", stats["markers"])
+        tel.count("trace.backpatches", stats["backpatches"])
+        tel.count("trace.spans_recorded", sink.spans_recorded)
     if sink.spans_recorded == 0:
         raise AnalysisError(
             f"loop {loop_name!r} instance {instance} never executed"
@@ -100,7 +125,13 @@ def _windowed_loop_ddg(module: Module, loop_id: int, loop_name: str,
             f"loop {loop_name!r}: expected one recorded span for instance "
             f"{instance}, found {sink.spans_recorded}"
         )
-    return sink.to_ddg()
+    with tel.span("ddg.build"):
+        ddg = sink.to_ddg()
+    if tel.enabled:
+        tel.count("ddg.nodes", len(ddg.sids))
+        tel.count("ddg.edges", len(ddg.pred_indices))
+        tel.count("ddg.marker_segments", stats["marker_segments"])
+    return ddg
 
 
 def analyze_loop(
@@ -112,32 +143,53 @@ def analyze_loop(
     include_integer: bool = False,
     relax_reductions: bool = False,
     fuel: int = DEFAULT_FUEL,
+    tel=None,
 ) -> LoopReport:
     """Dynamic analysis of one loop: trace one instance, build the DDG,
     compute the paper's metrics.  ``loop_name`` is a label or
     ``function:line``."""
+    if tel is None:
+        tel = get_telemetry()
     info = module.loop_by_name(loop_name)
     if info is None:
         known = ", ".join(li.name for li in module.loops.values())
         raise AnalysisError(
             f"no loop named {loop_name!r}; known loops: {known}"
         )
-    ddg = _windowed_loop_ddg(module, info.loop_id, loop_name, entry, args,
-                             instance, fuel)
-    report = loop_metrics(ddg, module, loop_name, include_integer,
-                          relax_reductions)
+    # Make ``tel`` the process-active telemetry for the duration so that
+    # deep instrumentation resolving the active object (e.g. the batched
+    # Algorithm 1 scan) records into the same place whether this call is
+    # serial with an explicit ``tel=`` or inside a pool worker.
+    with use_telemetry(tel):
+        ddg = _windowed_loop_ddg(module, info.loop_id, loop_name, entry,
+                                 args, instance, fuel, tel)
+        report = loop_metrics(ddg, module, loop_name, include_integer,
+                              relax_reductions, tel=tel)
+    tel.count("pipeline.loops_analyzed")
     return report
 
 
-def _loop_worker(payload) -> LoopReport:
+def _loop_worker(payload):
     """Process-pool entry point: recompile the source and analyze one
     loop.  Compilation and interpretation are deterministic, so the
-    result is identical to an in-process run on the parent's module."""
+    result is identical to an in-process run on the parent's module.
+
+    Returns ``(report, telemetry snapshot or None)``: when the parent
+    profiles, the worker collects its own telemetry and ships the
+    snapshot home so the parent's merged counters match a serial run."""
     (source, benchmark, loop_name, entry, args, instance,
-     include_integer, relax_reductions, fuel) = payload
-    module = compile_source(source, benchmark or "module")
-    return analyze_loop(module, loop_name, entry, args, instance,
-                        include_integer, relax_reductions, fuel=fuel)
+     include_integer, relax_reductions, fuel, profiled) = payload
+    tel = Telemetry() if profiled else None
+    # Install the worker's telemetry as the process-active one too: with
+    # a fork start method the child inherits the parent's (doomed) copy,
+    # and any instrumentation that resolves the active telemetry would
+    # otherwise record into it and be lost.
+    with use_telemetry(tel):
+        module = compile_source(source, benchmark or "module")
+        report = analyze_loop(module, loop_name, entry, args, instance,
+                              include_integer, relax_reductions, fuel=fuel,
+                              tel=tel)
+    return report, (tel.snapshot() if profiled else None)
 
 
 def run_loop_analyses(
@@ -152,23 +204,30 @@ def run_loop_analyses(
     relax_reductions: bool = False,
     fuel: int = DEFAULT_FUEL,
     jobs: int = 1,
+    tel=None,
 ) -> List[LoopReport]:
     """Per-loop windowed analyses, optionally across a process pool.
 
     Results are returned in ``loop_names`` order regardless of ``jobs``,
     so parallel runs produce byte-identical reports.  ``jobs=None`` uses
     one worker per CPU; any failure to stand up the pool (restricted
-    sandboxes, missing semaphores) falls back to the serial path.
+    sandboxes, missing semaphores) falls back to the serial path with a
+    ``vectra.pipeline`` warning.  Worker telemetry snapshots are merged
+    into ``tel``, so counter totals match the serial path exactly.
     """
+    if tel is None:
+        tel = get_telemetry()
     names = list(loop_names)
     if jobs is None or int(jobs) <= 0:
         jobs = multiprocessing.cpu_count()
     jobs = max(1, min(int(jobs), len(names)))
+    tel.gauge("pipeline.jobs", jobs)
 
     def serial() -> List[LoopReport]:
         return [
             analyze_loop(module, name, entry, args, instance,
-                         include_integer, relax_reductions, fuel=fuel)
+                         include_integer, relax_reductions, fuel=fuel,
+                         tel=tel)
             for name in names
         ]
 
@@ -176,7 +235,7 @@ def run_loop_analyses(
         return serial()
     payloads = [
         (source, benchmark, name, entry, tuple(args), instance,
-         include_integer, relax_reductions, fuel)
+         include_integer, relax_reductions, fuel, tel.enabled)
         for name in names
     ]
     try:
@@ -185,9 +244,20 @@ def run_loop_analyses(
         except ValueError:
             ctx = multiprocessing.get_context()
         with ProcessPoolExecutor(max_workers=jobs, mp_context=ctx) as pool:
-            return list(pool.map(_loop_worker, payloads))
-    except (OSError, PermissionError, ImportError, RuntimeError):
+            results = list(pool.map(_loop_worker, payloads))
+    except (OSError, PermissionError, ImportError, RuntimeError) as exc:
+        _log.warning(
+            "process pool startup failed (%s: %s); analyzing %d loop(s) "
+            "serially — re-run with --jobs 1 to silence this warning",
+            type(exc).__name__, exc, len(names),
+        )
+        tel.count("pipeline.pool_fallbacks")
         return serial()
+    reports: List[LoopReport] = []
+    for report, snapshot in results:
+        reports.append(report)
+        tel.merge(snapshot)
+    return reports
 
 
 def analyze_program(
@@ -203,6 +273,7 @@ def analyze_program(
     relax_reductions: bool = False,
     fuel: int = DEFAULT_FUEL,
     jobs: int = 1,
+    tel=None,
 ) -> BenchmarkReport:
     """The full §4.1 methodology for one program.
 
@@ -210,23 +281,31 @@ def analyze_program(
     pool (``None`` = one worker per CPU); reports are byte-identical to
     ``jobs=1``.
     """
-    program, analyzer = parse_source(source)
-    module = lower(analyzer, benchmark or "module")
-    verify_module(module)
-    if vec_config is None:
-        vec_config = VectorizerConfig()
-    decisions = analyze_program_loops(program, analyzer, vec_config)
+    if tel is None:
+        tel = get_telemetry()
+    with tel.span("frontend.parse_lower"):
+        program, analyzer = parse_source(source)
+        module = lower(analyzer, benchmark or "module")
+        verify_module(module)
+        if vec_config is None:
+            vec_config = VectorizerConfig()
+        decisions = analyze_program_loops(program, analyzer, vec_config)
 
-    interp = Interpreter(module, fuel=fuel)
-    interp.run(entry, args)
-    profiles = profile_loops(module, interp, cost_model)
-    hot = hot_loops(module, interp, threshold, cost_model)
+    with tel.span("profile.run"):
+        interp = Interpreter(module, fuel=fuel)
+        interp.run(entry, args)
+        profiles = profile_loops(module, interp, cost_model)
+        hot = hot_loops(module, interp, threshold, cost_model)
+    if tel.enabled:
+        tel.count("interp.runs")
+        tel.count("interp.instructions", interp.executed_instructions)
+        tel.count("pipeline.hot_loops", len(hot))
 
     loop_reports = run_loop_analyses(
         source, benchmark, module,
         [module.loops[prof.loop_id].name for prof in hot],
         entry, args, instance, include_integer, relax_reductions,
-        fuel, jobs,
+        fuel, jobs, tel=tel,
     )
     report = BenchmarkReport(benchmark=benchmark)
     for prof, loop_report in zip(hot, loop_reports):
@@ -236,6 +315,7 @@ def analyze_program(
             module, interp, decisions, prof.loop_id, vec_config, profiles
         )
         report.loops.append(loop_report)
+    tel.record_memory()
     return report
 
 
@@ -248,22 +328,31 @@ def analyze_module(
     include_integer: bool = False,
     relax_reductions: bool = False,
     fuel: int = DEFAULT_FUEL,
+    tel=None,
 ) -> BenchmarkReport:
     """Hot-loop analysis without a source AST (no Percent Packed column;
     serial — without source text there is nothing to ship to workers)."""
-    interp = Interpreter(module, fuel=fuel)
-    interp.run(entry, args)
-    hot = hot_loops(module, interp, threshold)
+    if tel is None:
+        tel = get_telemetry()
+    with tel.span("profile.run"):
+        interp = Interpreter(module, fuel=fuel)
+        interp.run(entry, args)
+        hot = hot_loops(module, interp, threshold)
+    if tel.enabled:
+        tel.count("interp.runs")
+        tel.count("interp.instructions", interp.executed_instructions)
+        tel.count("pipeline.hot_loops", len(hot))
     report = BenchmarkReport(benchmark=module.name)
     for prof in hot:
         info = module.loops[prof.loop_id]
         loop_report = analyze_loop(
             module, info.name, entry, args, instance, include_integer,
-            relax_reductions, fuel=fuel,
+            relax_reductions, fuel=fuel, tel=tel,
         )
         loop_report.benchmark = module.name
         loop_report.percent_cycles = prof.percent_cycles
         report.loops.append(loop_report)
+    tel.record_memory()
     return report
 
 

@@ -43,6 +43,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.ddg.graph import DDG
 from repro.errors import AnalysisError
+from repro.obs import get_telemetry
 
 
 def compute_timestamps(
@@ -123,6 +124,10 @@ def _timestamp_vectors(
     indices = ddg.pred_indices
     offsets = ddg.pred_offsets
     n = len(sids)
+    tel = get_telemetry()
+    if tel.enabled:
+        tel.count("algorithm1.nodes_scanned", n)
+        tel.count("algorithm1.edges_scanned", len(indices))
     width = n.bit_length() + 1
     field = (1 << width) - 1
     value_mask = field >> 1

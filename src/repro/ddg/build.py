@@ -18,14 +18,37 @@ from __future__ import annotations
 from array import array
 from typing import Dict, List
 
+from repro.obs import get_telemetry
 from repro.trace.trace import Trace
 from repro.ddg.graph import _CSR_TYPECODE, DDG
 
 
-def build_ddg(trace: Trace) -> DDG:
+def build_ddg(trace: Trace, tel=None) -> DDG:
+    if tel is None:
+        tel = get_telemetry()
     sink = getattr(trace, "columnar_sink", None)
     if sink is not None:
-        return sink.to_ddg()
+        with tel.span("ddg.build"):
+            ddg = sink.to_ddg()
+        if tel.enabled:
+            tel.count("ddg.nodes", len(ddg.sids))
+            tel.count("ddg.edges", len(ddg.pred_indices))
+            tel.count("ddg.marker_segments",
+                      sink.stats()["marker_segments"])
+        return ddg
+    return _build_from_records(trace, tel)
+
+
+def _build_from_records(trace: Trace, tel) -> DDG:
+    with tel.span("ddg.build"):
+        ddg = _walk_records(trace)
+    if tel.enabled:
+        tel.count("ddg.nodes", len(ddg.sids))
+        tel.count("ddg.edges", len(ddg.pred_indices))
+    return ddg
+
+
+def _walk_records(trace: Trace) -> DDG:
     index: Dict[int, int] = {}
     sids: List[int] = []
     opcodes: List[int] = []

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import FuelExhaustedError, InterpError, MemoryError_
 from repro.ir.instructions import Opcode
+from repro.obs import get_logger, get_telemetry
 from repro.ir.module import Module
 from repro.ir.types import FloatType, IntType, PointerType
 from repro.ir.values import Constant, GlobalRef, VirtualReg
@@ -79,6 +80,8 @@ DEFAULT_FUEL = 500_000_000
 
 _pack = struct.pack
 _unpack = struct.unpack
+
+_log = get_logger("interp")
 
 
 def _f32(x: float) -> float:
@@ -230,6 +233,11 @@ class Interpreter:
                 self._executed += 1
                 counts[loop_key + opc] += 1
                 if self._executed > fuel:
+                    _log.warning(
+                        "fuel exhausted after %d instructions (fuel=%d) "
+                        "in %s; the collected trace is truncated",
+                        self._executed, fuel, fn.name,
+                    )
                     raise FuelExhaustedError(
                         f"instruction budget exhausted after "
                         f"{self._executed} instructions (fuel={fuel}); "
@@ -583,6 +591,7 @@ def run_and_trace(
     instances: Optional[set] = None,
     fuel: int = DEFAULT_FUEL,
     columnar: bool = True,
+    tel=None,
 ) -> Trace:
     """Execute a module and collect a trace.
 
@@ -596,6 +605,8 @@ def run_and_trace(
     available as a lazy view, and DDG construction takes the fused fast
     path.  ``columnar=False`` forces the legacy object-per-record sinks.
     """
+    if tel is None:
+        tel = get_telemetry()
     if columnar:
         sink = (ColumnarSink() if loop is None
                 else ColumnarLoopSink(loop, instances))
@@ -604,7 +615,20 @@ def run_and_trace(
     else:
         sink = LoopWindowSink(loop, instances)
     interp = Interpreter(module, sink=sink, fuel=fuel)
-    interp.run(entry, args)
+    with tel.span("trace.run" if loop is None else "loop.rerun"):
+        interp.run(entry, args)
+    if tel.enabled:
+        tel.count("interp.runs")
+        tel.count("interp.instructions", interp.executed_instructions)
+        if isinstance(sink, ColumnarSink):
+            stats = sink.stats()
+            tel.count("trace.records.kept", stats["rows"])
+            tel.count("trace.records.filtered",
+                      interp.executed_instructions - stats["rows"])
+            tel.count("trace.markers", stats["markers"])
+            tel.count("trace.backpatches", stats["backpatches"])
+        else:
+            tel.count("trace.records.kept", len(sink.records))
     if columnar:
         return ColumnarTrace(module, sink)
     return Trace(module, sink.records)

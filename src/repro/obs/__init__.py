@@ -1,0 +1,32 @@
+"""Observability: telemetry spans/counters/gauges and the ``vectra.*``
+logger hierarchy.
+
+The pipeline accepts an optional :class:`Telemetry`; when none is given
+it falls back to the process-wide active telemetry (default: the no-op
+:data:`NULL_TELEMETRY`), so instrumentation costs nothing unless a
+caller — typically the CLI's ``--profile`` / ``--metrics-json`` — opts
+in.
+"""
+
+from repro.obs.logs import configure_logging, get_logger
+from repro.obs.telemetry import (
+    NULL_TELEMETRY,
+    REPORT_SCHEMA,
+    NullTelemetry,
+    Telemetry,
+    get_telemetry,
+    set_telemetry,
+    use_telemetry,
+)
+
+__all__ = [
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "REPORT_SCHEMA",
+    "get_telemetry",
+    "set_telemetry",
+    "use_telemetry",
+    "get_logger",
+    "configure_logging",
+]

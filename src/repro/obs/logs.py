@@ -1,0 +1,65 @@
+"""The ``vectra.*`` logger hierarchy.
+
+Library code logs through :func:`get_logger` (e.g. ``vectra.pipeline``,
+``vectra.interp``) and never configures handlers — that is the
+application's call.  The CLI's ``--log-level`` maps to
+:func:`configure_logging`, which installs one stderr handler on the
+``vectra`` root so events like a silent pool-to-serial fallback or fuel
+exhaustion become visible without any library-side printing.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+from repro.errors import VectraError
+
+#: Root of the library's logger namespace.
+ROOT_LOGGER = "vectra"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+    "critical": logging.CRITICAL,
+}
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """The ``vectra.<name>`` logger (the ``vectra`` root for empty
+    ``name``)."""
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}" if name else ROOT_LOGGER)
+
+
+def configure_logging(level: str = "warning",
+                      stream=None) -> logging.Logger:
+    """Point the ``vectra`` hierarchy at one stream handler at ``level``.
+
+    Idempotent: reconfiguring replaces the previously installed handler
+    instead of stacking a second one.  Returns the root ``vectra``
+    logger.  Unknown level names raise :class:`VectraError` so the CLI
+    reports them as a one-line error.
+    """
+    try:
+        level_no = _LEVELS[level.lower()]
+    except KeyError:
+        raise VectraError(
+            f"unknown log level {level!r} "
+            f"(choose from {', '.join(_LEVELS)})"
+        ) from None
+    logger = logging.getLogger(ROOT_LOGGER)
+    logger.setLevel(level_no)
+    handler = logging.StreamHandler(stream if stream is not None
+                                    else sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(levelname)s %(name)s: %(message)s")
+    )
+    for existing in list(logger.handlers):
+        if getattr(existing, "_vectra_handler", False):
+            logger.removeHandler(existing)
+    handler._vectra_handler = True
+    logger.addHandler(handler)
+    return logger

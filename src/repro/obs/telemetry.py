@@ -1,0 +1,271 @@
+"""Pipeline telemetry: timed stage spans, monotonic counters, gauges.
+
+One :class:`Telemetry` object rides along a pipeline run and collects
+
+- **spans** — wall-clock totals per named stage
+  (``with tel.span("ddg.build"): ...``).  Hierarchy is expressed by
+  dotted names ("loop.rerun" is a sub-stage of the per-loop work), which
+  keeps keys stable whether a stage runs in the parent process or inside
+  a pool worker — the property the serial/parallel merge relies on.
+- **counters** — monotonic totals (records traced, DDG nodes/edges,
+  partitions, fuel consumed, ...).  Counters are pure sums of per-item
+  work, so a parallel run merged from worker snapshots reports totals
+  identical to a serial run.
+- **gauges** — level/peak samples (peak RSS, configured job count).
+  Merged by max, not sum.
+
+The default is the no-op :class:`NullTelemetry` singleton: every method
+is a ``pass`` and :meth:`NullTelemetry.span` hands back one shared,
+stateless context manager, so instrumented code paths cost a few
+attribute lookups when telemetry is off.  Instrumentation sits at stage
+boundaries only — never inside the per-record interpreter/sink loops —
+which is what keeps the disabled path within noise of uninstrumented
+code.  Guard any non-trivial counter *computation* (not the ``count``
+call itself) with ``tel.enabled``.
+
+Worker processes build a fresh ``Telemetry``, run, and ship
+:meth:`Telemetry.snapshot` (a plain picklable dict) back with their
+results; the parent folds it in with :meth:`Telemetry.merge`.  The same
+snapshot dict, plus a schema tag, is the ``--metrics-json`` run report.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Union
+
+#: Version tag of the machine-readable run report (bump on shape changes).
+REPORT_SCHEMA = "vectra.run-report/1"
+
+
+class _Span:
+    """A running timed span; records itself into the owner on exit."""
+
+    __slots__ = ("_tel", "name", "_t0")
+
+    def __init__(self, tel: "Telemetry", name: str):
+        self._tel = tel
+        self.name = name
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tel._record_span(self.name, time.perf_counter() - self._t0)
+        return False
+
+
+class _NullSpan:
+    """Shared no-op span: no state, safe to reuse and to nest."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTelemetry:
+    """Telemetry that records nothing — the default for every pipeline
+    entry point, so the instrumented hot paths stay hot."""
+
+    __slots__ = ()
+    enabled = False
+
+    def span(self, name: str) -> _NullSpan:
+        return _NULL_SPAN
+
+    def count(self, name: str, n: int = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def record_memory(self) -> None:
+        pass
+
+    def merge(self, other) -> None:
+        pass
+
+    def snapshot(self) -> dict:
+        return {"schema": REPORT_SCHEMA, "spans": {}, "counters": {},
+                "gauges": {}}
+
+
+#: The process-wide default telemetry (see :func:`get_telemetry`).
+NULL_TELEMETRY = NullTelemetry()
+
+
+class Telemetry:
+    """Collects spans, counters and gauges for one pipeline run."""
+
+    __slots__ = ("spans", "counters", "gauges")
+    enabled = True
+
+    def __init__(self):
+        #: name -> [total_s, calls, max_s]
+        self.spans: Dict[str, List[float]] = {}
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
+
+    # -- recording ---------------------------------------------------------
+
+    def span(self, name: str) -> _Span:
+        """A context manager timing one stage; re-entering the same name
+        accumulates (total, calls, max)."""
+        return _Span(self, name)
+
+    def _record_span(self, name: str, dt: float) -> None:
+        rec = self.spans.get(name)
+        if rec is None:
+            self.spans[name] = [dt, 1, dt]
+        else:
+            rec[0] += dt
+            rec[1] += 1
+            if dt > rec[2]:
+                rec[2] = dt
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to the monotonic counter ``name``."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record a level sample; the maximum observed value is kept."""
+        cur = self.gauges.get(name)
+        if cur is None or value > cur:
+            self.gauges[name] = value
+
+    def record_memory(self) -> None:
+        """Sample peak RSS (and the tracemalloc high-water mark when
+        tracing is on) into gauges."""
+        try:
+            import resource
+
+            self.gauge(
+                "mem.peak_rss_kb",
+                resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+            )
+        except (ImportError, OSError):  # pragma: no cover - non-POSIX
+            pass
+        import tracemalloc
+
+        if tracemalloc.is_tracing():
+            self.gauge("mem.tracemalloc_peak_kb",
+                       tracemalloc.get_traced_memory()[1] / 1024.0)
+
+    # -- aggregation -------------------------------------------------------
+
+    def merge(self, other: Union["Telemetry", dict, None]) -> None:
+        """Fold another telemetry (or a :meth:`snapshot` dict, e.g. one
+        shipped back from a pool worker) into this one: span times and
+        counters sum, gauges keep the max."""
+        if other is None:
+            return
+        if isinstance(other, dict):
+            spans = other.get("spans", {})
+            span_items = (
+                (name, (rec["total_s"], rec["calls"], rec["max_s"]))
+                for name, rec in spans.items()
+            )
+            counters = other.get("counters", {})
+            gauges = other.get("gauges", {})
+        else:
+            span_items = ((n, tuple(r)) for n, r in other.spans.items())
+            counters = other.counters
+            gauges = other.gauges
+        for name, (total, calls, mx) in span_items:
+            rec = self.spans.get(name)
+            if rec is None:
+                self.spans[name] = [total, calls, mx]
+            else:
+                rec[0] += total
+                rec[1] += calls
+                if mx > rec[2]:
+                    rec[2] = mx
+        for name, n in counters.items():
+            self.counters[name] = self.counters.get(name, 0) + n
+        for name, value in gauges.items():
+            self.gauge(name, value)
+
+    # -- reporting ---------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The versioned, JSON- and pickle-safe run report."""
+        return {
+            "schema": REPORT_SCHEMA,
+            "spans": {
+                name: {"total_s": rec[0], "calls": rec[1], "max_s": rec[2]}
+                for name, rec in self.spans.items()
+            },
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+        }
+
+    def write_json(self, path: str, **meta) -> None:
+        """Write the run report to ``path`` (extra ``meta`` keys — e.g.
+        the CLI command — land at the top level next to ``schema``)."""
+        report = self.snapshot()
+        for key, value in meta.items():
+            if value is not None:
+                report[key] = value
+        with open(path, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    def format_table(self) -> str:
+        """The human-readable ``--profile`` stage/counter table."""
+        lines = ["-- stages --"]
+        lines.append(f"{'stage':<32} {'total_s':>10} {'calls':>8} "
+                     f"{'max_s':>10}")
+        for name, (total, calls, mx) in self.spans.items():
+            lines.append(f"{name:<32} {total:>10.4f} {calls:>8} {mx:>10.4f}")
+        if self.counters:
+            lines.append("-- counters --")
+            for name in sorted(self.counters):
+                lines.append(f"{name:<40} {self.counters[name]:>14}")
+        if self.gauges:
+            lines.append("-- gauges --")
+            for name in sorted(self.gauges):
+                lines.append(f"{name:<40} {self.gauges[name]:>14.1f}")
+        return "\n".join(lines)
+
+
+#: module-level active telemetry, used by pipeline code when no explicit
+#: ``tel`` argument is supplied.
+_active: Union[Telemetry, NullTelemetry] = NULL_TELEMETRY
+
+
+def get_telemetry() -> Union[Telemetry, NullTelemetry]:
+    """The active telemetry (the no-op singleton unless one was set)."""
+    return _active
+
+
+def set_telemetry(
+    tel: Optional[Union[Telemetry, NullTelemetry]],
+) -> Union[Telemetry, NullTelemetry]:
+    """Install ``tel`` (``None`` resets to no-op); returns the previous
+    active telemetry so callers can restore it."""
+    global _active
+    prev = _active
+    _active = tel if tel is not None else NULL_TELEMETRY
+    return prev
+
+
+@contextmanager
+def use_telemetry(tel: Optional[Union[Telemetry, NullTelemetry]]):
+    """Scoped :func:`set_telemetry`: active inside the ``with`` block,
+    previous telemetry restored on exit."""
+    prev = set_telemetry(tel)
+    try:
+        yield tel
+    finally:
+        set_telemetry(prev)

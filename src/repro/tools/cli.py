@@ -12,6 +12,12 @@ Subcommands:
   the three machine models.
 - ``trace <workload> --loop NAME [-o OUT]`` — dump a loop subtrace to a
   binary trace file.
+
+Every subcommand additionally accepts the observability options:
+``--profile`` (stage/counter table on stderr after the run),
+``--metrics-json PATH`` (versioned machine-readable run report), and
+``--log-level LEVEL`` (the ``vectra.*`` logger hierarchy — surfaces
+e.g. pool-to-serial fallbacks and fuel exhaustion as warnings).
 """
 
 from __future__ import annotations
@@ -121,7 +127,7 @@ def _cmd_vlength(args) -> int:
         if info is None:
             raise VectraError(f"no loop named {loop_name!r}")
         trace = run_and_trace(module, workload.entry, loop=info.loop_id,
-                              instances={0})
+                              instances={0}, **_run_opts(args))
         ddg = build_ddg(trace.subtrace(info.loop_id, 0))
         profile = vector_length_profile(ddg, module, loop_name)
         print(profile.table())
@@ -144,10 +150,10 @@ def _cmd_opportunities(args) -> int:
     module = lower(analyzer, workload.name)
     verify_module(module)
     decisions = analyze_program_loops(program, analyzer)
-    interp = Interpreter(module)
+    interp = Interpreter(module, **_run_opts(args))
     interp.run(workload.entry)
     # analyze() recompiles internally but fills percent_packed per loop.
-    reports = workload.analyze().loops
+    reports = workload.analyze(**_run_opts(args)).loops
     for opp in classify_program(reports, decisions, module,
                                 interp.dyn_parent):
         print(opp.row())
@@ -215,7 +221,7 @@ def _cmd_baselines(args) -> int:
     if info is None:
         raise VectraError(f"no loop named {loop_name!r}")
     trace = run_and_trace(module, workload.entry, loop=info.loop_id,
-                          instances={0})
+                          instances={0}, **_run_opts(args))
     sub = trace.subtrace(info.loop_id, 0)
     ddg = build_ddg(sub)
 
@@ -248,7 +254,7 @@ def _cmd_dot(args) -> int:
     if info is None:
         raise VectraError(f"no loop named {args.loop!r}")
     trace = run_and_trace(module, workload.entry, loop=info.loop_id,
-                          instances={0})
+                          instances={0}, **_run_opts(args))
     ddg = build_ddg(trace.subtrace(info.loop_id, 0))
     highlight = None
     timestamps = None
@@ -299,9 +305,34 @@ def _add_jobs_option(p):
 def _parse_params(items):
     params = {}
     for item in items or []:
-        key, _, value = item.partition("=")
-        params[key] = int(value)
+        key, sep, value = item.partition("=")
+        if not sep or not key:
+            raise VectraError(
+                f"bad parameter {item!r}: expected NAME=INT, e.g. -p n=64"
+            )
+        try:
+            params[key] = int(value)
+        except ValueError:
+            raise VectraError(
+                f"bad parameter {item!r}: value {value!r} is not an integer"
+            ) from None
     return params
+
+
+def _obs_options() -> argparse.ArgumentParser:
+    """Shared observability options, attached to every subcommand."""
+    common = argparse.ArgumentParser(add_help=False)
+    g = common.add_argument_group("observability")
+    g.add_argument("--profile", action="store_true",
+                   help="print a stage/counter telemetry table to stderr "
+                        "after the command")
+    g.add_argument("--metrics-json", metavar="PATH", default=None,
+                   help="write the machine-readable run report "
+                        "(vectra.run-report/1 JSON) to PATH")
+    g.add_argument("--log-level", metavar="LEVEL", default=None,
+                   help="enable vectra.* logging at LEVEL "
+                        "(debug|info|warning|error)")
+    return common
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -310,15 +341,18 @@ def build_parser() -> argparse.ArgumentParser:
         description="Dynamic trace-based analysis of vectorization "
                     "potential (PLDI 2012 reproduction).",
     )
+    obs = _obs_options()
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("list", help="list registered workloads")
+    p = sub.add_parser("list", help="list registered workloads",
+                       parents=[obs])
     p.add_argument("--category", choices=["spec", "utdsp", "kernel",
                                           "casestudy"], default=None)
     p.add_argument("-v", "--verbose", action="store_true")
     p.set_defaults(func=_cmd_list)
 
-    p = sub.add_parser("analyze", help="analyze a workload's loops")
+    p = sub.add_parser("analyze", help="analyze a workload's loops",
+                       parents=[obs])
     p.add_argument("workload")
     p.add_argument("-p", "--param", action="append",
                    help="override a workload parameter, e.g. -p n=64")
@@ -333,18 +367,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_analyze)
 
     p = sub.add_parser("vlength",
-                       help="vector-length / GPU-suitability profile")
+                       help="vector-length / GPU-suitability profile",
+                       parents=[obs])
     p.add_argument("workload")
     p.add_argument("--loop", default=None)
+    _add_fuel_option(p)
     p.set_defaults(func=_cmd_vlength)
 
     p = sub.add_parser("opportunities",
-                       help="classify missed vectorization opportunities")
+                       help="classify missed vectorization opportunities",
+                       parents=[obs])
     p.add_argument("workload")
     p.add_argument("-v", "--verbose", action="store_true")
+    _add_fuel_option(p)
     p.set_defaults(func=_cmd_opportunities)
 
-    p = sub.add_parser("analyze-file", help="analyze a mini-C source file")
+    p = sub.add_parser("analyze-file", help="analyze a mini-C source file",
+                       parents=[obs])
     p.add_argument("path")
     p.add_argument("--loop", default=None)
     p.add_argument("--threshold", type=float, default=0.10)
@@ -353,17 +392,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_analyze_file)
 
     p = sub.add_parser("decisions",
-                       help="static vectorizer verdicts for a workload")
+                       help="static vectorizer verdicts for a workload",
+                       parents=[obs])
     p.add_argument("workload")
     p.set_defaults(func=_cmd_decisions)
 
     p = sub.add_parser("speedup",
-                       help="simulated speedup of a transformed workload")
+                       help="simulated speedup of a transformed workload",
+                       parents=[obs])
     p.add_argument("original")
     p.add_argument("transformed")
     p.set_defaults(func=_cmd_speedup)
 
-    p = sub.add_parser("trace", help="dump a loop subtrace to a file")
+    p = sub.add_parser("trace", help="dump a loop subtrace to a file",
+                       parents=[obs])
     p.add_argument("workload")
     p.add_argument("--loop", required=True)
     p.add_argument("--instance", type=int, default=0)
@@ -372,7 +414,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("analyze-trace",
-                       help="offline analysis of a dumped trace file")
+                       help="offline analysis of a dumped trace file",
+                       parents=[obs])
     p.add_argument("trace")
     p.add_argument("--source", required=True,
                    help="the mini-C source the trace was collected from")
@@ -380,14 +423,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_analyze_trace)
 
     p = sub.add_parser("baselines",
-                       help="Kumar/Larus vs Algorithm 1 on one loop")
+                       help="Kumar/Larus vs Algorithm 1 on one loop",
+                       parents=[obs])
     p.add_argument("workload")
     p.add_argument("--loop", default=None)
+    _add_fuel_option(p)
     p.set_defaults(func=_cmd_baselines)
 
-    p = sub.add_parser("dot", help="Graphviz export of a loop's DDG")
+    p = sub.add_parser("dot", help="Graphviz export of a loop's DDG",
+                       parents=[obs])
     p.add_argument("workload")
     p.add_argument("--loop", required=True)
+    _add_fuel_option(p)
     p.add_argument("--highlight-line", type=int, default=None,
                    help="color instances of the candidate instruction at "
                         "this source line by Algorithm-1 partition")
@@ -399,13 +446,44 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv=None) -> int:
+    from repro.obs import (
+        NULL_TELEMETRY,
+        Telemetry,
+        configure_logging,
+        use_telemetry,
+    )
+
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return args.func(args)
+        if args.log_level:
+            configure_logging(args.log_level)
     except VectraError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    profiling = args.profile or args.metrics_json
+    tel = Telemetry() if profiling else NULL_TELEMETRY
+    code = 0
+    try:
+        with use_telemetry(tel), tel.span(f"command.{args.command}"):
+            code = args.func(args)
+    except VectraError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        code = 1
+    finally:
+        if tel.enabled:
+            tel.record_memory()
+            if args.profile:
+                print(tel.format_table(), file=sys.stderr)
+            if args.metrics_json:
+                try:
+                    tel.write_json(args.metrics_json,
+                                   command=args.command, exit_code=code)
+                except OSError as exc:
+                    print(f"error: cannot write metrics report: {exc}",
+                          file=sys.stderr)
+                    code = 1
+    return code
 
 
 if __name__ == "__main__":

@@ -169,6 +169,30 @@ class ColumnarSink:
         if row >= self._cur_row0 and row not in self.store_map:
             self.store_map[row] = addr
 
+    # -- telemetry ---------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Cheap summary counters for telemetry (O(#markers), no column
+        walk): recorded rows, marker records, marker-free segments (the
+        DDG-node-producing spans :meth:`to_ddg` bulk-copies), resolved
+        store backpatches, and contiguous recorded runs."""
+        n = len(self.sids)
+        segments = 0
+        prev = 0
+        for m in self.marker_rows:
+            if m > prev:
+                segments += 1
+            prev = m + 1
+        if prev < n:
+            segments += 1
+        return {
+            "rows": n,
+            "markers": len(self.marker_rows),
+            "marker_segments": segments,
+            "backpatches": len(self.store_map),
+            "runs": len(self.runs),
+        }
+
     # -- fused DDG construction --------------------------------------------
 
     def to_ddg(self):

@@ -12,6 +12,7 @@ from repro.frontend import parse_source
 from repro.frontend.lower import lower
 from repro.interp.interpreter import DEFAULT_FUEL, Interpreter
 from repro.ir.verifier import verify_module
+from repro.obs import get_telemetry
 from repro.profiler.hotloops import profile_loops
 from repro.vectorizer.autovec import VectorizerConfig, analyze_program_loops
 from repro.vectorizer.packed import percent_packed
@@ -31,6 +32,7 @@ def analyze_workload(
     relax_reductions: bool = False,
     fuel: int = DEFAULT_FUEL,
     jobs: int = 1,
+    tel=None,
 ) -> BenchmarkReport:
     """Analyze the named ``loops`` of one program (compile once, profile
     once, then per-loop fused windowed analysis — the §4.1 methodology
@@ -39,16 +41,23 @@ def analyze_workload(
     ``jobs > 1`` fans the per-loop re-runs across a process pool with
     byte-identical results (see
     :func:`repro.analysis.pipeline.run_loop_analyses`)."""
-    program, analyzer = parse_source(source)
-    module = lower(analyzer, benchmark)
-    verify_module(module)
-    if vec_config is None:
-        vec_config = VectorizerConfig()
-    decisions = analyze_program_loops(program, analyzer, vec_config)
+    if tel is None:
+        tel = get_telemetry()
+    with tel.span("frontend.parse_lower"):
+        program, analyzer = parse_source(source)
+        module = lower(analyzer, benchmark)
+        verify_module(module)
+        if vec_config is None:
+            vec_config = VectorizerConfig()
+        decisions = analyze_program_loops(program, analyzer, vec_config)
 
-    interp = Interpreter(module, fuel=fuel)
-    interp.run(entry, args)
-    profiles = profile_loops(module, interp)
+    with tel.span("profile.run"):
+        interp = Interpreter(module, fuel=fuel)
+        interp.run(entry, args)
+        profiles = profile_loops(module, interp)
+    if tel.enabled:
+        tel.count("interp.runs")
+        tel.count("interp.instructions", interp.executed_instructions)
 
     infos = []
     for loop_name in loops:
@@ -62,7 +71,7 @@ def analyze_workload(
 
     loop_reports = run_loop_analyses(
         source, benchmark, module, list(loops), entry, args, instance,
-        include_integer, relax_reductions, fuel, jobs,
+        include_integer, relax_reductions, fuel, jobs, tel=tel,
     )
     report = BenchmarkReport(benchmark=benchmark)
     for info, loop_report in zip(infos, loop_reports):
@@ -74,6 +83,7 @@ def analyze_workload(
             module, interp, decisions, info.loop_id, vec_config, profiles
         )
         report.loops.append(loop_report)
+    tel.record_memory()
     return report
 
 

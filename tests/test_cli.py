@@ -1,5 +1,7 @@
 """CLI smoke tests (everything through main(argv))."""
 
+import json
+
 import pytest
 
 from repro.tools.cli import main
@@ -141,3 +143,154 @@ class TestRunOptions:
         code2, explicit = run_cli(capsys, *argv, "--fuel", "100000000")
         assert code1 == code2 == 0
         assert explicit == default
+
+    def test_vlength_fuel_exhaustion_fails_cleanly(self, capsys):
+        code = main(["vlength", "utdsp_fir_array", "--fuel", "50"])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "instruction budget exhausted" in err
+
+    def test_baselines_fuel_exhaustion_fails_cleanly(self, capsys):
+        code = main(["baselines", "utdsp_fir_array", "--fuel", "50"])
+        assert code == 1
+        assert "instruction budget exhausted" in capsys.readouterr().err
+
+    def test_dot_fuel_exhaustion_fails_cleanly(self, capsys, tmp_path):
+        out = str(tmp_path / "g.dot")
+        code = main(["dot", "utdsp_fir_array", "--loop", "fir_n",
+                     "-o", out, "--fuel", "50"])
+        assert code == 1
+        assert "instruction budget exhausted" in capsys.readouterr().err
+
+    def test_opportunities_fuel_exhaustion_fails_cleanly(self, capsys):
+        code = main(["opportunities", "gauss_seidel", "--fuel", "50"])
+        assert code == 1
+        assert "instruction budget exhausted" in capsys.readouterr().err
+
+
+class TestBadParams:
+    def test_missing_equals_fails_cleanly(self, capsys):
+        code = main(["analyze", "utdsp_fir_array", "-p", "nout"])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert err.startswith("error: bad parameter 'nout'")
+        assert "NAME=INT" in err
+
+    def test_non_integer_value_fails_cleanly(self, capsys):
+        code = main(["analyze", "utdsp_fir_array", "-p", "nout=abc"])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "bad parameter 'nout=abc'" in err
+        assert "Traceback" not in err
+
+    def test_empty_name_fails_cleanly(self, capsys):
+        code = main(["analyze", "utdsp_fir_array", "-p", "=4"])
+        assert code == 1
+        assert "bad parameter" in capsys.readouterr().err
+
+
+class TestObservability:
+    """--profile / --metrics-json / --log-level on the subcommands."""
+
+    REQUIRED_STAGES = ["frontend.parse_lower", "profile.run",
+                       "loop.rerun", "ddg.build", "algorithm1", "stride"]
+
+    def test_profile_prints_stage_table(self, capsys):
+        code = main(["analyze", "utdsp_fir_array", "--profile",
+                     "-p", "nout=16", "-p", "ntap=4"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "fir_n" in captured.out  # report unchanged, on stdout
+        for stage in self.REQUIRED_STAGES:
+            assert stage in captured.err
+        assert "trace.records.kept" in captured.err
+        assert "mem.peak_rss_kb" in captured.err
+
+    def test_profile_off_prints_no_table(self, capsys):
+        code = main(["analyze", "utdsp_fir_array",
+                     "-p", "nout=16", "-p", "ntap=4"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "-- stages --" not in captured.err
+
+    def test_metrics_json_report(self, capsys, tmp_path):
+        path = tmp_path / "report.json"
+        code = main(["analyze", "utdsp_fir_array", "--metrics-json",
+                     str(path), "-p", "nout=16", "-p", "ntap=4"])
+        assert code == 0
+        report = json.loads(path.read_text())
+        assert report["schema"] == "vectra.run-report/1"
+        assert report["command"] == "analyze"
+        assert report["exit_code"] == 0
+        counters = report["counters"]
+        assert counters["trace.records.kept"] > 0
+        assert counters["ddg.nodes"] > 0
+        assert counters["ddg.edges"] > 0
+        assert counters["algorithm1.partitions"] > 0
+        for stage in self.REQUIRED_STAGES:
+            assert stage in report["spans"]
+
+    def test_metrics_json_counters_identical_across_jobs(self, tmp_path,
+                                                         capsys):
+        """Acceptance: --jobs 1 and --jobs 4 produce identical counter
+        totals (worker telemetry merged into the parent)."""
+        paths = {}
+        for jobs in ("1", "4"):
+            path = tmp_path / f"j{jobs}.json"
+            code = main(["analyze", "gemsfdtd_update", "--jobs", jobs,
+                         "--metrics-json", str(path)])
+            assert code == 0
+            paths[jobs] = json.loads(path.read_text())
+        capsys.readouterr()
+
+        def counters(report):
+            # The fallback event counter marks parent-side degradation,
+            # not analysis work; everything else must match exactly.
+            return {k: v for k, v in report["counters"].items()
+                    if not k.startswith("pipeline.pool")}
+
+        c1, c4 = counters(paths["1"]), counters(paths["4"])
+        assert c1 == c4
+        for key in ("trace.records.kept", "ddg.nodes", "ddg.edges",
+                    "algorithm1.partitions"):
+            assert c1[key] > 0
+
+    def test_metrics_json_on_error_still_written(self, capsys, tmp_path):
+        path = tmp_path / "report.json"
+        code = main(["analyze", "utdsp_fir_array", "--fuel", "50",
+                     "--metrics-json", str(path)])
+        assert code == 1
+        report = json.loads(path.read_text())
+        assert report["exit_code"] == 1
+
+    def test_metrics_json_unwritable_path_fails_cleanly(self, capsys,
+                                                        tmp_path):
+        path = tmp_path / "nope" / "report.json"
+        code = main(["analyze", "utdsp_fir_array", "--metrics-json",
+                     str(path), "-p", "nout=16", "-p", "ntap=4"])
+        assert code == 1
+        assert "cannot write metrics report" in capsys.readouterr().err
+
+    def test_profile_available_on_trace_subcommand(self, capsys,
+                                                   tmp_path):
+        out = str(tmp_path / "x.vtrc")
+        code = main(["trace", "utdsp_fir_array", "--loop", "fir_n",
+                     "-o", out, "--profile"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "command.trace" in captured.err
+        assert "loop.rerun" in captured.err
+
+    def test_bad_log_level_fails_cleanly(self, capsys):
+        code = main(["analyze", "utdsp_fir_array", "--log-level", "loud"])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "unknown log level" in err
+
+    def test_log_level_enables_vectra_warnings(self, capsys):
+        code = main(["analyze", "utdsp_fir_array", "--log-level", "debug",
+                     "--fuel", "50"])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "vectra.interp" in err
+        assert "fuel exhausted" in err

@@ -1,0 +1,207 @@
+"""Telemetry core: spans, counters, gauges, merge, active management."""
+
+import json
+import logging
+
+import pytest
+
+from repro.errors import VectraError
+from repro.obs import (
+    NULL_TELEMETRY,
+    REPORT_SCHEMA,
+    NullTelemetry,
+    Telemetry,
+    configure_logging,
+    get_logger,
+    get_telemetry,
+    set_telemetry,
+    use_telemetry,
+)
+
+
+class TestTelemetry:
+    def test_span_records_total_calls_max(self):
+        tel = Telemetry()
+        with tel.span("stage"):
+            pass
+        with tel.span("stage"):
+            pass
+        total, calls, mx = tel.spans["stage"]
+        assert calls == 2
+        assert total >= mx >= 0.0
+
+    def test_spans_nest(self):
+        tel = Telemetry()
+        with tel.span("outer"):
+            with tel.span("inner"):
+                pass
+        assert set(tel.spans) == {"outer", "inner"}
+        assert tel.spans["outer"][0] >= tel.spans["inner"][0]
+
+    def test_span_records_on_exception(self):
+        tel = Telemetry()
+        with pytest.raises(RuntimeError):
+            with tel.span("boom"):
+                raise RuntimeError("x")
+        assert tel.spans["boom"][1] == 1
+
+    def test_counters_sum(self):
+        tel = Telemetry()
+        tel.count("n")
+        tel.count("n", 41)
+        assert tel.counters["n"] == 42
+
+    def test_gauges_keep_max(self):
+        tel = Telemetry()
+        tel.gauge("g", 5.0)
+        tel.gauge("g", 3.0)
+        tel.gauge("g", 7.0)
+        assert tel.gauges["g"] == 7.0
+
+    def test_record_memory_sets_rss_gauge(self):
+        tel = Telemetry()
+        tel.record_memory()
+        assert tel.gauges.get("mem.peak_rss_kb", 0) > 0
+
+    def test_snapshot_shape_and_version(self):
+        tel = Telemetry()
+        with tel.span("s"):
+            pass
+        tel.count("c", 3)
+        tel.gauge("g", 1.5)
+        snap = tel.snapshot()
+        assert snap["schema"] == REPORT_SCHEMA
+        assert snap["spans"]["s"]["calls"] == 1
+        assert snap["counters"] == {"c": 3}
+        assert snap["gauges"] == {"g": 1.5}
+        json.dumps(snap)  # must be JSON-serializable as-is
+
+    def test_merge_sums_counters_and_spans_maxes_gauges(self):
+        parent = Telemetry()
+        parent.count("c", 1)
+        parent.gauge("g", 10.0)
+        with parent.span("s"):
+            pass
+        worker = Telemetry()
+        worker.count("c", 2)
+        worker.count("only_worker", 5)
+        worker.gauge("g", 4.0)
+        with worker.span("s"):
+            pass
+        parent.merge(worker.snapshot())
+        assert parent.counters == {"c": 3, "only_worker": 5}
+        assert parent.gauges["g"] == 10.0
+        assert parent.spans["s"][1] == 2
+
+    def test_merge_accepts_telemetry_and_none(self):
+        parent = Telemetry()
+        other = Telemetry()
+        other.count("c")
+        parent.merge(other)
+        parent.merge(None)
+        assert parent.counters == {"c": 1}
+
+    def test_merged_counters_equal_serial_counters(self):
+        """The serial/parallel identity in miniature: one object counting
+        everything equals two halves merged."""
+        serial = Telemetry()
+        for _ in range(6):
+            serial.count("work")
+        a, b = Telemetry(), Telemetry()
+        for _ in range(3):
+            a.count("work")
+            b.count("work")
+        a.merge(b.snapshot())
+        assert a.counters == serial.counters
+
+    def test_write_json(self, tmp_path):
+        tel = Telemetry()
+        tel.count("c", 2)
+        path = tmp_path / "report.json"
+        tel.write_json(str(path), command="analyze", exit_code=0)
+        report = json.loads(path.read_text())
+        assert report["schema"] == REPORT_SCHEMA
+        assert report["command"] == "analyze"
+        assert report["counters"]["c"] == 2
+
+    def test_format_table_lists_stages_and_counters(self):
+        tel = Telemetry()
+        with tel.span("ddg.build"):
+            pass
+        tel.count("ddg.nodes", 7)
+        table = tel.format_table()
+        assert "ddg.build" in table
+        assert "ddg.nodes" in table
+        assert "-- counters --" in table
+
+
+class TestNullTelemetry:
+    def test_all_methods_are_noops(self):
+        tel = NullTelemetry()
+        with tel.span("s"):
+            tel.count("c")
+            tel.gauge("g", 1.0)
+            tel.record_memory()
+        tel.merge({"counters": {"c": 1}})
+        snap = tel.snapshot()
+        assert snap["counters"] == {} and snap["spans"] == {}
+        assert not tel.enabled
+
+    def test_null_span_is_reentrant(self):
+        tel = NullTelemetry()
+        s = tel.span("a")
+        with s:
+            with s:
+                pass
+
+
+class TestActiveTelemetry:
+    def test_default_is_null(self):
+        assert get_telemetry() is NULL_TELEMETRY
+
+    def test_set_and_restore(self):
+        tel = Telemetry()
+        prev = set_telemetry(tel)
+        try:
+            assert get_telemetry() is tel
+        finally:
+            set_telemetry(prev)
+        assert get_telemetry() is prev
+
+    def test_use_telemetry_scopes(self):
+        tel = Telemetry()
+        with use_telemetry(tel):
+            assert get_telemetry() is tel
+        assert get_telemetry() is NULL_TELEMETRY
+
+    def test_set_none_resets_to_null(self):
+        prev = set_telemetry(None)
+        try:
+            assert get_telemetry() is NULL_TELEMETRY
+        finally:
+            set_telemetry(prev)
+
+
+class TestLogging:
+    def test_logger_hierarchy(self):
+        assert get_logger().name == "vectra"
+        assert get_logger("pipeline").name == "vectra.pipeline"
+        assert get_logger("pipeline").parent.name == "vectra"
+
+    def test_configure_logging_idempotent(self):
+        import io
+
+        stream = io.StringIO()
+        logger = configure_logging("info", stream=stream)
+        configure_logging("info", stream=stream)
+        ours = [h for h in logger.handlers
+                if getattr(h, "_vectra_handler", False)]
+        assert len(ours) == 1
+        assert logger.level == logging.INFO
+        get_logger("test").info("hello %s", "there")
+        assert "hello there" in stream.getvalue()
+        logger.removeHandler(ours[0])
+
+    def test_unknown_level_raises_vectra_error(self):
+        with pytest.raises(VectraError, match="unknown log level"):
+            configure_logging("loud")

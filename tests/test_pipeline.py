@@ -1,14 +1,19 @@
 """End-to-end pipeline tests (the §4.1 methodology as a single call)."""
 
+import logging
+
 import pytest
 
+import repro.analysis.pipeline as pipeline_mod
 from repro.analysis.pipeline import (
     analyze_loop,
     analyze_module,
     analyze_program,
+    run_loop_analyses,
 )
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, FuelExhaustedError
 from repro.frontend import compile_source
+from repro.obs import Telemetry
 
 
 SRC = """
@@ -117,6 +122,126 @@ class TestAnalyzeModule:
         report = analyze_module(module)
         assert report.loops
         assert all(l.percent_packed == 0.0 for l in report.loops)
+
+    def test_matches_analyze_program_rows(self):
+        """Module-only analysis must find the same hot loops and compute
+        the same dynamic metrics as the full driver — only the static
+        Percent Packed column is missing."""
+        module = compile_source(SRC)
+        by_module = analyze_module(module)
+        by_program = analyze_program(SRC, benchmark="demo")
+        assert ([l.loop_name for l in by_module.loops]
+                == [l.loop_name for l in by_program.loops])
+        for lm, lp in zip(by_module.loops, by_program.loops):
+            assert lm.total_candidate_ops == lp.total_candidate_ops
+            assert lm.avg_concurrency == lp.avg_concurrency
+            assert lm.percent_vec_unit == lp.percent_vec_unit
+            assert lm.percent_cycles == lp.percent_cycles
+
+    def test_threshold_controls_row_count(self):
+        module = compile_source(SRC)
+        all_rows = analyze_module(module, threshold=0.001)
+        few_rows = analyze_module(module, threshold=0.5)
+        assert len(all_rows.loops) > len(few_rows.loops)
+
+    def test_forwards_fuel(self):
+        module = compile_source(SRC)
+        with pytest.raises(FuelExhaustedError):
+            analyze_module(module, fuel=50)
+
+    def test_records_telemetry(self):
+        module = compile_source(SRC)
+        tel = Telemetry()
+        analyze_module(module, tel=tel)
+        assert "profile.run" in tel.spans
+        assert "loop.rerun" in tel.spans
+        assert "ddg.build" in tel.spans
+        assert "algorithm1" in tel.spans
+        assert "stride" in tel.spans
+        assert tel.counters["pipeline.loops_analyzed"] == len(
+            analyze_module(module).loops
+        )
+        assert tel.counters["ddg.nodes"] > 0
+        assert tel.counters["ddg.edges"] > 0
+
+
+class TestSerialFallback:
+    """A pool that cannot start must degrade to serial with identical
+    reports — and, since PR 3, a visible ``vectra.pipeline`` warning."""
+
+    SRC2 = """
+double A[16]; double B[16];
+int main() {
+  int i;
+  P: for (i = 0; i < 16; i++) A[i] = (double)i * 2.0;
+  Q: for (i = 0; i < 16; i++) B[i] = A[i] + 1.0;
+  return 0;
+}
+"""
+
+    def _run(self, jobs):
+        module = compile_source(self.SRC2)
+        return run_loop_analyses(self.SRC2, "demo", module, ["P", "Q"],
+                                 jobs=jobs)
+
+    def test_fallback_reports_identical_and_warns(self, monkeypatch,
+                                                  caplog):
+        class BrokenPool:
+            def __init__(self, *args, **kwargs):
+                raise OSError("no semaphores in this sandbox")
+
+        baseline = self._run(jobs=1)
+        monkeypatch.setattr(pipeline_mod, "ProcessPoolExecutor",
+                            BrokenPool)
+        with caplog.at_level(logging.WARNING, logger="vectra.pipeline"):
+            fallen_back = self._run(jobs=2)
+        assert "process pool startup failed" in caplog.text
+        assert "serially" in caplog.text
+        assert [r.loop_name for r in fallen_back] == ["P", "Q"]
+        assert ([r.total_candidate_ops for r in fallen_back]
+                == [r.total_candidate_ops for r in baseline])
+        assert ([r.avg_concurrency for r in fallen_back]
+                == [r.avg_concurrency for r in baseline])
+
+    def test_fallback_counts_event_and_keeps_totals(self, monkeypatch):
+        class BrokenPool:
+            def __init__(self, *args, **kwargs):
+                raise RuntimeError("pool refused")
+
+        module = compile_source(self.SRC2)
+        tel_serial = Telemetry()
+        run_loop_analyses(self.SRC2, "demo", module, ["P", "Q"], jobs=1,
+                          tel=tel_serial)
+        monkeypatch.setattr(pipeline_mod, "ProcessPoolExecutor",
+                            BrokenPool)
+        tel_fallback = Telemetry()
+        run_loop_analyses(self.SRC2, "demo", module, ["P", "Q"], jobs=2,
+                          tel=tel_fallback)
+        assert tel_fallback.counters["pipeline.pool_fallbacks"] == 1
+        for key, value in tel_serial.counters.items():
+            assert tel_fallback.counters[key] == value
+
+
+class TestParallelTelemetryMerge:
+    """--jobs N must report the same counter totals as serial (worker
+    snapshots merged into the parent)."""
+
+    def test_counters_identical_serial_vs_pool(self):
+        src = TestSerialFallback.SRC2
+        module = compile_source(src)
+        tel1 = Telemetry()
+        r1 = run_loop_analyses(src, "demo", module, ["P", "Q"], jobs=1,
+                               tel=tel1)
+        tel2 = Telemetry()
+        r2 = run_loop_analyses(src, "demo", module, ["P", "Q"], jobs=2,
+                               tel=tel2)
+        assert ([r.total_candidate_ops for r in r1]
+                == [r.total_candidate_ops for r in r2])
+        c1 = {k: v for k, v in tel1.counters.items()
+              if not k.startswith("pipeline.pool")}
+        c2 = {k: v for k, v in tel2.counters.items()
+              if not k.startswith("pipeline.pool")}
+        assert c1 == c2
 
 
 REDUCTION_SRC = """
