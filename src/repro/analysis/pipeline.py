@@ -48,7 +48,13 @@ from repro.interp.interpreter import (
 )
 from repro.ir.module import Module
 from repro.ir.verifier import verify_module
-from repro.obs import Telemetry, get_logger, get_telemetry, use_telemetry
+from repro.obs import (
+    EventLog,
+    Telemetry,
+    get_logger,
+    get_telemetry,
+    use_telemetry,
+)
 from repro.profiler.costmodel import CostModel
 from repro.profiler.hotloops import hot_loops, profile_loops
 from repro.trace.columnar import ColumnarLoopSink
@@ -106,13 +112,15 @@ def _windowed_loop_ddg(module: Module, loop_id: int, loop_name: str,
     with tel.span("loop.rerun"):
         interp = Interpreter(module, sink=sink, fuel=fuel)
         interp.run(entry, args)
+    rows = 0
     if tel.enabled:
         stats = sink.stats()
+        rows = stats["rows"]
         tel.count("interp.runs")
         tel.count("interp.instructions", interp.executed_instructions)
-        tel.count("trace.records.kept", stats["rows"])
+        tel.count("trace.records.kept", rows)
         tel.count("trace.records.filtered",
-                  interp.executed_instructions - stats["rows"])
+                  interp.executed_instructions - rows)
         tel.count("trace.markers", stats["markers"])
         tel.count("trace.backpatches", stats["backpatches"])
         tel.count("trace.spans_recorded", sink.spans_recorded)
@@ -131,7 +139,7 @@ def _windowed_loop_ddg(module: Module, loop_id: int, loop_name: str,
         tel.count("ddg.nodes", len(ddg.sids))
         tel.count("ddg.edges", len(ddg.pred_indices))
         tel.count("ddg.marker_segments", stats["marker_segments"])
-    return ddg
+    return ddg, rows
 
 
 def analyze_loop(
@@ -160,12 +168,33 @@ def analyze_loop(
     # deep instrumentation resolving the active object (e.g. the batched
     # Algorithm 1 scan) records into the same place whether this call is
     # serial with an explicit ``tel=`` or inside a pool worker.
+    tel.instant("loop.analyze.start", {"loop": loop_name})
     with use_telemetry(tel):
-        ddg = _windowed_loop_ddg(module, info.loop_id, loop_name, entry,
-                                 args, instance, fuel, tel)
+        ddg, rows = _windowed_loop_ddg(module, info.loop_id, loop_name,
+                                       entry, args, instance, fuel, tel)
         report = loop_metrics(ddg, module, loop_name, include_integer,
                               relax_reductions, tel=tel)
     tel.count("pipeline.loops_analyzed")
+    if tel.enabled:
+        tel.section(f"loop.{loop_name}", {
+            "loop": loop_name,
+            "records_traced": rows,
+            "ddg_nodes": len(ddg.sids),
+            "candidate_ops": report.total_candidate_ops,
+            "avg_concurrency": report.avg_concurrency,
+            "partitions": sum(ir.num_partitions
+                              for ir in report.instructions),
+            "unit_subpartitions": sum(len(ir.unit_subpartition_sizes)
+                                      for ir in report.instructions),
+            "nonunit_subpartitions": sum(
+                len(ir.nonunit_subpartition_sizes)
+                for ir in report.instructions),
+            "percent_vec_unit": report.percent_vec_unit,
+            "avg_vec_size_unit": report.avg_vec_size_unit,
+            "percent_vec_nonunit": report.percent_vec_nonunit,
+            "avg_vec_size_nonunit": report.avg_vec_size_nonunit,
+        })
+    tel.instant("loop.analyze.finish", {"loop": loop_name})
     return report
 
 
@@ -176,10 +205,16 @@ def _loop_worker(payload):
 
     Returns ``(report, telemetry snapshot or None)``: when the parent
     profiles, the worker collects its own telemetry and ships the
-    snapshot home so the parent's merged counters match a serial run."""
+    snapshot home so the parent's merged counters match a serial run.
+    When the parent additionally keeps a timeline, the worker records
+    its own :class:`EventLog` (stamped with the worker pid) and the
+    events ride home inside the snapshot — a ``--jobs N`` trace renders
+    as N worker tracks."""
     (source, benchmark, loop_name, entry, args, instance,
-     include_integer, relax_reductions, fuel, profiled) = payload
-    tel = Telemetry() if profiled else None
+     include_integer, relax_reductions, fuel, profiled, timeline) = payload
+    tel = None
+    if profiled:
+        tel = Telemetry(events=EventLog() if timeline else None)
     # Install the worker's telemetry as the process-active one too: with
     # a fork start method the child inherits the parent's (doomed) copy,
     # and any instrumentation that resolves the active telemetry would
@@ -235,7 +270,8 @@ def run_loop_analyses(
         return serial()
     payloads = [
         (source, benchmark, name, entry, tuple(args), instance,
-         include_integer, relax_reductions, fuel, tel.enabled)
+         include_integer, relax_reductions, fuel, tel.enabled,
+         tel.events is not None)
         for name in names
     ]
     try:
@@ -252,6 +288,8 @@ def run_loop_analyses(
             type(exc).__name__, exc, len(names),
         )
         tel.count("pipeline.pool_fallbacks")
+        tel.instant("pipeline.pool_fallback",
+                    {"loops": len(names), "error": type(exc).__name__})
         return serial()
     reports: List[LoopReport] = []
     for report, snapshot in results:
@@ -283,39 +321,41 @@ def analyze_program(
     """
     if tel is None:
         tel = get_telemetry()
-    with tel.span("frontend.parse_lower"):
-        program, analyzer = parse_source(source)
-        module = lower(analyzer, benchmark or "module")
-        verify_module(module)
-        if vec_config is None:
-            vec_config = VectorizerConfig()
-        decisions = analyze_program_loops(program, analyzer, vec_config)
+    with tel.span("analysis.total"):
+        with tel.span("frontend.parse_lower"):
+            program, analyzer = parse_source(source)
+            module = lower(analyzer, benchmark or "module")
+            verify_module(module)
+            if vec_config is None:
+                vec_config = VectorizerConfig()
+            decisions = analyze_program_loops(program, analyzer, vec_config)
 
-    with tel.span("profile.run"):
-        interp = Interpreter(module, fuel=fuel)
-        interp.run(entry, args)
-        profiles = profile_loops(module, interp, cost_model)
-        hot = hot_loops(module, interp, threshold, cost_model)
-    if tel.enabled:
-        tel.count("interp.runs")
-        tel.count("interp.instructions", interp.executed_instructions)
-        tel.count("pipeline.hot_loops", len(hot))
+        with tel.span("profile.run"):
+            interp = Interpreter(module, fuel=fuel)
+            interp.run(entry, args)
+            profiles = profile_loops(module, interp, cost_model)
+            hot = hot_loops(module, interp, threshold, cost_model)
+        if tel.enabled:
+            tel.count("interp.runs")
+            tel.count("interp.instructions", interp.executed_instructions)
+            tel.count("pipeline.hot_loops", len(hot))
 
-    loop_reports = run_loop_analyses(
-        source, benchmark, module,
-        [module.loops[prof.loop_id].name for prof in hot],
-        entry, args, instance, include_integer, relax_reductions,
-        fuel, jobs, tel=tel,
-    )
-    report = BenchmarkReport(benchmark=benchmark)
-    for prof, loop_report in zip(hot, loop_reports):
-        loop_report.benchmark = benchmark
-        loop_report.percent_cycles = prof.percent_cycles
-        loop_report.percent_packed = percent_packed(
-            module, interp, decisions, prof.loop_id, vec_config, profiles
+        loop_reports = run_loop_analyses(
+            source, benchmark, module,
+            [module.loops[prof.loop_id].name for prof in hot],
+            entry, args, instance, include_integer, relax_reductions,
+            fuel, jobs, tel=tel,
         )
-        report.loops.append(loop_report)
-    tel.record_memory()
+        report = BenchmarkReport(benchmark=benchmark)
+        for prof, loop_report in zip(hot, loop_reports):
+            loop_report.benchmark = benchmark
+            loop_report.percent_cycles = prof.percent_cycles
+            loop_report.percent_packed = percent_packed(
+                module, interp, decisions, prof.loop_id, vec_config,
+                profiles
+            )
+            report.loops.append(loop_report)
+        tel.record_memory()
     return report
 
 
@@ -334,25 +374,26 @@ def analyze_module(
     serial — without source text there is nothing to ship to workers)."""
     if tel is None:
         tel = get_telemetry()
-    with tel.span("profile.run"):
-        interp = Interpreter(module, fuel=fuel)
-        interp.run(entry, args)
-        hot = hot_loops(module, interp, threshold)
-    if tel.enabled:
-        tel.count("interp.runs")
-        tel.count("interp.instructions", interp.executed_instructions)
-        tel.count("pipeline.hot_loops", len(hot))
-    report = BenchmarkReport(benchmark=module.name)
-    for prof in hot:
-        info = module.loops[prof.loop_id]
-        loop_report = analyze_loop(
-            module, info.name, entry, args, instance, include_integer,
-            relax_reductions, fuel=fuel, tel=tel,
-        )
-        loop_report.benchmark = module.name
-        loop_report.percent_cycles = prof.percent_cycles
-        report.loops.append(loop_report)
-    tel.record_memory()
+    with tel.span("analysis.total"):
+        with tel.span("profile.run"):
+            interp = Interpreter(module, fuel=fuel)
+            interp.run(entry, args)
+            hot = hot_loops(module, interp, threshold)
+        if tel.enabled:
+            tel.count("interp.runs")
+            tel.count("interp.instructions", interp.executed_instructions)
+            tel.count("pipeline.hot_loops", len(hot))
+        report = BenchmarkReport(benchmark=module.name)
+        for prof in hot:
+            info = module.loops[prof.loop_id]
+            loop_report = analyze_loop(
+                module, info.name, entry, args, instance, include_integer,
+                relax_reductions, fuel=fuel, tel=tel,
+            )
+            loop_report.benchmark = module.name
+            loop_report.percent_cycles = prof.percent_cycles
+            report.loops.append(loop_report)
+        tel.record_memory()
     return report
 
 

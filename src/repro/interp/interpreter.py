@@ -238,6 +238,11 @@ class Interpreter:
                         "in %s; the collected trace is truncated",
                         self._executed, fuel, fn.name,
                     )
+                    get_telemetry().instant(
+                        "interp.fuel_exhausted",
+                        {"executed": self._executed, "fuel": fuel,
+                         "function": fn.name},
+                    )
                     raise FuelExhaustedError(
                         f"instruction budget exhausted after "
                         f"{self._executed} instructions (fuel={fuel}); "

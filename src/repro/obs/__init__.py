@@ -1,32 +1,45 @@
-"""Observability: telemetry spans/counters/gauges and the ``vectra.*``
-logger hierarchy.
+"""Observability: telemetry spans/counters/gauges, run timelines, report
+history/comparison, and the ``vectra.*`` logger hierarchy.
 
 The pipeline accepts an optional :class:`Telemetry`; when none is given
 it falls back to the process-wide active telemetry (default: the no-op
 :data:`NULL_TELEMETRY`), so instrumentation costs nothing unless a
-caller — typically the CLI's ``--profile`` / ``--metrics-json`` — opts
-in.
+caller — typically the CLI's ``--profile`` / ``--metrics-json`` /
+``--trace-json`` — opts in.  Attaching an :class:`EventLog` to a live
+:class:`Telemetry` additionally records every span occurrence and
+instant event on a Chrome-trace-exportable run timeline;
+:mod:`repro.obs.history` accumulates run reports in a JSONL ledger and
+:mod:`repro.obs.compare` diffs and threshold-gates two reports.
 """
 
 from repro.obs.logs import configure_logging, get_logger
 from repro.obs.telemetry import (
+    KNOWN_SCHEMAS,
     NULL_TELEMETRY,
     REPORT_SCHEMA,
     NullTelemetry,
     Telemetry,
+    dump_report,
     get_telemetry,
     set_telemetry,
     use_telemetry,
+    validate_report_schema,
 )
+from repro.obs.timeline import EventLog, write_chrome_trace
 
 __all__ = [
     "Telemetry",
     "NullTelemetry",
     "NULL_TELEMETRY",
     "REPORT_SCHEMA",
+    "KNOWN_SCHEMAS",
+    "EventLog",
     "get_telemetry",
     "set_telemetry",
     "use_telemetry",
+    "validate_report_schema",
+    "dump_report",
+    "write_chrome_trace",
     "get_logger",
     "configure_logging",
 ]

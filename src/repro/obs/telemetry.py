@@ -32,12 +32,34 @@ snapshot dict, plus a schema tag, is the ``--metrics-json`` run report.
 from __future__ import annotations
 
 import json
+import sys
 import time
 from contextlib import contextmanager
 from typing import Dict, List, Optional, Union
 
+from repro.errors import VectraError
+
 #: Version tag of the machine-readable run report (bump on shape changes).
-REPORT_SCHEMA = "vectra.run-report/1"
+REPORT_SCHEMA = "vectra.run-report/2"
+
+#: Schema tags :meth:`Telemetry.merge` and the report loaders accept.
+#: ``/1`` reports are a strict subset of ``/2`` (no ``sections`` or
+#: ``events``), so ingesting them is safe; anything else is refused.
+KNOWN_SCHEMAS = ("vectra.run-report/1", REPORT_SCHEMA)
+
+
+def validate_report_schema(report: dict, source: str = "snapshot") -> None:
+    """Refuse report/snapshot dicts this code does not understand.
+
+    Raises :class:`VectraError` naming the offending tag — silently
+    merging a partial or future shape would corrupt aggregates.
+    """
+    tag = report.get("schema")
+    if tag not in KNOWN_SCHEMAS:
+        raise VectraError(
+            f"{source} has unsupported schema tag {tag!r} "
+            f"(supported: {', '.join(KNOWN_SCHEMAS)})"
+        )
 
 
 class _Span:
@@ -55,7 +77,8 @@ class _Span:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
-        self._tel._record_span(self.name, time.perf_counter() - self._t0)
+        self._tel._record_span(self.name, self._t0,
+                               time.perf_counter() - self._t0)
         return False
 
 
@@ -80,6 +103,7 @@ class NullTelemetry:
 
     __slots__ = ()
     enabled = False
+    events = None
 
     def span(self, name: str) -> _NullSpan:
         return _NULL_SPAN
@@ -90,6 +114,12 @@ class NullTelemetry:
     def gauge(self, name: str, value: float) -> None:
         pass
 
+    def instant(self, name: str, args: Optional[dict] = None) -> None:
+        pass
+
+    def section(self, name: str, data: dict) -> None:
+        pass
+
     def record_memory(self) -> None:
         pass
 
@@ -98,7 +128,7 @@ class NullTelemetry:
 
     def snapshot(self) -> dict:
         return {"schema": REPORT_SCHEMA, "spans": {}, "counters": {},
-                "gauges": {}}
+                "gauges": {}, "sections": {}, "events": []}
 
 
 #: The process-wide default telemetry (see :func:`get_telemetry`).
@@ -106,16 +136,24 @@ NULL_TELEMETRY = NullTelemetry()
 
 
 class Telemetry:
-    """Collects spans, counters and gauges for one pipeline run."""
+    """Collects spans, counters, gauges and per-loop result sections for
+    one pipeline run; with an :class:`~repro.obs.timeline.EventLog`
+    attached (``events=``), every span occurrence and instant event also
+    lands on the run timeline."""
 
-    __slots__ = ("spans", "counters", "gauges")
+    __slots__ = ("spans", "counters", "gauges", "sections", "events")
     enabled = True
 
-    def __init__(self):
+    def __init__(self, events=None):
         #: name -> [total_s, calls, max_s]
         self.spans: Dict[str, List[float]] = {}
         self.counters: Dict[str, int] = {}
         self.gauges: Dict[str, float] = {}
+        #: name -> dict of result fields (e.g. one section per analyzed
+        #: loop), making the run report self-contained.
+        self.sections: Dict[str, dict] = {}
+        #: optional attached EventLog (the ``--trace-json`` timeline).
+        self.events = events
 
     # -- recording ---------------------------------------------------------
 
@@ -124,7 +162,7 @@ class Telemetry:
         accumulates (total, calls, max)."""
         return _Span(self, name)
 
-    def _record_span(self, name: str, dt: float) -> None:
+    def _record_span(self, name: str, t0: float, dt: float) -> None:
         rec = self.spans.get(name)
         if rec is None:
             self.spans[name] = [dt, 1, dt]
@@ -133,6 +171,8 @@ class Telemetry:
             rec[1] += 1
             if dt > rec[2]:
                 rec[2] = dt
+        if self.events is not None:
+            self.events.complete(name, t0, dt)
 
     def count(self, name: str, n: int = 1) -> None:
         """Add ``n`` to the monotonic counter ``name``."""
@@ -143,6 +183,18 @@ class Telemetry:
         cur = self.gauges.get(name)
         if cur is None or value > cur:
             self.gauges[name] = value
+
+    def instant(self, name: str, args: Optional[dict] = None) -> None:
+        """Record a point-in-time event on the attached timeline (no-op
+        without one — aggregates are unaffected either way)."""
+        if self.events is not None:
+            self.events.instant(name, args)
+
+    def section(self, name: str, data: dict) -> None:
+        """Attach a named result section (plain JSON-safe dict) to the
+        run report — e.g. one per analyzed loop.  Re-recording a name
+        replaces it."""
+        self.sections[name] = dict(data)
 
     def record_memory(self) -> None:
         """Sample peak RSS (and the tracemalloc high-water mark when
@@ -167,10 +219,17 @@ class Telemetry:
     def merge(self, other: Union["Telemetry", dict, None]) -> None:
         """Fold another telemetry (or a :meth:`snapshot` dict, e.g. one
         shipped back from a pool worker) into this one: span times and
-        counters sum, gauges keep the max."""
+        counters sum, gauges keep the max, sections union, and shipped
+        timeline events extend the attached :class:`EventLog` (if any).
+
+        Snapshot dicts are schema-checked first — an unknown or newer
+        tag raises :class:`VectraError` instead of silently merging a
+        partial shape.
+        """
         if other is None:
             return
         if isinstance(other, dict):
+            validate_report_schema(other, source="merged snapshot")
             spans = other.get("spans", {})
             span_items = (
                 (name, (rec["total_s"], rec["calls"], rec["max_s"]))
@@ -178,10 +237,14 @@ class Telemetry:
             )
             counters = other.get("counters", {})
             gauges = other.get("gauges", {})
+            sections = other.get("sections", {})
+            events = other.get("events", ())
         else:
             span_items = ((n, tuple(r)) for n, r in other.spans.items())
             counters = other.counters
             gauges = other.gauges
+            sections = other.sections
+            events = other.events.snapshot() if other.events else ()
         for name, (total, calls, mx) in span_items:
             rec = self.spans.get(name)
             if rec is None:
@@ -195,6 +258,10 @@ class Telemetry:
             self.counters[name] = self.counters.get(name, 0) + n
         for name, value in gauges.items():
             self.gauge(name, value)
+        for name, data in sections.items():
+            self.sections[name] = dict(data)
+        if self.events is not None and events:
+            self.events.extend(events)
 
     # -- reporting ---------------------------------------------------------
 
@@ -208,26 +275,44 @@ class Telemetry:
             },
             "counters": dict(self.counters),
             "gauges": dict(self.gauges),
+            "sections": {name: dict(data)
+                         for name, data in self.sections.items()},
+            "events": self.events.snapshot() if self.events else [],
         }
 
-    def write_json(self, path: str, **meta) -> None:
-        """Write the run report to ``path`` (extra ``meta`` keys — e.g.
-        the CLI command — land at the top level next to ``schema``)."""
+    def report(self, **meta) -> dict:
+        """A snapshot with extra top-level ``meta`` keys (the CLI command,
+        exit code, ...); ``None`` values are omitted."""
         report = self.snapshot()
         for key, value in meta.items():
             if value is not None:
                 report[key] = value
-        with open(path, "w") as fh:
-            json.dump(report, fh, indent=2, sort_keys=True)
-            fh.write("\n")
+        return report
+
+    def write_json(self, path: str, **meta) -> None:
+        """Write the run report to ``path`` (``"-"`` writes to stdout for
+        shell pipelines; extra ``meta`` keys — e.g. the CLI command —
+        land at the top level next to ``schema``)."""
+        dump_report(self.report(**meta), path)
 
     def format_table(self) -> str:
-        """The human-readable ``--profile`` stage/counter table."""
+        """The human-readable ``--profile`` stage/counter table.
+
+        Stages are sorted by total time descending with a percent-of-wall
+        column (wall = the largest stage total, i.e. the enclosing
+        ``command.*`` span on CLI runs), so the hot stage is always the
+        first line.
+        """
         lines = ["-- stages --"]
-        lines.append(f"{'stage':<32} {'total_s':>10} {'calls':>8} "
-                     f"{'max_s':>10}")
-        for name, (total, calls, mx) in self.spans.items():
-            lines.append(f"{name:<32} {total:>10.4f} {calls:>8} {mx:>10.4f}")
+        lines.append(f"{'stage':<32} {'total_s':>10} {'%wall':>7} "
+                     f"{'calls':>8} {'max_s':>10}")
+        wall = max((rec[0] for rec in self.spans.values()), default=0.0)
+        ordered = sorted(self.spans.items(),
+                         key=lambda item: (-item[1][0], item[0]))
+        for name, (total, calls, mx) in ordered:
+            pct = 100.0 * total / wall if wall > 0 else 0.0
+            lines.append(f"{name:<32} {total:>10.4f} {pct:>6.1f}% "
+                         f"{calls:>8} {mx:>10.4f}")
         if self.counters:
             lines.append("-- counters --")
             for name in sorted(self.counters):
@@ -237,6 +322,18 @@ class Telemetry:
             for name in sorted(self.gauges):
                 lines.append(f"{name:<40} {self.gauges[name]:>14.1f}")
         return "\n".join(lines)
+
+
+def dump_report(report: dict, path: str) -> None:
+    """Serialize a run-report dict as indented JSON to ``path``, or to
+    stdout when ``path`` is ``"-"``."""
+    if path == "-":
+        json.dump(report, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+        return
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
 
 
 #: module-level active telemetry, used by pipeline code when no explicit

@@ -1,0 +1,182 @@
+"""Run timelines: a bounded event log with Chrome trace-event export.
+
+:class:`EventLog` is the opt-in companion of :class:`~repro.obs.telemetry.
+Telemetry`: where telemetry *aggregates* (total/calls/max per stage), the
+event log keeps *when* — one entry per span occurrence plus instant
+events (loop analysis start/finish, pool-to-serial fallback, fuel
+exhaustion), each stamped with the recording process and thread.  The
+log is a ring buffer: once ``capacity`` events are held the oldest are
+dropped (and counted), so a pathological run cannot grow memory without
+bound.
+
+Events are plain dicts, picklable as-is, so pool workers ship their
+event lists home inside the telemetry snapshot and the parent folds them
+in with :meth:`EventLog.extend` — a ``--jobs N`` run renders as N worker
+tracks because each worker stamped its own pid.
+
+Export is the Chrome trace-event JSON format (``{"traceEvents": [...]}``
+with ``X`` complete events and ``i`` instants), loadable directly in
+Perfetto (https://ui.perfetto.dev) or ``chrome://tracing`` — the CLI's
+``--trace-json PATH`` flag lands here.  Timestamps are
+``time.perf_counter`` seconds internally and microseconds in the export,
+as the format requires; on Linux the monotonic clock is shared across
+forked workers, so parent and worker tracks line up.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+from collections import deque
+from typing import Callable, Dict, Iterable, List, Optional
+
+__all__ = ["EventLog", "DEFAULT_CAPACITY", "write_chrome_trace"]
+
+#: Default ring-buffer bound (events, not bytes).  Spans are recorded at
+#: stage boundaries only, so even large runs stay far below this.
+DEFAULT_CAPACITY = 65536
+
+
+class EventLog:
+    """A bounded log of timed span and instant events for one run.
+
+    ``clock``, ``pid`` and ``tid`` exist for deterministic tests; the
+    defaults (``time.perf_counter``, the real pid/tid) are what every
+    production caller wants.
+    """
+
+    __slots__ = ("_events", "capacity", "dropped", "_clock", "pid", "tid")
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        clock: Optional[Callable[[], float]] = None,
+        pid: Optional[int] = None,
+        tid: Optional[int] = None,
+    ):
+        if capacity < 1:
+            raise ValueError(f"EventLog capacity must be >= 1, got {capacity}")
+        self._events: deque = deque(maxlen=capacity)
+        self.capacity = capacity
+        #: events discarded because the ring buffer was full.
+        self.dropped = 0
+        self._clock = clock if clock is not None else time.perf_counter
+        self.pid = pid if pid is not None else os.getpid()
+        self.tid = tid if tid is not None else threading.get_ident()
+
+    # -- recording ---------------------------------------------------------
+
+    def now(self) -> float:
+        """The log's clock (seconds; ``time.perf_counter`` by default)."""
+        return self._clock()
+
+    def _append(self, event: Dict) -> None:
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(event)
+
+    def complete(self, name: str, start: float, duration: float,
+                 args: Optional[Dict] = None) -> None:
+        """Record one finished span occurrence (begin+end as a Chrome
+        ``X`` complete event)."""
+        event = {"ph": "X", "name": name, "ts": start, "dur": duration,
+                 "pid": self.pid, "tid": self.tid}
+        if args:
+            event["args"] = args
+        self._append(event)
+
+    def instant(self, name: str, args: Optional[Dict] = None,
+                ts: Optional[float] = None) -> None:
+        """Record a point-in-time event (loop start/finish, fallback,
+        fuel exhaustion, ...)."""
+        event = {"ph": "i", "name": name,
+                 "ts": self.now() if ts is None else ts,
+                 "pid": self.pid, "tid": self.tid}
+        if args:
+            event["args"] = args
+        self._append(event)
+
+    # -- aggregation -------------------------------------------------------
+
+    def snapshot(self) -> List[Dict]:
+        """The recorded events as a plain picklable list (oldest first)."""
+        return list(self._events)
+
+    def extend(self, events: Optional[Iterable[Dict]]) -> None:
+        """Fold events shipped home from another log (a pool worker's
+        snapshot) into this ring."""
+        if not events:
+            return
+        for event in events:
+            self._append(event)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    # -- export ------------------------------------------------------------
+
+    def chrome_trace(self) -> Dict:
+        """The Chrome trace-event JSON object for this log.
+
+        One ``process_name`` metadata record per distinct pid turns each
+        worker into its own named track; the log's own pid is the main
+        process, every other pid a pool worker.  Span/instant timestamps
+        convert from seconds to the format's microseconds.
+        """
+        events = list(self._events)
+        pids = []
+        for event in events:
+            pid = event["pid"]
+            if pid not in pids:
+                pids.append(pid)
+        if self.pid not in pids:
+            pids.insert(0, self.pid)
+        trace_events: List[Dict] = []
+        for pid in pids:
+            label = "vectra" if pid == self.pid else f"vectra worker {pid}"
+            trace_events.append({
+                "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                "args": {"name": label},
+            })
+        for event in events:
+            out = {
+                "ph": event["ph"],
+                "name": event["name"],
+                "cat": "vectra",
+                "ts": round(event["ts"] * 1e6, 3),
+                "pid": event["pid"],
+                "tid": event["tid"],
+            }
+            if event["ph"] == "X":
+                out["dur"] = round(event["dur"] * 1e6, 3)
+            elif event["ph"] == "i":
+                out["s"] = "t"  # thread-scoped instant
+            if "args" in event:
+                out["args"] = event["args"]
+            trace_events.append(out)
+        return {
+            "traceEvents": trace_events,
+            "displayTimeUnit": "ms",
+            "otherData": {"dropped_events": self.dropped},
+        }
+
+    def write_chrome_trace(self, path: str) -> None:
+        """Write :meth:`chrome_trace` as JSON to ``path`` (``"-"`` means
+        stdout, for shell pipelines)."""
+        write_chrome_trace(self, path)
+
+
+def write_chrome_trace(log: EventLog, path: str) -> None:
+    """Serialize ``log`` as Chrome trace-event JSON to ``path`` or, for
+    ``"-"``, to stdout."""
+    trace = log.chrome_trace()
+    if path == "-":
+        json.dump(trace, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+        return
+    with open(path, "w") as fh:
+        json.dump(trace, fh, indent=2, sort_keys=True)
+        fh.write("\n")

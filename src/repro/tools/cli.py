@@ -12,11 +12,16 @@ Subcommands:
   the three machine models.
 - ``trace <workload> --loop NAME [-o OUT]`` — dump a loop subtrace to a
   binary trace file.
+- ``compare <base> <head>`` — diff two run reports (or a ledger's
+  baseline vs latest) and gate on ``--fail-on`` thresholds.
 
 Every subcommand additionally accepts the observability options:
 ``--profile`` (stage/counter table on stderr after the run),
-``--metrics-json PATH`` (versioned machine-readable run report), and
-``--log-level LEVEL`` (the ``vectra.*`` logger hierarchy — surfaces
+``--metrics-json PATH`` (versioned machine-readable run report; ``-``
+writes to stdout), ``--metrics-append LEDGER.jsonl`` (accumulate run
+reports across invocations), ``--trace-json PATH`` (Chrome trace-event
+timeline for Perfetto/``chrome://tracing``; ``-`` writes to stdout),
+and ``--log-level LEVEL`` (the ``vectra.*`` logger hierarchy — surfaces
 e.g. pool-to-serial fallbacks and fuel exhaustion as warnings).
 """
 
@@ -277,6 +282,42 @@ def _cmd_dot(args) -> int:
     return 0
 
 
+def _cmd_compare(args) -> int:
+    from repro.obs.compare import (
+        compare_reports,
+        format_diff_table,
+        load_report,
+    )
+    from repro.obs.history import baseline_and_latest, read_ledger
+
+    if args.ledger:
+        if args.base or args.head:
+            raise VectraError(
+                "compare takes either BASE HEAD report paths or --ledger, "
+                "not both"
+            )
+        base, head = baseline_and_latest(read_ledger(args.ledger))
+    else:
+        if not args.base or not args.head:
+            raise VectraError(
+                "compare needs BASE and HEAD report paths "
+                "(or --ledger LEDGER.jsonl)"
+            )
+        base = load_report(args.base)
+        head = load_report(args.head)
+    deltas, violations = compare_reports(base, head, args.fail_on or [])
+    print(format_diff_table(deltas, changed_only=args.changed_only))
+    if violations:
+        for line in violations:
+            print(f"FAIL {line}", file=sys.stderr)
+        print(f"verdict: FAIL ({len(violations)} threshold(s) exceeded)",
+              file=sys.stderr)
+        return 1
+    if args.fail_on:
+        print(f"verdict: OK ({len(args.fail_on)} threshold(s) satisfied)")
+    return 0
+
+
 def _run_opts(args):
     """Interpreter/analysis options shared by several subcommands,
     forwarded only when set so library defaults stay authoritative."""
@@ -321,14 +362,24 @@ def _parse_params(items):
 
 def _obs_options() -> argparse.ArgumentParser:
     """Shared observability options, attached to every subcommand."""
+    from repro.obs import REPORT_SCHEMA
+
     common = argparse.ArgumentParser(add_help=False)
     g = common.add_argument_group("observability")
     g.add_argument("--profile", action="store_true",
                    help="print a stage/counter telemetry table to stderr "
                         "after the command")
     g.add_argument("--metrics-json", metavar="PATH", default=None,
-                   help="write the machine-readable run report "
-                        "(vectra.run-report/1 JSON) to PATH")
+                   help=f"write the machine-readable run report "
+                        f"({REPORT_SCHEMA} JSON) to PATH ('-' for stdout)")
+    g.add_argument("--metrics-append", metavar="LEDGER", default=None,
+                   help="append the run report as one JSON line to "
+                        "LEDGER (a .jsonl history usable with "
+                        "'vectra compare --ledger')")
+    g.add_argument("--trace-json", metavar="PATH", default=None,
+                   help="write a Chrome trace-event timeline to PATH "
+                        "('-' for stdout); open in Perfetto or "
+                        "chrome://tracing")
     g.add_argument("--log-level", metavar="LEVEL", default=None,
                    help="enable vectra.* logging at LEVEL "
                         "(debug|info|warning|error)")
@@ -430,6 +481,27 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fuel_option(p)
     p.set_defaults(func=_cmd_baselines)
 
+    p = sub.add_parser("compare",
+                       help="diff two run reports; perf-regression gate",
+                       parents=[obs])
+    p.add_argument("base", nargs="?", default=None,
+                   help="baseline run report (a --metrics-json file)")
+    p.add_argument("head", nargs="?", default=None,
+                   help="run report under test")
+    p.add_argument("--ledger", metavar="PATH", default=None,
+                   help="compare the baseline (first) vs latest (last) "
+                        "entries of a --metrics-append ledger instead of "
+                        "two report files")
+    p.add_argument("--fail-on", action="append", metavar="SPEC",
+                   help="threshold KIND:NAME:LIMIT (e.g. "
+                        "\"span:analysis.total:+10%%\" or "
+                        "\"counter:interp.instructions:+0%%\"); "
+                        "repeatable; any exceeded threshold makes the "
+                        "exit code nonzero")
+    p.add_argument("--changed-only", action="store_true",
+                   help="only print rows whose value moved")
+    p.set_defaults(func=_cmd_compare)
+
     p = sub.add_parser("dot", help="Graphviz export of a loop's DDG",
                        parents=[obs])
     p.add_argument("workload")
@@ -448,10 +520,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv=None) -> int:
     from repro.obs import (
         NULL_TELEMETRY,
+        EventLog,
         Telemetry,
         configure_logging,
+        dump_report,
         use_telemetry,
+        write_chrome_trace,
     )
+    from repro.obs.history import append_report
 
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -461,8 +537,10 @@ def main(argv=None) -> int:
     except VectraError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    profiling = args.profile or args.metrics_json
-    tel = Telemetry() if profiling else NULL_TELEMETRY
+    profiling = (args.profile or args.metrics_json or args.metrics_append
+                 or args.trace_json)
+    tel = (Telemetry(events=EventLog() if args.trace_json else None)
+           if profiling else NULL_TELEMETRY)
     code = 0
     try:
         with use_telemetry(tel), tel.span(f"command.{args.command}"):
@@ -471,16 +549,33 @@ def main(argv=None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         code = 1
     finally:
+        # Reports/timelines are written even when the run failed — a
+        # truncated run's telemetry is exactly what debugging needs.
         if tel.enabled:
             tel.record_memory()
             if args.profile:
                 print(tel.format_table(), file=sys.stderr)
-            if args.metrics_json:
+            if args.metrics_json or args.metrics_append:
+                report = tel.report(command=args.command, exit_code=code)
+                if args.metrics_json:
+                    try:
+                        dump_report(report, args.metrics_json)
+                    except OSError as exc:
+                        print(f"error: cannot write metrics report: {exc}",
+                              file=sys.stderr)
+                        code = 1
+                if args.metrics_append:
+                    try:
+                        append_report(args.metrics_append, report)
+                    except OSError as exc:
+                        print(f"error: cannot append to ledger: {exc}",
+                              file=sys.stderr)
+                        code = 1
+            if args.trace_json:
                 try:
-                    tel.write_json(args.metrics_json,
-                                   command=args.command, exit_code=code)
+                    write_chrome_trace(tel.events, args.trace_json)
                 except OSError as exc:
-                    print(f"error: cannot write metrics report: {exc}",
+                    print(f"error: cannot write trace timeline: {exc}",
                           file=sys.stderr)
                     code = 1
     return code

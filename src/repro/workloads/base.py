@@ -43,47 +43,50 @@ def analyze_workload(
     :func:`repro.analysis.pipeline.run_loop_analyses`)."""
     if tel is None:
         tel = get_telemetry()
-    with tel.span("frontend.parse_lower"):
-        program, analyzer = parse_source(source)
-        module = lower(analyzer, benchmark)
-        verify_module(module)
-        if vec_config is None:
-            vec_config = VectorizerConfig()
-        decisions = analyze_program_loops(program, analyzer, vec_config)
+    with tel.span("analysis.total"):
+        with tel.span("frontend.parse_lower"):
+            program, analyzer = parse_source(source)
+            module = lower(analyzer, benchmark)
+            verify_module(module)
+            if vec_config is None:
+                vec_config = VectorizerConfig()
+            decisions = analyze_program_loops(program, analyzer, vec_config)
 
-    with tel.span("profile.run"):
-        interp = Interpreter(module, fuel=fuel)
-        interp.run(entry, args)
-        profiles = profile_loops(module, interp)
-    if tel.enabled:
-        tel.count("interp.runs")
-        tel.count("interp.instructions", interp.executed_instructions)
+        with tel.span("profile.run"):
+            interp = Interpreter(module, fuel=fuel)
+            interp.run(entry, args)
+            profiles = profile_loops(module, interp)
+        if tel.enabled:
+            tel.count("interp.runs")
+            tel.count("interp.instructions", interp.executed_instructions)
 
-    infos = []
-    for loop_name in loops:
-        info = module.loop_by_name(loop_name)
-        if info is None:
-            known = ", ".join(li.name for li in module.loops.values())
-            raise WorkloadError(
-                f"{benchmark}: no loop named {loop_name!r} (known: {known})"
-            )
-        infos.append(info)
+        infos = []
+        for loop_name in loops:
+            info = module.loop_by_name(loop_name)
+            if info is None:
+                known = ", ".join(li.name for li in module.loops.values())
+                raise WorkloadError(
+                    f"{benchmark}: no loop named {loop_name!r} "
+                    f"(known: {known})"
+                )
+            infos.append(info)
 
-    loop_reports = run_loop_analyses(
-        source, benchmark, module, list(loops), entry, args, instance,
-        include_integer, relax_reductions, fuel, jobs, tel=tel,
-    )
-    report = BenchmarkReport(benchmark=benchmark)
-    for info, loop_report in zip(infos, loop_reports):
-        loop_report.benchmark = benchmark
-        prof = profiles.get(info.loop_id)
-        if prof is not None:
-            loop_report.percent_cycles = prof.percent_cycles
-        loop_report.percent_packed = percent_packed(
-            module, interp, decisions, info.loop_id, vec_config, profiles
+        loop_reports = run_loop_analyses(
+            source, benchmark, module, list(loops), entry, args, instance,
+            include_integer, relax_reductions, fuel, jobs, tel=tel,
         )
-        report.loops.append(loop_report)
-    tel.record_memory()
+        report = BenchmarkReport(benchmark=benchmark)
+        for info, loop_report in zip(infos, loop_reports):
+            loop_report.benchmark = benchmark
+            prof = profiles.get(info.loop_id)
+            if prof is not None:
+                loop_report.percent_cycles = prof.percent_cycles
+            loop_report.percent_packed = percent_packed(
+                module, interp, decisions, info.loop_id, vec_config,
+                profiles
+            )
+            report.loops.append(loop_report)
+        tel.record_memory()
     return report
 
 

@@ -1,10 +1,18 @@
-"""Regenerate tests/golden_metrics.json after an intentional analysis
-change.  Run: python tests/regenerate_golden.py"""
+"""Regenerate tests/golden_metrics.json (and golden_trace.json) after an
+intentional analysis or trace-format change.
+Run: python tests/regenerate_golden.py"""
 
 import json
 import pathlib
 
 from repro.workloads import list_workloads
+
+
+def regenerate_trace_golden() -> None:
+    from test_timeline import GOLDEN_PATH, build_golden_log
+
+    build_golden_log().write_chrome_trace(str(GOLDEN_PATH))
+    print(f"wrote Chrome trace golden to {GOLDEN_PATH}")
 
 
 def main() -> None:
@@ -27,6 +35,7 @@ def main() -> None:
     path.write_text(json.dumps(golden, indent=1, sort_keys=True))
     entries = sum(len(v) for v in golden.values())
     print(f"wrote {entries} loop entries to {path}")
+    regenerate_trace_golden()
 
 
 if __name__ == "__main__":

@@ -219,7 +219,7 @@ class TestObservability:
                      str(path), "-p", "nout=16", "-p", "ntap=4"])
         assert code == 0
         report = json.loads(path.read_text())
-        assert report["schema"] == "vectra.run-report/1"
+        assert report["schema"] == "vectra.run-report/2"
         assert report["command"] == "analyze"
         assert report["exit_code"] == 0
         counters = report["counters"]
@@ -229,6 +229,12 @@ class TestObservability:
         assert counters["algorithm1.partitions"] > 0
         for stage in self.REQUIRED_STAGES:
             assert stage in report["spans"]
+        # v2: self-contained per-loop result sections.
+        section = report["sections"]["loop.fir_n"]
+        assert section["records_traced"] > 0
+        assert section["candidate_ops"] > 0
+        assert section["partitions"] > 0
+        assert section["avg_vec_size_unit"] > 0
 
     def test_metrics_json_counters_identical_across_jobs(self, tmp_path,
                                                          capsys):

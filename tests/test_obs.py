@@ -1,5 +1,6 @@
 """Telemetry core: spans, counters, gauges, merge, active management."""
 
+import itertools
 import json
 import logging
 
@@ -133,6 +134,124 @@ class TestTelemetry:
         assert "ddg.build" in table
         assert "ddg.nodes" in table
         assert "-- counters --" in table
+
+    def test_format_table_sorted_by_total_with_wall_percent(self):
+        tel = Telemetry()
+        tel._record_span("small", 0.0, 0.25)
+        tel._record_span("command.run", 0.0, 2.0)
+        tel._record_span("medium", 0.0, 0.5)
+        table = tel.format_table()
+        lines = [ln.split()[0] for ln in table.splitlines()[2:5]]
+        assert lines == ["command.run", "medium", "small"]
+        assert "%wall" in table
+        assert "100.0%" in table  # the wall span itself
+        assert "25.0%" in table   # medium / command.run
+        assert "12.5%" in table   # small / command.run
+
+
+class TestSections:
+    def test_record_and_replace(self):
+        tel = Telemetry()
+        tel.section("loop.L", {"ops": 5})
+        tel.section("loop.L", {"ops": 9})
+        assert tel.sections == {"loop.L": {"ops": 9}}
+        assert tel.snapshot()["sections"]["loop.L"] == {"ops": 9}
+
+    def test_sections_survive_merge(self):
+        parent = Telemetry()
+        parent.section("loop.A", {"ops": 1})
+        worker = Telemetry()
+        worker.section("loop.B", {"ops": 2})
+        parent.merge(worker.snapshot())
+        assert set(parent.sections) == {"loop.A", "loop.B"}
+
+    def test_null_telemetry_section_is_noop(self):
+        tel = NullTelemetry()
+        tel.section("loop.L", {"ops": 5})
+        assert tel.snapshot()["sections"] == {}
+
+
+class TestMergeSchema:
+    def test_unknown_schema_rejected(self):
+        tel = Telemetry()
+        with pytest.raises(VectraError, match="vectra.run-report/99"):
+            tel.merge({"schema": "vectra.run-report/99", "counters": {}})
+
+    def test_missing_schema_rejected(self):
+        tel = Telemetry()
+        with pytest.raises(VectraError, match="None"):
+            tel.merge({"counters": {"c": 1}})
+
+    def test_v1_snapshot_accepted(self):
+        tel = Telemetry()
+        tel.merge({"schema": "vectra.run-report/1",
+                   "spans": {"s": {"total_s": 0.5, "calls": 1,
+                                   "max_s": 0.5}},
+                   "counters": {"c": 2}, "gauges": {"g": 1.0}})
+        assert tel.counters == {"c": 2}
+        assert tel.spans["s"] == [0.5, 1, 0.5]
+
+    def test_telemetry_objects_skip_schema_check(self):
+        tel = Telemetry()
+        other = Telemetry()
+        other.count("c")
+        tel.merge(other)  # live objects are trusted; only dicts carry tags
+        assert tel.counters == {"c": 1}
+
+
+class TestMergeAssociativity:
+    """Acceptance: merging N worker snapshots in any order equals the
+    serial aggregate — spans, counters, gauges, and sections."""
+
+    @staticmethod
+    def make_worker(i):
+        tel = Telemetry()
+        # exactly-representable span times so float sums are order-proof
+        tel._record_span("loop.rerun", 0.0, 0.25 * (i + 1))
+        tel._record_span(f"only.w{i}", 0.0, 0.5)
+        tel.count("trace.records.kept", 10 * (i + 1))
+        tel.count("shared", 1)
+        tel.gauge("mem.peak_rss_kb", 100.0 * (i + 1))
+        tel.section(f"loop.w{i}", {"ops": i})
+        return tel
+
+    def test_any_merge_order_matches_serial(self):
+        workers = [self.make_worker(i) for i in range(3)]
+        snaps = [w.snapshot() for w in workers]
+
+        serial = Telemetry()
+        for w in workers:
+            for name, (total, calls, mx) in w.spans.items():
+                serial.spans.setdefault(name, [0.0, 0, 0.0])
+                serial.spans[name][0] += total
+                serial.spans[name][1] += calls
+                serial.spans[name][2] = max(serial.spans[name][2], mx)
+            for name, n in w.counters.items():
+                serial.count(name, n)
+            for name, v in w.gauges.items():
+                serial.gauge(name, v)
+            for name, data in w.sections.items():
+                serial.section(name, data)
+        expected = serial.snapshot()
+
+        for perm in itertools.permutations(range(3)):
+            merged = Telemetry()
+            for i in perm:
+                merged.merge(snaps[i])
+            assert merged.snapshot() == expected, perm
+
+    def test_pairwise_grouping_matches_flat(self):
+        snaps = [self.make_worker(i).snapshot() for i in range(4)]
+        flat = Telemetry()
+        for snap in snaps:
+            flat.merge(snap)
+        left, right = Telemetry(), Telemetry()
+        left.merge(snaps[0])
+        left.merge(snaps[1])
+        right.merge(snaps[2])
+        right.merge(snaps[3])
+        left.merge(right.snapshot())
+        assert left.snapshot() == flat.snapshot()
 
 
 class TestNullTelemetry:
