@@ -130,12 +130,17 @@ def loop_metrics(
     include_integer: bool = False,
     relax_reductions: bool = False,
     tel=None,
+    partitions_by_sid: Optional[Dict[int, Dict[int, List[int]]]] = None,
 ) -> LoopReport:
     """Aggregate the paper's loop-level metrics over all candidate
     instructions in the graph.
 
     Algorithm 1 runs through the batched engine: one K-wide topological
     scan for all K candidate instructions instead of K scalar passes.
+    ``partitions_by_sid`` lets a caller that already holds the scan's
+    partitions (the explain driver keeps the packed scan for witness
+    extraction) pass them in, skipping the second pass; it must cover
+    every candidate sid of the graph.
     """
     if tel is None:
         tel = get_telemetry()
@@ -152,14 +157,15 @@ def loop_metrics(
         from repro.analysis.reductions import removed_edges_by_sid
 
         removed_by_sid = removed_edges_by_sid(ddg, sids)
-    with tel.span("algorithm1"):
-        partitions_by_sid = batched_parallel_partitions(
-            ddg, sids, removed_by_sid
-        )
-    if tel.enabled:
-        tel.count("algorithm1.scans", 1 if sids else 0)
-        tel.count("algorithm1.candidate_sids", len(sids))
-        tel.count("algorithm1.lanes_packed", len(sids))
+    if partitions_by_sid is None:
+        with tel.span("algorithm1"):
+            partitions_by_sid = batched_parallel_partitions(
+                ddg, sids, removed_by_sid
+            )
+        if tel.enabled:
+            tel.count("algorithm1.scans", 1 if sids else 0)
+            tel.count("algorithm1.candidate_sids", len(sids))
+            tel.count("algorithm1.lanes_packed", len(sids))
     with tel.span("stride"):
         for sid in sids:
             ir = instruction_metrics(ddg, sid, module,

@@ -12,17 +12,38 @@ form the next subpartition — until no instances remain.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.stride import access_tuples, _tuple_stride
+
+
+@dataclass(frozen=True)
+class NonunitGroup:
+    """Provenance of one fixed-stride subpartition: the first pair of
+    instances that established its stride (``None`` for a subpartition
+    that never found a partner)."""
+
+    size: int
+    stride: Optional[Tuple[int, ...]]
+    first_node: int
+    second_node: Optional[int]
+    first_tuple: Tuple[int, ...]
+    second_tuple: Optional[Tuple[int, ...]]
 
 
 def nonunit_stride_subpartitions(
     ddg,
     singletons: Sequence[int],
+    groups: Optional[List[NonunitGroup]] = None,
 ) -> List[List[int]]:
     """Group ``singletons`` (node indices of one static instruction and one
-    timestamp) into fixed-stride subpartitions via the waitlist scan."""
+    timestamp) into fixed-stride subpartitions via the waitlist scan.
+
+    ``groups``, when given, collects one :class:`NonunitGroup` per output
+    subpartition — the stride each subpartition locked onto and the
+    concrete instance pair that established it (explain-layer
+    provenance; the partitioning itself is unchanged)."""
     if not singletons:
         return []
     work: List[Tuple[Tuple[int, ...], int]] = sorted(
@@ -35,15 +56,27 @@ def nonunit_stride_subpartitions(
         current = [first_node]
         current_tuple = first_tuple
         current_stride = None
+        second: Optional[Tuple[Tuple[int, ...], int]] = None
         waitlist: List[Tuple[Tuple[int, ...], int]] = []
         for tup, node in work[1:]:
             stride = _tuple_stride(current_tuple, tup)
             if current_stride is None or stride == current_stride:
+                if current_stride is None:
+                    second = (tup, node)
                 current_stride = stride
                 current.append(node)
                 current_tuple = tup
             else:
                 waitlist.append((tup, node))
         subpartitions.append(current)
+        if groups is not None:
+            groups.append(NonunitGroup(
+                size=len(current),
+                stride=current_stride,
+                first_node=first_node,
+                second_node=second[1] if second else None,
+                first_tuple=first_tuple,
+                second_tuple=second[0] if second else None,
+            ))
         work = waitlist
     return subpartitions

@@ -26,7 +26,7 @@ opportunity is missed:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from repro.analysis.report import LoopReport
@@ -52,6 +52,9 @@ class Opportunity:
     packed: float
     reasons: List[str]
     advice: str
+    #: ids of the explain-layer witnesses backing this classification
+    #: (populated when :func:`classify_loop` is given an ExplainReport).
+    witness_ids: List[str] = field(default_factory=list)
 
     def row(self) -> str:
         return (
@@ -95,8 +98,16 @@ _POTENTIAL_THRESHOLD = 20.0
 def classify_loop(
     report: LoopReport,
     decision: Optional[LoopDecision],
+    explain=None,
 ) -> Opportunity:
-    """Classify one analyzed loop given its vectorizer decision."""
+    """Classify one analyzed loop given its vectorizer decision.
+
+    ``explain`` optionally attaches an
+    :class:`repro.explain.driver.ExplainReport` for the same loop, whose
+    witness ids then back the classification — a consumer can follow
+    them into the run report's ``explain`` mapping for the concrete
+    dependence chains and stride breaks behind the verdict.
+    """
     potential = max(report.percent_vec_unit, report.percent_vec_nonunit)
     reasons = list(decision.reasons) if decision is not None else []
 
@@ -116,6 +127,7 @@ def classify_loop(
         packed=report.percent_packed,
         reasons=reasons,
         advice=_ADVICE[kind],
+        witness_ids=explain.witness_ids() if explain is not None else [],
     )
 
 

@@ -72,6 +72,7 @@ __all__ = [
     "analyze_program",
     "analyze_kernel",
     "run_loop_analyses",
+    "windowed_loop_ddg",
 ]
 
 
@@ -99,9 +100,9 @@ def select_instance_subtrace(trace, loop_id: int, loop_name: str,
     return trace.subtrace(loop_id, 0)
 
 
-def _windowed_loop_ddg(module: Module, loop_id: int, loop_name: str,
-                       entry: str, args: Sequence, instance: int,
-                       fuel: int, tel=None):
+def windowed_loop_ddg(module: Module, loop_id: int, loop_name: str,
+                      entry: str, args: Sequence, instance: int,
+                      fuel: int, tel=None):
     """Fused trace→DDG for one loop instance: the windowed re-run streams
     into columnar storage and the DDG drops out without materializing a
     record list (the same validation as :func:`select_instance_subtrace`,
@@ -170,8 +171,8 @@ def analyze_loop(
     # serial with an explicit ``tel=`` or inside a pool worker.
     tel.instant("loop.analyze.start", {"loop": loop_name})
     with use_telemetry(tel):
-        ddg, rows = _windowed_loop_ddg(module, info.loop_id, loop_name,
-                                       entry, args, instance, fuel, tel)
+        ddg, rows = windowed_loop_ddg(module, info.loop_id, loop_name,
+                                      entry, args, instance, fuel, tel)
         report = loop_metrics(ddg, module, loop_name, include_integer,
                               relax_reductions, tel=tel)
     tel.count("pipeline.loops_analyzed")

@@ -14,7 +14,25 @@ subpartition whenever the observed stride is (1) non-zero and non-unit, or
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class StrideBreak:
+    """One §3.2 split point: the pair of dynamic instances whose observed
+    stride closed a unit-stride subpartition.
+
+    ``prev_node``/``node`` are DDG node indices in sorted-access order;
+    the tuples are their full access tuples (operand source addresses +
+    store target), ``stride`` their componentwise difference.  The
+    explain layer turns these into stride-break provenance witnesses."""
+
+    prev_node: int
+    node: int
+    prev_tuple: Tuple[int, ...]
+    tuple: Tuple[int, ...]
+    stride: Tuple[int, ...]
 
 
 def access_tuples(ddg, nodes: Sequence[int]) -> List[Tuple[int, ...]]:
@@ -39,12 +57,17 @@ def unit_stride_subpartitions(
     ddg,
     partition: Sequence[int],
     elem_size: int,
+    breaks: Optional[List[StrideBreak]] = None,
 ) -> List[List[int]]:
     """Split one parallel partition into unit/zero-stride subpartitions.
 
     Returns lists of node indices; every member of the input appears in
     exactly one subpartition.  Singleton outputs are the instances that
     found no contiguous neighbors — §3.3 reconsiders them.
+
+    ``breaks``, when given, collects one :class:`StrideBreak` per split
+    point (the concrete instance pair whose stride closed a run) — the
+    metrics are unchanged; only provenance is recorded.
     """
     if not partition:
         return []
@@ -52,7 +75,8 @@ def unit_stride_subpartitions(
         zip(access_tuples(ddg, partition), partition), key=lambda kv: kv[0]
     )
     subpartitions: List[List[int]] = []
-    current = [keyed[0][1]]
+    prev_node = keyed[0][1]
+    current = [prev_node]
     current_tuple = keyed[0][0]
     current_stride = None
     for tup, node in keyed[1:]:
@@ -60,13 +84,16 @@ def unit_stride_subpartitions(
         acceptable = _is_unit_or_zero(stride, elem_size)
         if acceptable and (current_stride is None or stride == current_stride):
             current.append(node)
-            current_tuple = tup
-            current_stride = stride
         else:
             subpartitions.append(current)
+            if breaks is not None:
+                breaks.append(StrideBreak(prev_node, node, current_tuple,
+                                          tup, stride))
             current = [node]
-            current_tuple = tup
-            current_stride = None
+            stride = None
+        current_tuple = tup
+        current_stride = stride
+        prev_node = node
     subpartitions.append(current)
     return subpartitions
 

@@ -83,11 +83,14 @@ def compute_timestamps(
     return ts
 
 
-class _PackedScan:
+class PackedScan:
     """Result of one batched scan: per-node lane-packed timestamp ints.
 
     Lane ``j`` of node ``i`` is ``(vectors[i] >> j * width) & value_mask``
     and equals ``compute_timestamps(ddg, targets[j], ...)[i]``.
+    ``timestamp(i, sid)`` resolves the lane by sid — what downstream
+    consumers (witness extraction) use to read single values without
+    unpacking whole lanes.
     """
 
     __slots__ = ("vectors", "lane", "width", "value_mask")
@@ -101,12 +104,21 @@ class _PackedScan:
     def lane_value(self, i: int, j: int) -> int:
         return (self.vectors[i] >> (j * self.width)) & self.value_mask
 
+    def timestamp(self, i: int, sid: int) -> int:
+        """Timestamp of node ``i`` on the lane of static instruction
+        ``sid`` (O(1); the scan must have included ``sid``)."""
+        return self.lane_value(i, self.lane[sid])
+
+
+#: Backwards-compatible private alias (pre-explain-layer name).
+_PackedScan = PackedScan
+
 
 def _timestamp_vectors(
     ddg: DDG,
     targets: Sequence[int],
     removed_edges_by_sid: Optional[Dict[int, Iterable[Tuple[int, int]]]],
-) -> _PackedScan:
+) -> PackedScan:
     """One topological scan carrying a K-lane packed timestamp per node.
 
     Each lane is a ``width``-bit field: ``width - 1`` value bits plus one
@@ -194,7 +206,47 @@ def _timestamp_vectors(
             if add is not None:
                 t += add
             append(t)
-    return _PackedScan(vectors, lane, width, value_mask)
+    return PackedScan(vectors, lane, width, value_mask)
+
+
+def packed_timestamp_scan(
+    ddg: DDG,
+    target_sids: Sequence[int],
+    removed_edges_by_sid: Optional[Dict[int, Iterable[Tuple[int, int]]]] = None,
+) -> PackedScan:
+    """Run the batched Algorithm 1 scan and hand back the lane-packed
+    vectors themselves.
+
+    This is the reusable form of :func:`batched_parallel_partitions`: a
+    caller that also needs per-node timestamps *after* partitioning (the
+    explain layer walks CSR predecessors backward from the timestamp
+    frontier to extract dependence-chain witnesses) keeps the one scan
+    and derives both views from it via :func:`partitions_from_scan` and
+    :meth:`PackedScan.timestamp`, instead of paying a second pass.
+    """
+    return _timestamp_vectors(ddg, list(target_sids), removed_edges_by_sid)
+
+
+def partitions_from_scan(
+    ddg: DDG, scan: PackedScan
+) -> Dict[int, Dict[int, List[int]]]:
+    """Parallel partitions for every lane of ``scan``:
+    ``{sid: {timestamp: [node, ...]}}``, node lists in execution order —
+    bit-identical to :func:`parallel_partitions` per sid."""
+    vectors = scan.vectors
+    value_mask = scan.value_mask
+    width = scan.width
+    shifts = {sid: j * width for sid, j in scan.lane.items()}
+    shift_of = shifts.get
+    partitions: Dict[int, Dict[int, List[int]]] = {
+        sid: {} for sid in scan.lane
+    }
+    for i, sid in enumerate(ddg.sids):
+        shift = shift_of(sid)
+        if shift is not None:
+            t = (vectors[i] >> shift) & value_mask
+            partitions[sid].setdefault(t, []).append(i)
+    return partitions
 
 
 def compute_all_timestamps(
@@ -238,18 +290,7 @@ def batched_parallel_partitions(
     if not targets:
         return {}
     scan = _timestamp_vectors(ddg, targets, removed_edges_by_sid)
-    vectors = scan.vectors
-    value_mask = scan.value_mask
-    width = scan.width
-    shifts = {sid: scan.lane[sid] * width for sid in targets}
-    shift_of = shifts.get
-    partitions: Dict[int, Dict[int, List[int]]] = {sid: {} for sid in targets}
-    for i, sid in enumerate(ddg.sids):
-        shift = shift_of(sid)
-        if shift is not None:
-            t = (vectors[i] >> shift) & value_mask
-            partitions[sid].setdefault(t, []).append(i)
-    return partitions
+    return partitions_from_scan(ddg, scan)
 
 
 def parallel_partitions(

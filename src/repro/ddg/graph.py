@@ -201,6 +201,33 @@ class DDG:
         """Distinct static instruction ids present, in first-seen order."""
         return list(self.sid_nodes)
 
+    def memory_flow_edges(self) -> List[Tuple[int, int]]:
+        """All store→load flow edges: ``(store_node, load_node)`` pairs
+        where a load's recorded producer is a store instruction.
+
+        These are the dependences that flow *through memory* rather than
+        through a virtual register — exactly the evidence needed to
+        confront a compiler's may-alias refusal with the trace: zero
+        such edges in a loop window means no cross-instance flow
+        dependence materialized at run time.
+        """
+        from repro.ir.instructions import Opcode
+
+        load = int(Opcode.LOAD)
+        store = int(Opcode.STORE)
+        opcodes = self.opcodes
+        indices = self.pred_indices
+        offsets = self.pred_offsets
+        edges: List[Tuple[int, int]] = []
+        for i, opcode in enumerate(opcodes):
+            if opcode != load:
+                continue
+            for j in range(offsets[i], offsets[i + 1]):
+                p = indices[j]
+                if opcodes[p] == store:
+                    edges.append((p, i))
+        return edges
+
     def has_path(self, src: int, dst: int) -> bool:
         """Reachability test (used by tests to verify Property 3.1)."""
         if src >= dst:

@@ -1,0 +1,46 @@
+"""The explain layer: turn the analyses' verdicts into evidence.
+
+The paper's metrics say *how much* vectorization potential a loop has;
+this package answers *why* it has no more than that, with concrete
+dynamic witnesses pulled from the same one-pass artifacts the analyses
+already computed:
+
+- **dependence witnesses** (:mod:`.witnesses`) — the shortest DDG chain
+  connecting two instances of the same static instruction in adjacent
+  parallel partitions, i.e. the dependence that caps the partition size
+  Algorithm 1 reports;
+- **stride-break provenance** (:mod:`.strides`) — the concrete instance
+  pair (with byte addresses) at each §3.2/§3.3 split point, plus the
+  data-layout feature responsible (:func:`repro.runtime.layout.
+  infer_stride_culprit`);
+- **refusal cross-examination** (:mod:`.refusals`) — the static
+  vectorizer's refusal reasons confronted with the dynamic evidence,
+  each confirmed or contradicted by the trace.
+
+:func:`explain_loop` (:mod:`.driver`) orchestrates all three over one
+windowed loop instance and :mod:`.render` draws the terminal tree the
+``vectra explain`` subcommand prints.
+"""
+
+from repro.explain.driver import ExplainReport, explain_loop
+from repro.explain.refusals import RefusalFinding, cross_examine
+from repro.explain.render import render_explain
+from repro.explain.strides import StrideWitness, extract_stride_witnesses
+from repro.explain.witnesses import (
+    DependenceWitness,
+    WitnessStep,
+    extract_dependence_witnesses,
+)
+
+__all__ = [
+    "DependenceWitness",
+    "ExplainReport",
+    "RefusalFinding",
+    "StrideWitness",
+    "WitnessStep",
+    "cross_examine",
+    "explain_loop",
+    "extract_dependence_witnesses",
+    "extract_stride_witnesses",
+    "render_explain",
+]

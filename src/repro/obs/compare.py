@@ -31,6 +31,7 @@ from repro.errors import VectraError
 from repro.obs.telemetry import validate_report_schema
 
 __all__ = [
+    "COMPARE_SCHEMA",
     "Delta",
     "Threshold",
     "load_report",
@@ -38,8 +39,12 @@ __all__ = [
     "parse_fail_on",
     "evaluate_thresholds",
     "format_diff_table",
+    "compare_json_doc",
     "compare_reports",
 ]
+
+#: Schema tag of the ``vectra compare --json`` delta document.
+COMPARE_SCHEMA = "vectra.compare/1"
 
 #: Metric namespaces a spec/diff can address.
 KINDS = ("span", "counter", "gauge", "section")
@@ -225,6 +230,46 @@ def format_diff_table(deltas: Sequence[Delta],
     if shown == 0:
         lines.append("(no differences)")
     return "\n".join(lines)
+
+
+def compare_json_doc(
+    deltas: Sequence[Delta], thresholds: Sequence[Threshold] = ()
+) -> dict:
+    """The machine-readable ``--json`` delta document: every delta with
+    its old/new values and whether a ``--fail-on`` threshold flagged it,
+    plus the overall verdict — what a CI step parses instead of scraping
+    the human table."""
+    violated_specs: Dict[Tuple[str, str], List[str]] = {}
+    violations: List[str] = []
+    by_key = {(d.kind, d.name): d for d in deltas}
+    for threshold in thresholds:
+        key = (threshold.kind, threshold.name)
+        delta = by_key.get(key)
+        if delta is None:
+            delta = Delta(threshold.kind, threshold.name, 0, 0)
+        line = threshold.violation(delta)
+        if line is not None:
+            violations.append(line)
+            violated_specs.setdefault(key, []).append(threshold.spec)
+    return {
+        "schema": COMPARE_SCHEMA,
+        "deltas": [
+            {
+                "kind": d.kind,
+                "name": d.name,
+                "base": d.base,
+                "head": d.head,
+                "change": d.change,
+                "pct": d.pct,
+                "violated": (d.kind, d.name) in violated_specs,
+                "violated_by": violated_specs.get((d.kind, d.name), []),
+            }
+            for d in deltas
+        ],
+        "thresholds": [t.spec for t in thresholds],
+        "violations": violations,
+        "verdict": "FAIL" if violations else "OK",
+    }
 
 
 def compare_reports(

@@ -40,12 +40,18 @@ from typing import Dict, List, Optional, Union
 from repro.errors import VectraError
 
 #: Version tag of the machine-readable run report (bump on shape changes).
-REPORT_SCHEMA = "vectra.run-report/2"
+REPORT_SCHEMA = "vectra.run-report/3"
 
 #: Schema tags :meth:`Telemetry.merge` and the report loaders accept.
 #: ``/1`` reports are a strict subset of ``/2`` (no ``sections`` or
-#: ``events``), so ingesting them is safe; anything else is refused.
-KNOWN_SCHEMAS = ("vectra.run-report/1", REPORT_SCHEMA)
+#: ``events``), and ``/2`` of ``/3`` (no optional ``explain`` mapping or
+#: ``timeline_dropped`` counter), so ingesting older tags is safe;
+#: anything else is refused.
+KNOWN_SCHEMAS = (
+    "vectra.run-report/1",
+    "vectra.run-report/2",
+    REPORT_SCHEMA,
+)
 
 
 def validate_report_schema(report: dict, source: str = "snapshot") -> None:
@@ -120,6 +126,9 @@ class NullTelemetry:
     def section(self, name: str, data: dict) -> None:
         pass
 
+    def explain_section(self, name: str, data: dict) -> None:
+        pass
+
     def record_memory(self) -> None:
         pass
 
@@ -141,7 +150,8 @@ class Telemetry:
     attached (``events=``), every span occurrence and instant event also
     lands on the run timeline."""
 
-    __slots__ = ("spans", "counters", "gauges", "sections", "events")
+    __slots__ = ("spans", "counters", "gauges", "sections", "explain",
+                 "events")
     enabled = True
 
     def __init__(self, events=None):
@@ -152,6 +162,9 @@ class Telemetry:
         #: name -> dict of result fields (e.g. one section per analyzed
         #: loop), making the run report self-contained.
         self.sections: Dict[str, dict] = {}
+        #: name -> witness/evidence payload from the explain layer; lands
+        #: in the report as the optional ``explain`` key (schema /3).
+        self.explain: Dict[str, dict] = {}
         #: optional attached EventLog (the ``--trace-json`` timeline).
         self.events = events
 
@@ -196,6 +209,14 @@ class Telemetry:
         replaces it."""
         self.sections[name] = dict(data)
 
+    def explain_section(self, name: str, data: dict) -> None:
+        """Attach one explain-layer payload (a per-loop witness dict) to
+        the run report's optional ``explain`` mapping.  Unlike
+        ``sections`` (flat numeric fields, compare-gateable), explain
+        payloads are nested evidence documents; they are carried
+        verbatim and merged by union."""
+        self.explain[name] = dict(data)
+
     def record_memory(self) -> None:
         """Sample peak RSS (and the tracemalloc high-water mark when
         tracing is on) into gauges."""
@@ -238,12 +259,14 @@ class Telemetry:
             counters = other.get("counters", {})
             gauges = other.get("gauges", {})
             sections = other.get("sections", {})
+            explain = other.get("explain", {})
             events = other.get("events", ())
         else:
             span_items = ((n, tuple(r)) for n, r in other.spans.items())
             counters = other.counters
             gauges = other.gauges
             sections = other.sections
+            explain = other.explain
             events = other.events.snapshot() if other.events else ()
         for name, (total, calls, mx) in span_items:
             rec = self.spans.get(name)
@@ -260,6 +283,8 @@ class Telemetry:
             self.gauge(name, value)
         for name, data in sections.items():
             self.sections[name] = dict(data)
+        for name, data in explain.items():
+            self.explain[name] = dict(data)
         if self.events is not None and events:
             self.events.extend(events)
 
@@ -267,18 +292,31 @@ class Telemetry:
 
     def snapshot(self) -> dict:
         """The versioned, JSON- and pickle-safe run report."""
-        return {
+        counters = dict(self.counters)
+        if self.events is not None:
+            # Read-only at snapshot time: workers ship their own count in
+            # ``counters`` (summed by :meth:`merge`), the parent adds the
+            # drops of its attached ring buffer here, and ``self.counters``
+            # is never mutated — repeated snapshots don't accumulate.
+            dropped = counters.get("timeline_dropped", 0) + self.events.dropped
+            if dropped:
+                counters["timeline_dropped"] = dropped
+        out = {
             "schema": REPORT_SCHEMA,
             "spans": {
                 name: {"total_s": rec[0], "calls": rec[1], "max_s": rec[2]}
                 for name, rec in self.spans.items()
             },
-            "counters": dict(self.counters),
+            "counters": counters,
             "gauges": dict(self.gauges),
             "sections": {name: dict(data)
                          for name, data in self.sections.items()},
             "events": self.events.snapshot() if self.events else [],
         }
+        if self.explain:
+            out["explain"] = {name: dict(data)
+                              for name, data in self.explain.items()}
+        return out
 
     def report(self, **meta) -> dict:
         """A snapshot with extra top-level ``meta`` keys (the CLI command,

@@ -4,14 +4,21 @@ These mirror the address computations the lowering pass emits, in closed
 form.  Tests use them as an oracle for interpreter addresses, and the
 Section-3.3 discussion of layout transformations (array transposition,
 AoS -> SoA) is exercised against them.
+
+The second half of the module reads the mapping *backwards*: from a raw
+byte address observed in a trace to the global, element path, and — for
+a pair of addresses — the layout feature responsible for their stride
+(:func:`infer_stride_culprit`).  The interpreter lays globals out with a
+deterministic bump allocator in declaration order, so the map can be
+reconstructed without rerunning the program.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import VectraError
-from repro.ir.types import StructType
+from repro.ir.types import ArrayType, StructType, Type
 
 
 def flatten_index(dims: Sequence[int], indices: Sequence[int]) -> int:
@@ -54,3 +61,156 @@ def soa_field_offset(struct: StructType, count: int, index: int,
             return offset + index * ftype.sizeof()
         offset += ftype.sizeof() * count
     raise VectraError(f"struct {struct.name} has no field {field!r}")
+
+
+# ---------------------------------------------------------------------------
+# Address -> layout provenance (the explain layer's inverse mapping)
+# ---------------------------------------------------------------------------
+
+
+def global_layout(module) -> List[Tuple[str, int, Type]]:
+    """``(name, base_address, type)`` for every global of ``module``, in
+    the exact addresses the interpreter assigns.
+
+    The interpreter's ``_layout_globals`` walks ``module.globals`` in
+    declaration order through ``Memory.alloc_global`` (a deterministic
+    bump allocator), so replaying the same walk on a fresh ``Memory``
+    reproduces every base address without executing the program.
+    """
+    from repro.runtime.memory import Memory
+
+    memory = Memory()
+    return [
+        (gv.name, memory.alloc_global(gv.type), gv.type)
+        for gv in module.globals.values()
+    ]
+
+
+def resolve_address(
+    layout: Sequence[Tuple[str, int, Type]], addr: int
+) -> Optional[Tuple[str, Type, int]]:
+    """The ``(global_name, type, byte_offset)`` containing ``addr``, or
+    ``None`` for addresses outside every global (stack or artificial 0)."""
+    for name, base, gtype in layout:
+        if base <= addr < base + gtype.sizeof():
+            return name, gtype, addr - base
+    return None
+
+
+def field_path_at(gtype: Type, offset: int) -> str:
+    """The source-level element path at ``offset`` within ``gtype`` —
+    e.g. ``[5].e[1][2].r`` for an offset into an su3_matrix lattice.
+    Descends arrays and structs until a scalar (or an unmapped byte) is
+    reached."""
+    path = ""
+    t = gtype
+    while True:
+        if isinstance(t, ArrayType):
+            es = t.elem.sizeof()
+            idx = offset // es
+            path += f"[{idx}]"
+            offset -= idx * es
+            t = t.elem
+        elif isinstance(t, StructType):
+            for fname, ftype in t.fields:
+                fo = t.field_offset(fname)
+                if fo <= offset < fo + max(ftype.sizeof(), 1):
+                    path += f".{fname}"
+                    offset -= fo
+                    t = ftype
+                    break
+            else:
+                return path
+        else:
+            return path
+
+
+def _array_levels(gtype: Type, offset: int) -> List[Tuple[int, Type]]:
+    """Each array level on the element path at ``offset``, outermost
+    first, as ``(element_stride_bytes, element_type)``."""
+    levels: List[Tuple[int, Type]] = []
+    t = gtype
+    while True:
+        if isinstance(t, ArrayType):
+            es = t.elem.sizeof()
+            levels.append((es, t.elem))
+            idx = offset // es
+            offset -= idx * es
+            t = t.elem
+        elif isinstance(t, StructType):
+            for fname, ftype in t.fields:
+                fo = t.field_offset(fname)
+                if fo <= offset < fo + max(ftype.sizeof(), 1):
+                    offset -= fo
+                    t = ftype
+                    break
+            else:
+                return levels
+        else:
+            return levels
+
+
+def _first_struct(t: Type) -> Optional[StructType]:
+    """The outermost struct type inside ``t`` (through arrays), if any."""
+    while isinstance(t, ArrayType):
+        t = t.elem
+    return t if isinstance(t, StructType) else None
+
+
+def infer_stride_culprit(module, addr_a: int, addr_b: int) -> dict:
+    """Explain *why* two byte addresses are a fixed non-unit stride
+    apart, in terms of the declared data layout (paper §3.3's manual
+    diagnosis, automated).
+
+    Returns a JSON-safe dict with ``kind`` one of:
+
+    - ``aos-field`` — the stride steps whole struct elements while the
+      access touches a single field: the array-of-structures case
+      (milc); an AoS→SoA rewrite makes the field contiguous.
+    - ``transposed-index`` — the stride steps a non-innermost dimension
+      of a scalar multi-dimensional array (bwaves): transposing the
+      layout (or interchanging loops) makes the access unit-stride.
+    - ``fixed-stride`` — regular but not attributable to a struct or an
+      outer dimension of the addressed global.
+    - ``cross-object`` / ``unknown`` — the pair spans two globals, or at
+      least one address is outside every global (stack/artificial).
+    """
+    stride = abs(addr_b - addr_a)
+    out: dict = {"stride": stride, "kind": "unknown"}
+    layout = global_layout(module)
+    ra = resolve_address(layout, addr_a)
+    rb = resolve_address(layout, addr_b)
+    if ra is None or rb is None:
+        return out
+    name_a, gtype, off_a = ra
+    name_b, _, off_b = rb
+    out["element_a"] = name_a + field_path_at(gtype, off_a)
+    out["element_b"] = name_b + field_path_at(rb[1], off_b)
+    if name_a != name_b:
+        out["kind"] = "cross-object"
+        return out
+    out["global"] = name_a
+    out["kind"] = "fixed-stride"
+    levels = _array_levels(gtype, min(off_a, off_b))
+    for depth, (elem_stride, elem_type) in enumerate(levels):
+        if stride == 0 or elem_stride == 0 or stride % elem_stride:
+            continue
+        struct = _first_struct(elem_type)
+        if struct is not None:
+            # Stepping whole structs (or a multiple) while reading one
+            # field: the AoS signature.
+            out["kind"] = "aos-field"
+            out["struct"] = struct.name
+            out["struct_size"] = struct.sizeof()
+            out["elements_stepped"] = stride // elem_stride
+            out["field"] = field_path_at(elem_type,
+                                         min(off_a, off_b) % elem_stride)
+            return out
+        if depth + 1 < len(levels):
+            # A non-innermost dimension of a scalar array moves fastest.
+            out["kind"] = "transposed-index"
+            out["dimension"] = depth
+            out["row_bytes"] = elem_stride
+            out["elements_stepped"] = stride // elem_stride
+            return out
+    return out

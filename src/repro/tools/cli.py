@@ -12,8 +12,12 @@ Subcommands:
   the three machine models.
 - ``trace <workload> --loop NAME [-o OUT]`` — dump a loop subtrace to a
   binary trace file.
+- ``explain <workload> [--loop NAME]`` — drill-down evidence report:
+  dependence witnesses, stride-break provenance with layout culprits,
+  and the static refusal reasons cross-examined against the trace.
 - ``compare <base> <head>`` — diff two run reports (or a ledger's
-  baseline vs latest) and gate on ``--fail-on`` thresholds.
+  baseline vs latest), gate on ``--fail-on`` thresholds, optionally
+  emit a machine-readable ``--json`` delta document.
 
 Every subcommand additionally accepts the observability options:
 ``--profile`` (stage/counter table on stderr after the run),
@@ -282,14 +286,57 @@ def _cmd_dot(args) -> int:
     return 0
 
 
+def _cmd_explain(args) -> int:
+    from repro.analysis.opportunities import subtree_reasons
+    from repro.explain import explain_loop, render_explain
+    from repro.frontend import parse_source
+    from repro.frontend.lower import lower
+    from repro.ir.verifier import verify_module
+    from repro.vectorizer import analyze_program_loops
+    from repro.workloads import get_workload
+
+    workload = get_workload(args.workload)
+    source = workload.source(**_parse_params(args.param))
+    program, analyzer = parse_source(source)
+    module = lower(analyzer, workload.name)
+    verify_module(module)
+    decisions = analyze_program_loops(program, analyzer)
+    loops = [args.loop] if args.loop else workload.analyze_loops
+    if not loops:
+        raise VectraError(
+            f"workload {workload.name!r} declares no analysis loops; "
+            f"pass --loop NAME"
+        )
+    for idx, loop_name in enumerate(loops):
+        reasons = subtree_reasons(module, decisions, loop_name)
+        report = explain_loop(module, loop_name, reasons,
+                              entry=workload.entry,
+                              instance=args.instance,
+                              include_integer=args.integer,
+                              **_run_opts(args))
+        if idx:
+            print()
+        print(render_explain(report))
+    return 0
+
+
 def _cmd_compare(args) -> int:
+    import json
+
     from repro.obs.compare import (
-        compare_reports,
+        compare_json_doc,
+        diff_reports,
+        evaluate_thresholds,
         format_diff_table,
         load_report,
+        parse_fail_on,
     )
     from repro.obs.history import baseline_and_latest, read_ledger
 
+    # Parse the gate specs before touching any report: a malformed
+    # --fail-on is CI misconfiguration and must fail naming the exact
+    # bad KIND:NAME:LIMIT item even when the report paths are also bad.
+    thresholds = [parse_fail_on(spec) for spec in (args.fail_on or [])]
     if args.ledger:
         if args.base or args.head:
             raise VectraError(
@@ -305,8 +352,26 @@ def _cmd_compare(args) -> int:
             )
         base = load_report(args.base)
         head = load_report(args.head)
-    deltas, violations = compare_reports(base, head, args.fail_on or [])
-    print(format_diff_table(deltas, changed_only=args.changed_only))
+    deltas = diff_reports(base, head)
+    violations = evaluate_thresholds(deltas, thresholds)
+    # With --json - the delta document owns stdout; the human table and
+    # the OK verdict move aside so the output stays machine-parseable.
+    json_to_stdout = args.json == "-"
+    if not json_to_stdout:
+        print(format_diff_table(deltas, changed_only=args.changed_only))
+    if args.json:
+        payload = json.dumps(compare_json_doc(deltas, thresholds),
+                             indent=2, sort_keys=True)
+        if args.json == "-":
+            print(payload)
+        else:
+            try:
+                with open(args.json, "w") as fh:
+                    fh.write(payload + "\n")
+            except OSError as exc:
+                raise VectraError(
+                    f"cannot write compare JSON to {args.json!r}: {exc}"
+                ) from exc
     if violations:
         for line in violations:
             print(f"FAIL {line}", file=sys.stderr)
@@ -314,7 +379,8 @@ def _cmd_compare(args) -> int:
               file=sys.stderr)
         return 1
     if args.fail_on:
-        print(f"verdict: OK ({len(args.fail_on)} threshold(s) satisfied)")
+        print(f"verdict: OK ({len(args.fail_on)} threshold(s) satisfied)",
+              file=sys.stderr if json_to_stdout else sys.stdout)
     return 0
 
 
@@ -481,6 +547,24 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fuel_option(p)
     p.set_defaults(func=_cmd_baselines)
 
+    p = sub.add_parser("explain",
+                       help="drill-down report: dependence witnesses, "
+                            "stride-break provenance, refusal "
+                            "cross-examination",
+                       parents=[obs])
+    p.add_argument("workload")
+    p.add_argument("--loop", default=None,
+                   help="explain one loop (default: the workload's "
+                        "configured analysis loops)")
+    p.add_argument("--instance", type=int, default=0,
+                   help="which dynamic loop instance to trace")
+    p.add_argument("--integer", action="store_true",
+                   help="also treat integer arithmetic as candidates")
+    p.add_argument("-p", "--param", action="append",
+                   help="override a workload parameter, e.g. -p n=64")
+    _add_fuel_option(p)
+    p.set_defaults(func=_cmd_explain)
+
     p = sub.add_parser("compare",
                        help="diff two run reports; perf-regression gate",
                        parents=[obs])
@@ -500,6 +584,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "exit code nonzero")
     p.add_argument("--changed-only", action="store_true",
                    help="only print rows whose value moved")
+    p.add_argument("--json", metavar="PATH", default=None,
+                   help="also write a machine-readable delta document "
+                        "(vectra.compare/1 JSON) to PATH ('-' for "
+                        "stdout), with per-metric violated flags")
     p.set_defaults(func=_cmd_compare)
 
     p = sub.add_parser("dot", help="Graphviz export of a loop's DDG",
@@ -578,6 +666,15 @@ def main(argv=None) -> int:
                     print(f"error: cannot write trace timeline: {exc}",
                           file=sys.stderr)
                     code = 1
+                else:
+                    if tel.events is not None and tel.events.dropped:
+                        print(
+                            f"warning: timeline ring buffer dropped "
+                            f"{tel.events.dropped} event(s) (capacity "
+                            f"{tel.events.capacity}); the exported trace "
+                            f"is missing its oldest events",
+                            file=sys.stderr,
+                        )
     return code
 
 

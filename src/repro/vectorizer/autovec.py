@@ -536,3 +536,49 @@ def decisions_by_name(decisions: List[LoopDecision]) -> Dict[str, LoopDecision]:
         if d.label:
             out[d.label] = d
     return out
+
+
+#: Ordered (marker, code) pairs classifying refusal-reason text.  Order
+#: is load-bearing: "possible pointer aliasing" must hit ``alias`` before
+#: the bare "pointer" marker, and "data-dependent select" must hit
+#: ``control-flow`` before the data-dependent-subscript marker.
+_REASON_CODE_MARKERS = (
+    ("aliasing", "alias"),
+    ("pointer", "pointer-mutation"),
+    ("select", "control-flow"),
+    ("control flow", "control-flow"),
+    ("break/continue", "control-flow"),
+    ("return inside", "control-flow"),
+    ("irregular subscript (data-dependent)", "data-dependent-subscript"),
+    ("irregular subscript", "irregular-subscript"),
+    ("non-affine", "irregular-subscript"),
+    ("symbolic subscript", "carried-dependence"),
+    ("weak siv", "carried-dependence"),
+    ("incomparable access shapes", "carried-dependence"),
+    ("overlapping field", "carried-dependence"),
+    ("same location every iteration", "carried-dependence"),
+    ("loop-carried dependence", "carried-dependence"),
+    ("scalar recurrence", "recurrence"),
+    ("reduction", "recurrence"),
+    ("non-unit stride", "nonunit-stride"),
+    ("unknown stride", "nonunit-stride"),
+    ("inner loop", "inner-loop"),
+    ("non-canonical", "non-canonical"),
+    ("loop index modified", "non-canonical"),
+    ("call", "call"),
+)
+
+
+def reason_code(reason: str) -> str:
+    """A stable machine-readable code for one refusal-reason string.
+
+    The decision procedure reports human prose; the explain layer joins
+    refusals against dynamic evidence by *category*, so every reason is
+    folded to one of a dozen codes (``alias``, ``carried-dependence``,
+    ``nonunit-stride``, ...).  Unrecognized text maps to ``other``.
+    """
+    text = reason.lower()
+    for marker, code in _REASON_CODE_MARKERS:
+        if marker in text:
+            return code
+    return "other"

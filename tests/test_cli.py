@@ -219,7 +219,7 @@ class TestObservability:
                      str(path), "-p", "nout=16", "-p", "ntap=4"])
         assert code == 0
         report = json.loads(path.read_text())
-        assert report["schema"] == "vectra.run-report/2"
+        assert report["schema"] == "vectra.run-report/3"
         assert report["command"] == "analyze"
         assert report["exit_code"] == 0
         counters = report["counters"]
