@@ -102,14 +102,37 @@ def select_instance_subtrace(trace, loop_id: int, loop_name: str,
 
 def windowed_loop_ddg(module: Module, loop_id: int, loop_name: str,
                       entry: str, args: Sequence, instance: int,
-                      fuel: int, tel=None):
+                      fuel: int, tel=None, spill_dir: Optional[str] = None,
+                      segment_rows: Optional[int] = None, jobs: int = 1):
     """Fused trace→DDG for one loop instance: the windowed re-run streams
     into columnar storage and the DDG drops out without materializing a
     record list (the same validation as :func:`select_instance_subtrace`,
-    off the sink's span counter)."""
+    off the sink's span counter).
+
+    With ``spill_dir`` set the window streams through a
+    :class:`~repro.trace.store.SegmentedLoopSink` instead — full segments
+    spill to a per-loop subdirectory under ``segment_rows``-row budgets
+    and the DDG is reassembled by streaming segment windows (``jobs > 1``
+    shards the per-segment remap across a process pool).  The resulting
+    DDG is bit-identical to the in-RAM path.
+    """
     if tel is None:
         tel = get_telemetry()
-    sink = ColumnarLoopSink(loop_id, instances={instance})
+    if spill_dir:
+        from repro.trace.store import (
+            DEFAULT_SEGMENT_ROWS,
+            SegmentedLoopSink,
+            spill_subdir,
+        )
+
+        sink = SegmentedLoopSink(
+            loop_id, instances={instance},
+            spill_dir=spill_subdir(spill_dir,
+                                   f"{loop_name}-inst{instance}"),
+            segment_rows=segment_rows or DEFAULT_SEGMENT_ROWS,
+        )
+    else:
+        sink = ColumnarLoopSink(loop_id, instances={instance})
     with tel.span("loop.rerun"):
         interp = Interpreter(module, sink=sink, fuel=fuel)
         interp.run(entry, args)
@@ -134,8 +157,13 @@ def windowed_loop_ddg(module: Module, loop_id: int, loop_name: str,
             f"loop {loop_name!r}: expected one recorded span for instance "
             f"{instance}, found {sink.spans_recorded}"
         )
-    with tel.span("ddg.build"):
-        ddg = sink.to_ddg()
+    if spill_dir:
+        store = sink.finish()
+        with tel.span("ddg.build"):
+            ddg = store.to_ddg(jobs=jobs, tel=tel)
+    else:
+        with tel.span("ddg.build"):
+            ddg = sink.to_ddg()
     if tel.enabled:
         tel.count("ddg.nodes", len(ddg.sids))
         tel.count("ddg.edges", len(ddg.pred_indices))
@@ -153,10 +181,18 @@ def analyze_loop(
     relax_reductions: bool = False,
     fuel: int = DEFAULT_FUEL,
     tel=None,
+    spill_dir: Optional[str] = None,
+    segment_rows: Optional[int] = None,
+    jobs: int = 1,
 ) -> LoopReport:
     """Dynamic analysis of one loop: trace one instance, build the DDG,
     compute the paper's metrics.  ``loop_name`` is a label or
-    ``function:line``."""
+    ``function:line``.
+
+    ``spill_dir``/``segment_rows`` switch the windowed trace to the
+    out-of-core segment store (bit-identical report); ``jobs`` then
+    shards the segment reassembly across a process pool.
+    """
     if tel is None:
         tel = get_telemetry()
     info = module.loop_by_name(loop_name)
@@ -172,7 +208,9 @@ def analyze_loop(
     tel.instant("loop.analyze.start", {"loop": loop_name})
     with use_telemetry(tel):
         ddg, rows = windowed_loop_ddg(module, info.loop_id, loop_name,
-                                      entry, args, instance, fuel, tel)
+                                      entry, args, instance, fuel, tel,
+                                      spill_dir=spill_dir,
+                                      segment_rows=segment_rows, jobs=jobs)
         report = loop_metrics(ddg, module, loop_name, include_integer,
                               relax_reductions, tel=tel)
     tel.count("pipeline.loops_analyzed")
@@ -241,6 +279,8 @@ def run_loop_analyses(
     fuel: int = DEFAULT_FUEL,
     jobs: int = 1,
     tel=None,
+    spill_dir: Optional[str] = None,
+    segment_rows: Optional[int] = None,
 ) -> List[LoopReport]:
     """Per-loop windowed analyses, optionally across a process pool.
 
@@ -250,23 +290,40 @@ def run_loop_analyses(
     sandboxes, missing semaphores) falls back to the serial path with a
     ``vectra.pipeline`` warning.  Worker telemetry snapshots are merged
     into ``tel``, so counter totals match the serial path exactly.
+
+    With ``spill_dir`` set, loops run serially (an out-of-core run is
+    memory-bound, so loop-level fan-out would multiply the working set)
+    and ``jobs`` instead shards each loop's spilled segments across the
+    pool during DDG reassembly — see
+    :meth:`repro.trace.store.SegmentStore.to_ddg`.
     """
     if tel is None:
         tel = get_telemetry()
     names = list(loop_names)
     if jobs is None or int(jobs) <= 0:
         jobs = multiprocessing.cpu_count()
-    jobs = max(1, min(int(jobs), len(names)))
+    jobs = max(1, int(jobs)) if spill_dir else (
+        max(1, min(int(jobs), len(names)))
+    )
     tel.gauge("pipeline.jobs", jobs)
 
     def serial() -> List[LoopReport]:
         return [
             analyze_loop(module, name, entry, args, instance,
                          include_integer, relax_reductions, fuel=fuel,
-                         tel=tel)
+                         tel=tel, spill_dir=spill_dir,
+                         segment_rows=segment_rows,
+                         jobs=jobs if spill_dir else 1)
             for name in names
         ]
 
+    if spill_dir:
+        if jobs > 1:
+            _log.debug(
+                "spill mode: analyzing %d loop(s) serially, sharding "
+                "segments across %d worker(s)", len(names), jobs,
+            )
+        return serial()
     if jobs <= 1 or len(names) <= 1:
         return serial()
     payloads = [
@@ -313,12 +370,16 @@ def analyze_program(
     fuel: int = DEFAULT_FUEL,
     jobs: int = 1,
     tel=None,
+    spill_dir: Optional[str] = None,
+    segment_rows: Optional[int] = None,
 ) -> BenchmarkReport:
     """The full §4.1 methodology for one program.
 
     ``jobs > 1`` analyzes the hot loops concurrently across a process
     pool (``None`` = one worker per CPU); reports are byte-identical to
-    ``jobs=1``.
+    ``jobs=1``.  ``spill_dir``/``segment_rows`` run the windowed traces
+    out-of-core (bit-identical report; ``jobs`` shards segments instead
+    of loops).
     """
     if tel is None:
         tel = get_telemetry()
@@ -345,7 +406,8 @@ def analyze_program(
             source, benchmark, module,
             [module.loops[prof.loop_id].name for prof in hot],
             entry, args, instance, include_integer, relax_reductions,
-            fuel, jobs, tel=tel,
+            fuel, jobs, tel=tel, spill_dir=spill_dir,
+            segment_rows=segment_rows,
         )
         report = BenchmarkReport(benchmark=benchmark)
         for prof, loop_report in zip(hot, loop_reports):
@@ -370,6 +432,8 @@ def analyze_module(
     relax_reductions: bool = False,
     fuel: int = DEFAULT_FUEL,
     tel=None,
+    spill_dir: Optional[str] = None,
+    segment_rows: Optional[int] = None,
 ) -> BenchmarkReport:
     """Hot-loop analysis without a source AST (no Percent Packed column;
     serial — without source text there is nothing to ship to workers)."""
@@ -389,7 +453,8 @@ def analyze_module(
             info = module.loops[prof.loop_id]
             loop_report = analyze_loop(
                 module, info.name, entry, args, instance, include_integer,
-                relax_reductions, fuel=fuel, tel=tel,
+                relax_reductions, fuel=fuel, tel=tel, spill_dir=spill_dir,
+                segment_rows=segment_rows,
             )
             loop_report.benchmark = module.name
             loop_report.percent_cycles = prof.percent_cycles

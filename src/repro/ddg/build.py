@@ -26,6 +26,13 @@ from repro.ddg.graph import _CSR_TYPECODE, DDG
 def build_ddg(trace: Trace, tel=None) -> DDG:
     if tel is None:
         tel = get_telemetry()
+    store = getattr(trace, "segment_store", None)
+    if store is not None:
+        ddg = store.to_ddg(tel=tel)
+        if tel.enabled:
+            tel.count("ddg.nodes", len(ddg.sids))
+            tel.count("ddg.edges", len(ddg.pred_indices))
+        return ddg
     sink = getattr(trace, "columnar_sink", None)
     if sink is not None:
         with tel.span("ddg.build"):

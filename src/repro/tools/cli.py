@@ -27,6 +27,11 @@ reports across invocations), ``--trace-json PATH`` (Chrome trace-event
 timeline for Perfetto/``chrome://tracing``; ``-`` writes to stdout),
 and ``--log-level LEVEL`` (the ``vectra.*`` logger hierarchy — surfaces
 e.g. pool-to-serial fallbacks and fuel exhaustion as warnings).
+
+``analyze`` and ``analyze-file`` additionally accept ``--spill-dir DIR``
+/ ``--segment-rows N``: the windowed traces stream through the
+out-of-core segment store (bit-identical reports, bounded peak memory;
+``--jobs`` then shards segments instead of loops).
 """
 
 from __future__ import annotations
@@ -392,6 +397,14 @@ def _run_opts(args):
         opts["fuel"] = args.fuel
     if getattr(args, "jobs", None) is not None:
         opts["jobs"] = args.jobs
+    spill_dir = getattr(args, "spill_dir", None)
+    segment_rows = getattr(args, "segment_rows", None)
+    if segment_rows is not None and not spill_dir:
+        raise VectraError("--segment-rows requires --spill-dir")
+    if spill_dir:
+        opts["spill_dir"] = spill_dir
+        if segment_rows is not None:
+            opts["segment_rows"] = segment_rows
     return opts
 
 
@@ -407,6 +420,20 @@ def _add_jobs_option(p):
                    help="analyze hot loops across N worker processes "
                         "(0 or negative: one per CPU); results are "
                         "byte-identical to --jobs 1")
+
+
+def _add_spill_options(p):
+    g = p.add_argument_group("out-of-core trace store")
+    g.add_argument("--spill-dir", metavar="DIR", default=None,
+                   help="spill windowed trace columns to segment files "
+                        "under DIR instead of holding them in RAM; "
+                        "reports are bit-identical, peak memory is "
+                        "bounded by the segment budget (with --jobs, "
+                        "segments shard across the worker pool)")
+    g.add_argument("--segment-rows", type=int, default=None, metavar="N",
+                   help="rows per spilled segment (default: 1048576); "
+                        "cuts align to loop-iteration markers; requires "
+                        "--spill-dir")
 
 
 def _parse_params(items):
@@ -481,6 +508,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-v", "--verbose", action="store_true")
     _add_fuel_option(p)
     _add_jobs_option(p)
+    _add_spill_options(p)
     p.set_defaults(func=_cmd_analyze)
 
     p = sub.add_parser("vlength",
@@ -506,6 +534,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--threshold", type=float, default=0.10)
     _add_fuel_option(p)
     _add_jobs_option(p)
+    _add_spill_options(p)
     p.set_defaults(func=_cmd_analyze_file)
 
     p = sub.add_parser("decisions",

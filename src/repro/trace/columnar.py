@@ -88,9 +88,11 @@ class ColumnarSink:
         #: track, which matters at millions of records.  ``dep_flat`` is
         #: a plain list (list append is ~4x faster per record than
         #: ``array('q')``; :meth:`to_ddg` converts once in bulk) and the
-        #: u8 counts live in a ``bytearray`` numpy can view zero-copy.
+        #: counts live in an ``array('i')`` numpy can view zero-copy.
+        #: (An earlier revision used a u8 ``bytearray`` here, which made
+        #: any dynamic row with >255 predecessors raise mid-trace.)
         self.dep_flat: List[int] = []
-        self.dep_counts = bytearray()
+        self.dep_counts = array("i")
         #: Sparse columns, keyed by row: most records carry no operand
         #: addresses, no memory address, and no store backpatch, so a
         #: map per populated row beats a dense per-record append.
@@ -468,7 +470,7 @@ class ColumnarSink:
             rows = df - rn[jc] + rr[jc]
             mapped = di[_np.where((j >= 0) & (rows < rend[jc]), rows, n_rows)]
 
-        counts = _np.frombuffer(self.dep_counts, dtype=_np.uint8)
+        counts = _np.frombuffer(self.dep_counts, dtype=_np.intc)
         stride = n + 2
         key = _np.repeat(_np.arange(n_rows, dtype=_np.int64), counts)
         key *= stride

@@ -2,16 +2,27 @@
 
 The paper's tool writes the run-time trace to disk and analyzes it
 offline; this module provides the same capability.  Format (little
-endian, unchanged since version 1):
+endian):
 
 - header: magic ``VTRC``, u32 version, u64 record count
-- per record: u64 node, u32 sid, u8 opcode, i32 loop_id, u64 addr,
-  u64 store_addr, u8 ndeps, i64 deps..., u8 naddrs, u64 addrs...
+- per record (version 2, current): u64 node, u32 sid, u8 opcode,
+  i32 loop_id, u64 addr, u64 store_addr, u16 ndeps, i64 deps...,
+  u16 naddrs, u64 addrs...
+
+Version 1 packed the two per-record counts as u8, which made
+``write_trace`` die with an opaque ``ValueError`` on any record carrying
+more than 255 dependences or operand addresses.  Version 2 widens the
+counts to u16 and the writer refuses counts past 65535 with a
+:class:`TraceError` naming the offending record; the reader still
+accepts version-1 streams.
 
 I/O is chunked: the writer accumulates records in a ``bytearray`` and
 flushes ~1 MiB at a time; the reader slurps the stream once and decodes
 with ``unpack_from`` over the buffer.  Millions of records cost a
-handful of syscalls instead of several per record.
+handful of syscalls instead of several per record.  After the declared
+record count is decoded the reader demands the buffer be exhausted —
+trailing bytes mean a corrupted or concatenated file and raise
+:class:`TraceError` instead of silently loading a partial view.
 """
 
 from __future__ import annotations
@@ -25,7 +36,10 @@ from repro.trace.events import DynInstr
 from repro.trace.trace import Trace
 
 MAGIC = b"VTRC"
-VERSION = 1
+VERSION = 2
+
+#: Largest per-record dependence/address count the format can carry.
+MAX_COUNT = 0xFFFF
 
 _HEADER = struct.Struct("<4sIQ")
 _FIXED = struct.Struct("<QIBiQQ")
@@ -40,17 +54,32 @@ def write_trace(trace: Trace, fh: BinaryIO) -> None:
     buf = bytearray()
     pack_fixed = _FIXED.pack
     pack = struct.pack
-    for rec in records:
+    for i, rec in enumerate(records):
         buf += pack_fixed(rec.node, rec.sid, int(rec.opcode),
                           rec.loop_id, rec.addr, rec.store_addr)
         deps = rec.deps
-        buf.append(len(deps))
+        ndeps = len(deps)
+        if ndeps > MAX_COUNT:
+            raise TraceError(
+                f"record {i} (node {rec.node}, sid {rec.sid}) has {ndeps} "
+                f"dependences; the trace format caps counts at {MAX_COUNT}"
+            )
+        buf.append(ndeps & 0xFF)
+        buf.append(ndeps >> 8)
         if deps:
-            buf += pack(f"<{len(deps)}q", *deps)
+            buf += pack(f"<{ndeps}q", *deps)
         addrs = rec.addrs
-        buf.append(len(addrs))
+        naddrs = len(addrs)
+        if naddrs > MAX_COUNT:
+            raise TraceError(
+                f"record {i} (node {rec.node}, sid {rec.sid}) has {naddrs} "
+                f"operand addresses; the trace format caps counts at "
+                f"{MAX_COUNT}"
+            )
+        buf.append(naddrs & 0xFF)
+        buf.append(naddrs >> 8)
         if addrs:
-            buf += pack(f"<{len(addrs)}Q", *addrs)
+            buf += pack(f"<{naddrs}Q", *addrs)
         if len(buf) >= _CHUNK:
             fh.write(buf)
             del buf[:]
@@ -65,8 +94,9 @@ def read_trace(fh: BinaryIO, module: Module) -> Trace:
     magic, version, count = _HEADER.unpack(header)
     if magic != MAGIC:
         raise TraceError("not a vectra trace file")
-    if version != VERSION:
+    if version not in (1, VERSION):
         raise TraceError(f"unsupported trace version {version}")
+    wide = version >= 2
     data = fh.read()
     records: List[DynInstr] = []
     append = records.append
@@ -81,15 +111,23 @@ def read_trace(fh: BinaryIO, module: Module) -> Trace:
                 data, pos
             )
             pos += fixed_size
-            ndeps = data[pos]
-            pos += 1
+            if wide:
+                ndeps = data[pos] | (data[pos + 1] << 8)
+                pos += 2
+            else:
+                ndeps = data[pos]
+                pos += 1
             if ndeps:
                 deps = unpack_from(f"<{ndeps}q", data, pos)
                 pos += 8 * ndeps
             else:
                 deps = ()
-            naddrs = data[pos]
-            pos += 1
+            if wide:
+                naddrs = data[pos] | (data[pos + 1] << 8)
+                pos += 2
+            else:
+                naddrs = data[pos]
+                pos += 1
             if naddrs:
                 addrs = unpack_from(f"<{naddrs}Q", data, pos)
                 pos += 8 * naddrs
@@ -103,6 +141,11 @@ def read_trace(fh: BinaryIO, module: Module) -> Trace:
             )
     except (struct.error, IndexError):
         raise TraceError("truncated trace record") from None
+    if pos != end:
+        raise TraceError(
+            f"trace has {end - pos} trailing byte(s) after the declared "
+            f"{count} record(s) (file offset {_HEADER.size + pos})"
+        )
     return Trace(module, records)
 
 

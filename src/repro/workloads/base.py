@@ -33,6 +33,8 @@ def analyze_workload(
     fuel: int = DEFAULT_FUEL,
     jobs: int = 1,
     tel=None,
+    spill_dir: Optional[str] = None,
+    segment_rows: Optional[int] = None,
 ) -> BenchmarkReport:
     """Analyze the named ``loops`` of one program (compile once, profile
     once, then per-loop fused windowed analysis — the §4.1 methodology
@@ -40,7 +42,9 @@ def analyze_workload(
 
     ``jobs > 1`` fans the per-loop re-runs across a process pool with
     byte-identical results (see
-    :func:`repro.analysis.pipeline.run_loop_analyses`)."""
+    :func:`repro.analysis.pipeline.run_loop_analyses`).
+    ``spill_dir``/``segment_rows`` run the windowed traces out-of-core
+    through the segment store — reports stay bit-identical."""
     if tel is None:
         tel = get_telemetry()
     with tel.span("analysis.total"):
@@ -74,6 +78,7 @@ def analyze_workload(
         loop_reports = run_loop_analyses(
             source, benchmark, module, list(loops), entry, args, instance,
             include_integer, relax_reductions, fuel, jobs, tel=tel,
+            spill_dir=spill_dir, segment_rows=segment_rows,
         )
         report = BenchmarkReport(benchmark=benchmark)
         for info, loop_report in zip(infos, loop_reports):
@@ -132,6 +137,8 @@ class Workload:
                 relax_reductions: bool = False,
                 fuel: int = DEFAULT_FUEL,
                 jobs: int = 1,
+                spill_dir: Optional[str] = None,
+                segment_rows: Optional[int] = None,
                 **overrides) -> BenchmarkReport:
         return analyze_workload(
             self.source(**overrides),
@@ -144,4 +151,6 @@ class Workload:
             relax_reductions=relax_reductions,
             fuel=fuel,
             jobs=jobs,
+            spill_dir=spill_dir,
+            segment_rows=segment_rows,
         )

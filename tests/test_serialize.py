@@ -1,13 +1,23 @@
 """Binary trace serialization round-trip tests."""
 
 import io
+import struct
 
 import pytest
 
 from repro.errors import TraceError
 from repro.frontend import compile_source
 from repro.interp import run_and_trace
-from repro.trace.serialize import load_trace, read_trace, save_trace, write_trace
+from repro.trace.events import DynInstr
+from repro.trace.serialize import (
+    MAGIC,
+    MAX_COUNT,
+    load_trace,
+    read_trace,
+    save_trace,
+    write_trace,
+)
+from repro.trace.trace import Trace
 
 
 SRC = """
@@ -78,6 +88,127 @@ def test_truncated_record_rejected(module):
     data = buf.getvalue()[: len(buf.getvalue()) - 7]
     with pytest.raises(TraceError):
         read_trace(io.BytesIO(data), module)
+
+
+def _synthetic_trace(module, dep_counts=(), addr_counts=()):
+    """Records with chosen dependence/address list lengths — the count
+    columns are what the u8→u16 format bump is about."""
+    n = max(len(dep_counts), len(addr_counts), 1)
+    records = []
+    for i in range(n):
+        nd = dep_counts[i] if i < len(dep_counts) else 0
+        na = addr_counts[i] if i < len(addr_counts) else 0
+        records.append(DynInstr(
+            node=i, sid=i + 1, opcode=3, loop_id=-1,
+            deps=tuple(range(nd)), addrs=tuple(8 * k for k in range(na)),
+            addr=i * 8, store_addr=i * 16,
+        ))
+    return Trace(module, records)
+
+
+def _v1_bytes(records):
+    """A handcrafted version-1 stream (u8 counts) for reader-compat
+    tests — the v2 writer can no longer produce one."""
+    out = bytearray(struct.pack("<4sIQ", MAGIC, 1, len(records)))
+    for rec in records:
+        out += struct.pack("<QIBiQQ", rec.node, rec.sid, int(rec.opcode),
+                           rec.loop_id, rec.addr, rec.store_addr)
+        out.append(len(rec.deps))
+        if rec.deps:
+            out += struct.pack(f"<{len(rec.deps)}q", *rec.deps)
+        out.append(len(rec.addrs))
+        if rec.addrs:
+            out += struct.pack(f"<{len(rec.addrs)}Q", *rec.addrs)
+    return bytes(out)
+
+
+def _assert_records_equal(a, b):
+    assert len(a) == len(b)
+    for x, y in zip(a, b):
+        assert x.node == y.node
+        assert x.sid == y.sid
+        assert int(x.opcode) == int(y.opcode)
+        assert x.loop_id == y.loop_id
+        assert tuple(x.deps) == tuple(y.deps)
+        assert tuple(x.addrs) == tuple(y.addrs)
+        assert x.addr == y.addr
+        assert x.store_addr == y.store_addr
+
+
+@pytest.mark.parametrize("count", [0, 1, 254, 255, 256, 1000, MAX_COUNT])
+def test_v2_round_trip_at_count_boundaries(module, count):
+    """The u8 format died at 256; v2 must carry every count up to the
+    u16 limit — including the exact old and new boundaries."""
+    trace = _synthetic_trace(module, dep_counts=(count,),
+                             addr_counts=(0, count))
+    buf = io.BytesIO()
+    write_trace(trace, buf)
+    buf.seek(0)
+    back = read_trace(buf, module)
+    _assert_records_equal(trace.records, back.records)
+
+
+@pytest.mark.parametrize("field", ["deps", "addrs"])
+def test_count_past_format_limit_names_the_record(module, field):
+    """One past the u16 limit: a TraceError naming the offending record,
+    not an opaque struct/bytearray ValueError."""
+    kwargs = {"dep_counts": (1, MAX_COUNT + 1)} if field == "deps" else {
+        "addr_counts": (1, MAX_COUNT + 1)}
+    trace = _synthetic_trace(module, **kwargs)
+    with pytest.raises(TraceError) as excinfo:
+        write_trace(trace, io.BytesIO())
+    message = str(excinfo.value)
+    assert "record 1" in message
+    assert str(MAX_COUNT + 1) in message
+
+
+@pytest.mark.parametrize("count", [0, 1, 254, 255])
+def test_v1_reader_compat_at_u8_boundaries(module, count):
+    """The reader keeps decoding version-1 streams (u8 counts) across
+    the whole u8 range."""
+    trace = _synthetic_trace(module, dep_counts=(count,),
+                             addr_counts=(count, 3))
+    back = read_trace(io.BytesIO(_v1_bytes(trace.records)), module)
+    _assert_records_equal(trace.records, back.records)
+
+
+def test_unknown_version_rejected(module):
+    data = struct.pack("<4sIQ", MAGIC, 3, 0)
+    with pytest.raises(TraceError, match="version 3"):
+        read_trace(io.BytesIO(data), module)
+
+
+def test_trailing_bytes_rejected_with_offset(module):
+    """Corrupted/concatenated files used to load 'successfully'; now the
+    error reports how many bytes are left and where they start."""
+    trace = _synthetic_trace(module, dep_counts=(2, 0, 1))
+    buf = io.BytesIO()
+    write_trace(trace, buf)
+    clean = buf.getvalue()
+    with pytest.raises(TraceError) as excinfo:
+        read_trace(io.BytesIO(clean + b"\x00" * 7), module)
+    message = str(excinfo.value)
+    assert "7 trailing byte(s)" in message
+    assert f"offset {len(clean)}" in message
+    # Two concatenated streams: the second stream is the trailing junk.
+    with pytest.raises(TraceError, match="trailing"):
+        read_trace(io.BytesIO(clean + clean), module)
+
+
+def test_truncation_at_every_offset_rejected(module):
+    """Fuzz: every strict prefix of a valid stream must raise TraceError
+    — never a partial load, never an uncaught struct/IndexError."""
+    trace = _synthetic_trace(module, dep_counts=(3, 0, 1),
+                             addr_counts=(0, 2, 257))
+    buf = io.BytesIO()
+    write_trace(trace, buf)
+    data = buf.getvalue()
+    for cut in range(len(data)):
+        with pytest.raises(TraceError):
+            read_trace(io.BytesIO(data[:cut]), module)
+    _assert_records_equal(
+        trace.records, read_trace(io.BytesIO(data), module).records
+    )
 
 
 def test_windowed_subtrace_round_trip(module):
