@@ -103,7 +103,9 @@ def select_instance_subtrace(trace, loop_id: int, loop_name: str,
 def windowed_loop_ddg(module: Module, loop_id: int, loop_name: str,
                       entry: str, args: Sequence, instance: int,
                       fuel: int, tel=None, spill_dir: Optional[str] = None,
-                      segment_rows: Optional[int] = None, jobs: int = 1):
+                      segment_rows: Optional[int] = None, jobs: int = 1,
+                      compile_loops: bool = True,
+                      compile_threshold: Optional[int] = None):
     """Fused trace→DDG for one loop instance: the windowed re-run streams
     into columnar storage and the DDG drops out without materializing a
     record list (the same validation as :func:`select_instance_subtrace`,
@@ -134,7 +136,9 @@ def windowed_loop_ddg(module: Module, loop_id: int, loop_name: str,
     else:
         sink = ColumnarLoopSink(loop_id, instances={instance})
     with tel.span("loop.rerun"):
-        interp = Interpreter(module, sink=sink, fuel=fuel)
+        interp = Interpreter(module, sink=sink, fuel=fuel,
+                             compile_loops=compile_loops,
+                             compile_threshold=compile_threshold)
         interp.run(entry, args)
     rows = 0
     if tel.enabled:
@@ -184,6 +188,8 @@ def analyze_loop(
     spill_dir: Optional[str] = None,
     segment_rows: Optional[int] = None,
     jobs: int = 1,
+    compile_loops: bool = True,
+    compile_threshold: Optional[int] = None,
 ) -> LoopReport:
     """Dynamic analysis of one loop: trace one instance, build the DDG,
     compute the paper's metrics.  ``loop_name`` is a label or
@@ -192,6 +198,9 @@ def analyze_loop(
     ``spill_dir``/``segment_rows`` switch the windowed trace to the
     out-of-core segment store (bit-identical report); ``jobs`` then
     shards the segment reassembly across a process pool.
+    ``compile_loops``/``compile_threshold`` control the trace-replay
+    compiler (:mod:`repro.interp.compile`); output is bit-identical
+    either way.
     """
     if tel is None:
         tel = get_telemetry()
@@ -210,7 +219,9 @@ def analyze_loop(
         ddg, rows = windowed_loop_ddg(module, info.loop_id, loop_name,
                                       entry, args, instance, fuel, tel,
                                       spill_dir=spill_dir,
-                                      segment_rows=segment_rows, jobs=jobs)
+                                      segment_rows=segment_rows, jobs=jobs,
+                                      compile_loops=compile_loops,
+                                      compile_threshold=compile_threshold)
         report = loop_metrics(ddg, module, loop_name, include_integer,
                               relax_reductions, tel=tel)
     tel.count("pipeline.loops_analyzed")
@@ -250,7 +261,8 @@ def _loop_worker(payload):
     events ride home inside the snapshot — a ``--jobs N`` trace renders
     as N worker tracks."""
     (source, benchmark, loop_name, entry, args, instance,
-     include_integer, relax_reductions, fuel, profiled, timeline) = payload
+     include_integer, relax_reductions, fuel, profiled, timeline,
+     compile_loops, compile_threshold) = payload
     tel = None
     if profiled:
         tel = Telemetry(events=EventLog() if timeline else None)
@@ -262,7 +274,8 @@ def _loop_worker(payload):
         module = compile_source(source, benchmark or "module")
         report = analyze_loop(module, loop_name, entry, args, instance,
                               include_integer, relax_reductions, fuel=fuel,
-                              tel=tel)
+                              tel=tel, compile_loops=compile_loops,
+                              compile_threshold=compile_threshold)
     return report, (tel.snapshot() if profiled else None)
 
 
@@ -281,6 +294,8 @@ def run_loop_analyses(
     tel=None,
     spill_dir: Optional[str] = None,
     segment_rows: Optional[int] = None,
+    compile_loops: bool = True,
+    compile_threshold: Optional[int] = None,
 ) -> List[LoopReport]:
     """Per-loop windowed analyses, optionally across a process pool.
 
@@ -313,7 +328,9 @@ def run_loop_analyses(
                          include_integer, relax_reductions, fuel=fuel,
                          tel=tel, spill_dir=spill_dir,
                          segment_rows=segment_rows,
-                         jobs=jobs if spill_dir else 1)
+                         jobs=jobs if spill_dir else 1,
+                         compile_loops=compile_loops,
+                         compile_threshold=compile_threshold)
             for name in names
         ]
 
@@ -329,7 +346,7 @@ def run_loop_analyses(
     payloads = [
         (source, benchmark, name, entry, tuple(args), instance,
          include_integer, relax_reductions, fuel, tel.enabled,
-         tel.events is not None)
+         tel.events is not None, compile_loops, compile_threshold)
         for name in names
     ]
     try:
@@ -372,6 +389,8 @@ def analyze_program(
     tel=None,
     spill_dir: Optional[str] = None,
     segment_rows: Optional[int] = None,
+    compile_loops: bool = True,
+    compile_threshold: Optional[int] = None,
 ) -> BenchmarkReport:
     """The full §4.1 methodology for one program.
 
@@ -393,7 +412,9 @@ def analyze_program(
             decisions = analyze_program_loops(program, analyzer, vec_config)
 
         with tel.span("profile.run"):
-            interp = Interpreter(module, fuel=fuel)
+            interp = Interpreter(module, fuel=fuel,
+                                 compile_loops=compile_loops,
+                                 compile_threshold=compile_threshold)
             interp.run(entry, args)
             profiles = profile_loops(module, interp, cost_model)
             hot = hot_loops(module, interp, threshold, cost_model)
@@ -407,7 +428,8 @@ def analyze_program(
             [module.loops[prof.loop_id].name for prof in hot],
             entry, args, instance, include_integer, relax_reductions,
             fuel, jobs, tel=tel, spill_dir=spill_dir,
-            segment_rows=segment_rows,
+            segment_rows=segment_rows, compile_loops=compile_loops,
+            compile_threshold=compile_threshold,
         )
         report = BenchmarkReport(benchmark=benchmark)
         for prof, loop_report in zip(hot, loop_reports):
@@ -434,6 +456,8 @@ def analyze_module(
     tel=None,
     spill_dir: Optional[str] = None,
     segment_rows: Optional[int] = None,
+    compile_loops: bool = True,
+    compile_threshold: Optional[int] = None,
 ) -> BenchmarkReport:
     """Hot-loop analysis without a source AST (no Percent Packed column;
     serial — without source text there is nothing to ship to workers)."""
@@ -441,7 +465,9 @@ def analyze_module(
         tel = get_telemetry()
     with tel.span("analysis.total"):
         with tel.span("profile.run"):
-            interp = Interpreter(module, fuel=fuel)
+            interp = Interpreter(module, fuel=fuel,
+                                 compile_loops=compile_loops,
+                                 compile_threshold=compile_threshold)
             interp.run(entry, args)
             hot = hot_loops(module, interp, threshold)
         if tel.enabled:
@@ -454,7 +480,8 @@ def analyze_module(
             loop_report = analyze_loop(
                 module, info.name, entry, args, instance, include_integer,
                 relax_reductions, fuel=fuel, tel=tel, spill_dir=spill_dir,
-                segment_rows=segment_rows,
+                segment_rows=segment_rows, compile_loops=compile_loops,
+                compile_threshold=compile_threshold,
             )
             loop_report.benchmark = module.name
             loop_report.percent_cycles = prof.percent_cycles

@@ -26,6 +26,11 @@ from collections import defaultdict
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import FuelExhaustedError, InterpError, MemoryError_
+from repro.interp.compile import (
+    MAX_PATH_LEN as _MAX_PATH,
+    REJECTED as _REJECTED,
+    TraceCompiler,
+)
 from repro.ir.instructions import Opcode
 from repro.obs import get_logger, get_telemetry
 from repro.ir.module import Module
@@ -112,7 +117,9 @@ def _cdiv(a: int, b: int) -> int:
 class Interpreter:
     """Executes a module, producing profile counts and (optionally) a trace."""
 
-    def __init__(self, module: Module, sink=None, fuel: int = DEFAULT_FUEL):
+    def __init__(self, module: Module, sink=None, fuel: int = DEFAULT_FUEL,
+                 compile_loops: bool = True,
+                 compile_threshold: Optional[int] = None):
         self.module = module
         self.memory = Memory()
         self.sink = sink
@@ -136,6 +143,16 @@ class Interpreter:
         )
         self._executed = 0
         self._layout_globals()
+        #: trace-replay compiler (:mod:`repro.interp.compile`): hot loop
+        #: bodies specialize into batch kernels that emit trace records
+        #: wholesale.  Requires a sink with the bulk-append write path
+        #: (or no sink at all — profile runs batch too); the legacy
+        #: object-per-record sinks fall back to pure stepping.
+        self._compiler = None
+        if compile_loops and (
+            sink is None or hasattr(sink, "bulk_append")
+        ):
+            self._compiler = TraceCompiler(self, compile_threshold)
 
     # -- setup -------------------------------------------------------------
 
@@ -210,6 +227,13 @@ class Interpreter:
         loop_key = (cur_loop + 2) * LOOP_KEY_STRIDE
         recording = sink is not None and sink.active
         fuel = self.fuel
+        # Trace-replay compilation state: ``rec``/``rec_path`` hold an
+        # in-flight path recording (one iteration of a hot loop); the
+        # capture hook below is a single is-None test per instruction
+        # when idle.
+        comp = self._compiler
+        rec = None
+        rec_path: List = []
 
         VR = VirtualReg
         CONST = Constant
@@ -228,6 +252,11 @@ class Interpreter:
                 instr = instrs[pc]
                 pc += 1
                 opc = instr.opcode
+                if rec is not None:
+                    rec_path.append((instr, block, pc - 1))
+                    if len(rec_path) > _MAX_PATH:
+                        comp.reject(rec.loop_id)
+                        rec = None
                 node = self._node
                 self._node = node + 1
                 self._executed += 1
@@ -399,6 +428,11 @@ class Interpreter:
                 if opc is _OP_LENTER or opc is _OP_LNEXT or opc is _OP_LEXIT:
                     lid = instr.loop_id
                     if opc is _OP_LENTER:
+                        # A nested loop inside a recorded body means the
+                        # path is not straight-line: never compilable.
+                        if rec is not None:
+                            comp.reject(rec.loop_id)
+                            rec = None
                         instance = self._loop_instance_counters[lid]
                         self._loop_instance_counters[lid] = instance + 1
                         if lid not in self.dyn_parent:
@@ -415,7 +449,31 @@ class Interpreter:
                             self._iter_stack[-1] += 1
                         if recording:
                             sink_emit(node, instr.sid, 71, lid)
+                        if comp is not None:
+                            if rec is not None and rec.loop_id == lid:
+                                comp.build(rec, cur_loop)
+                                rec = None
+                            kern = comp.kernels.get(lid)
+                            if kern is None:
+                                if (counts[loop_key + 71]
+                                        >= comp.threshold):
+                                    rec = comp.begin(lid, block, pc)
+                                    rec_path = rec.path
+                            elif kern is not _REJECTED:
+                                res = comp.dispatch(
+                                    kern, values, defn, defa, sink,
+                                    recording, cur_loop, loop_key)
+                                if res is not None:
+                                    block, pc, iters = res
+                                    instrs = block.instructions
+                                    if iters and self._iter_stack:
+                                        self._iter_stack[-1] += iters
                     else:  # LOOP_EXIT
+                        # Recording straddled the loop's last iteration:
+                        # abandon it and retry on a later instance.
+                        if rec is not None:
+                            comp.abort(rec.loop_id)
+                            rec = None
                         if loop_stack and loop_stack[-1] == lid:
                             loop_stack.pop()
                             if self._iter_stack:
@@ -540,6 +598,10 @@ class Interpreter:
                     continue
 
                 if opc is _OP_CALL:
+                    # Calls (intrinsic or not) end straight-line paths.
+                    if rec is not None:
+                        comp.reject(rec.loop_id)
+                        rec = None
                     triples = [ev(a) for a in instr.operands]
                     if recording:
                         sink_emit(node, instr.sid, 63, cur_loop,
@@ -567,6 +629,11 @@ class Interpreter:
                     continue
 
                 if opc is _OP_RET:
+                    # A return mid-recording (loop exited through it):
+                    # abandon the path; a later instance retries.
+                    if rec is not None:
+                        comp.abort(rec.loop_id)
+                        rec = None
                     if instr.operands:
                         value, vdn, vda = ev(instr.operands[0])
                     else:
@@ -581,9 +648,12 @@ class Interpreter:
             memory.pop_frame(frame_save)
 
 def run_module(module: Module, entry: str = "main", args: Sequence = (),
-               fuel: int = DEFAULT_FUEL):
+               fuel: int = DEFAULT_FUEL, compile_loops: bool = True,
+               compile_threshold: Optional[int] = None):
     """Execute a module without tracing; returns (return value, interpreter)."""
-    interp = Interpreter(module, sink=None, fuel=fuel)
+    interp = Interpreter(module, sink=None, fuel=fuel,
+                         compile_loops=compile_loops,
+                         compile_threshold=compile_threshold)
     value = interp.run(entry, args)
     return value, interp
 
@@ -597,6 +667,8 @@ def run_and_trace(
     fuel: int = DEFAULT_FUEL,
     columnar: bool = True,
     tel=None,
+    compile_loops: bool = True,
+    compile_threshold: Optional[int] = None,
 ) -> Trace:
     """Execute a module and collect a trace.
 
@@ -619,7 +691,9 @@ def run_and_trace(
         sink = RecordingSink()
     else:
         sink = LoopWindowSink(loop, instances)
-    interp = Interpreter(module, sink=sink, fuel=fuel)
+    interp = Interpreter(module, sink=sink, fuel=fuel,
+                         compile_loops=compile_loops,
+                         compile_threshold=compile_threshold)
     with tel.span("trace.run" if loop is None else "loop.rerun"):
         interp.run(entry, args)
     if tel.enabled:

@@ -22,6 +22,13 @@ from repro.profiler.costmodel import CostModel, DEFAULT_COST_MODEL
 
 _FP_OPS = frozenset(int(op) for op in FP_ARITH_OPCODES)
 
+#: Iteration count after which a loop counts as *hot* for trace-replay
+#: compilation (:mod:`repro.interp.compile`).  The signal is the same
+#: per-loop ``LOOP_NEXT`` tally :func:`_direct_tallies` decodes from
+#: ``op_counts`` — the profiler and the compiler share one hotness
+#: source, accumulated across all dynamic instances of the loop.
+HOT_LOOP_THRESHOLD = 16
+
 
 @dataclass
 class LoopProfile:

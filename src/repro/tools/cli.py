@@ -405,6 +405,10 @@ def _run_opts(args):
         opts["spill_dir"] = spill_dir
         if segment_rows is not None:
             opts["segment_rows"] = segment_rows
+    if getattr(args, "no_compile", False):
+        opts["compile_loops"] = False
+    if getattr(args, "compile_threshold", None) is not None:
+        opts["compile_threshold"] = args.compile_threshold
     return opts
 
 
@@ -413,6 +417,20 @@ def _add_fuel_option(p):
                    help="interpreter instruction budget (default: "
                         "500,000,000); runs that exhaust it fail with a "
                         "clear error instead of looping forever")
+
+
+def _add_compile_options(p):
+    g = p.add_argument_group("trace-replay compilation")
+    g.add_argument("--no-compile", action="store_true",
+                   help="disable the trace-replay loop compiler and run "
+                        "every instruction through the step interpreter "
+                        "(output is bit-identical either way; mainly for "
+                        "debugging and A/B timing)")
+    g.add_argument("--compile-threshold", type=int, default=None,
+                   metavar="N",
+                   help="iterations before a loop is considered hot and "
+                        "compiled to a batch kernel (default: 16, shared "
+                        "with the profiler's hot-loop counter)")
 
 
 def _add_jobs_option(p):
@@ -507,6 +525,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "future-work extension)")
     p.add_argument("-v", "--verbose", action="store_true")
     _add_fuel_option(p)
+    _add_compile_options(p)
     _add_jobs_option(p)
     _add_spill_options(p)
     p.set_defaults(func=_cmd_analyze)
@@ -517,6 +536,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("workload")
     p.add_argument("--loop", default=None)
     _add_fuel_option(p)
+    _add_compile_options(p)
     p.set_defaults(func=_cmd_vlength)
 
     p = sub.add_parser("opportunities",
@@ -525,6 +545,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("workload")
     p.add_argument("-v", "--verbose", action="store_true")
     _add_fuel_option(p)
+    _add_compile_options(p)
     p.set_defaults(func=_cmd_opportunities)
 
     p = sub.add_parser("analyze-file", help="analyze a mini-C source file",
@@ -533,6 +554,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--loop", default=None)
     p.add_argument("--threshold", type=float, default=0.10)
     _add_fuel_option(p)
+    _add_compile_options(p)
     _add_jobs_option(p)
     _add_spill_options(p)
     p.set_defaults(func=_cmd_analyze_file)
@@ -557,6 +579,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--instance", type=int, default=0)
     p.add_argument("-o", "--output", default="loop.vtrc")
     _add_fuel_option(p)
+    _add_compile_options(p)
     p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("analyze-trace",
@@ -574,6 +597,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("workload")
     p.add_argument("--loop", default=None)
     _add_fuel_option(p)
+    _add_compile_options(p)
     p.set_defaults(func=_cmd_baselines)
 
     p = sub.add_parser("explain",
@@ -592,6 +616,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-p", "--param", action="append",
                    help="override a workload parameter, e.g. -p n=64")
     _add_fuel_option(p)
+    _add_compile_options(p)
     p.set_defaults(func=_cmd_explain)
 
     p = sub.add_parser("compare",
@@ -624,6 +649,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("workload")
     p.add_argument("--loop", required=True)
     _add_fuel_option(p)
+    _add_compile_options(p)
     p.add_argument("--highlight-line", type=int, default=None,
                    help="color instances of the candidate instruction at "
                         "this source line by Algorithm-1 partition")

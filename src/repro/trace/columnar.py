@@ -62,6 +62,13 @@ def _scatter_int(map_, di, n):
     return out.tolist()
 
 
+def _row_index(keys):
+    """Row keys of one deferred sparse run as an int64 index array."""
+    if type(keys) is range:
+        return _np.arange(keys.start, keys.stop, keys.step, _np.int64)
+    return _np.asarray(keys, dtype=_np.int64)
+
+
 class ColumnarSink:
     """Retains every dynamic record, packed into flat columns.
 
@@ -75,6 +82,7 @@ class ColumnarSink:
         "sids", "opcodes", "dep_flat", "dep_counts",
         "addr_map", "mem_map", "store_map",
         "runs", "loop_breaks", "marker_rows", "active",
+        "_addr_runs", "_mem_runs",
         "_next_node", "_cur_node0", "_cur_row0", "_last_loop", "_records",
         "_sid_append", "_op_append", "_cnt_append", "_dep_extend",
     )
@@ -99,6 +107,13 @@ class ColumnarSink:
         self.addr_map: Dict[int, Tuple[int, ...]] = {}
         self.mem_map: Dict[int, int] = {}
         self.store_map: Dict[int, int] = {}
+        #: Sparse-column runs deferred by :meth:`bulk_append` when the
+        #: batch lands with row == node: each entry is a ``(keys, vals)``
+        #: column pair whose keys are already rows.  The vectorized DDG
+        #: scatter consumes them natively (no dict hashing at all);
+        #: every other reader drains them via :meth:`_flush_sparse`.
+        self._addr_runs: List[tuple] = []
+        self._mem_runs: List[tuple] = []
         #: (first node id, first row) of each contiguous recorded run.
         self.runs: List[Tuple[int, int]] = []
         #: (row, loop_id) change points of the RLE'd loop-id column.
@@ -155,6 +170,110 @@ class ColumnarSink:
             self.addr_map[row] = addrs
         if addr:
             self.mem_map[row] = addr
+
+    def bulk_append(
+        self,
+        node0: int,
+        loop_id: int,
+        n: int,
+        sids,
+        opcodes,
+        dep_counts,
+        dep_flat,
+        marker_offsets=(),
+        addr_runs=(),
+        mem_runs=(),
+        store_items=(),
+    ) -> None:
+        """Append ``n`` contiguous records wholesale — the batch-kernel
+        write path (:mod:`repro.interp.compile`).
+
+        The records carry node ids ``node0 .. node0+n-1`` and a single
+        ``loop_id`` (a compiled region never crosses a loop-enter/exit
+        marker, so the innermost loop is constant).  ``sids``/``opcodes``
+        are length-``n`` columns; ``dep_counts`` and ``dep_flat`` are the
+        CSR dependence slab.  ``marker_offsets`` lists the loop-marker
+        records by *absolute node id*.  The sparse columns arrive as
+        *column runs*: ``addr_runs`` and ``mem_runs`` are sequences of
+        ``(keys, vals)`` pairs where ``keys`` is a range (or ascending
+        list) of absolute node ids and ``vals`` a same-length sequence —
+        operand-address tuples and memory addresses respectively.
+        ``store_items`` stays an item triple iterable ``(store_node,
+        producer_node, addr)`` in chronological order (store nodes
+        ascending) so the first-store-wins rule of :meth:`note_store`
+        resolves exactly as per-record emission would.  Absolute keys
+        make the common case — a full recording, where row == node —
+        zero-cost: the runs are parked as-is and either scattered
+        vectorized by the DDG build or drained once by
+        :meth:`_flush_sparse`.  Any row/node skew (window sinks, spilled
+        chunks) falls back to a per-item adjustment.
+
+        The result is byte-identical to ``n`` :meth:`emit` calls with
+        the same per-record fields.
+        """
+        if n <= 0:
+            return
+        row0 = len(self.sids)
+        if node0 != self._next_node:
+            self._cur_node0 = node0
+            self._cur_row0 = row0
+            self.runs.append((node0, row0))
+        self._next_node = node0 + n
+        if loop_id != self._last_loop:
+            self.loop_breaks.append((row0, loop_id))
+            self._last_loop = loop_id
+        shift = row0 - node0
+        if marker_offsets:
+            if shift == 0:
+                self.marker_rows += marker_offsets
+            else:
+                mr_append = self.marker_rows.append
+                for m in marker_offsets:
+                    mr_append(m + shift)
+        self.sids += sids
+        self.opcodes += opcodes
+        self.dep_counts.extend(dep_counts)
+        if dep_flat:
+            self.dep_flat += dep_flat
+        if addr_runs:
+            if shift == 0:
+                self._addr_runs += addr_runs
+            else:
+                addr_map = self.addr_map
+                for keys, vals in addr_runs:
+                    for node, addrs in zip(keys, vals):
+                        addr_map[node + shift] = addrs
+        if mem_runs:
+            if shift == 0:
+                self._mem_runs += mem_runs
+            else:
+                mem_map = self.mem_map
+                for keys, vals in mem_runs:
+                    for node, addr in zip(keys, vals):
+                        mem_map[node + shift] = addr
+        if store_items:
+            note = self.note_store
+            for _node, producer_node, addr in store_items:
+                note(producer_node, addr)
+
+    def _flush_sparse(self) -> None:
+        """Drain deferred sparse-column runs into the row-keyed maps.
+
+        Runs are deferred only when their batch landed with row == node,
+        so the keys already are rows.  Idempotent; readers that touch
+        ``addr_map``/``mem_map`` directly call this first, while the
+        vectorized DDG scatter consumes the runs without a dict pass.
+        """
+        if self._addr_runs:
+            am = self.addr_map
+            for keys, vals in self._addr_runs:
+                am.update(zip(keys, vals))
+            self._addr_runs.clear()
+        if self._mem_runs:
+            mm = self.mem_map
+            for keys, vals in self._mem_runs:
+                mm.update(zip(keys, vals))
+            self._mem_runs.clear()
 
     def on_marker(self, kind: int, loop_id: int, instance: int) -> None:
         """Markers are recorded through :meth:`emit`; nothing extra."""
@@ -269,6 +388,8 @@ class ColumnarSink:
             )
 
         # -- interpreted fallback (numpy unavailable) -----------------------
+
+        self._flush_sparse()
 
         #: row -> DDG node index (-1 for markers).  One trailing slot is
         #: left at -1 so the full-trace remap below can resolve the
@@ -431,8 +552,24 @@ class ColumnarSink:
             rows = _np.fromiter(addr_map.keys(), _np.int64, len(addr_map))
             for p, val in zip(di[rows].tolist(), addr_map.values()):
                 out_addrs[p] = val
+        for keys, vals in self._addr_runs:
+            for p, val in zip(di[_row_index(keys)].tolist(), vals):
+                out_addrs[p] = val
         out_store = _scatter_int(self.store_map, di, n)
-        out_mem = _scatter_int(self.mem_map, di, n)
+        mem_runs = self._mem_runs
+        if mem_runs:
+            out = _np.zeros(n, dtype=_np.int64)
+            mem_map = self.mem_map
+            if mem_map:
+                rows = _np.fromiter(mem_map.keys(), _np.int64, len(mem_map))
+                vals = _np.fromiter(mem_map.values(), _np.int64,
+                                    len(mem_map))
+                out[di[rows]] = vals
+            for keys, vals in mem_runs:
+                out[di[_row_index(keys)]] = vals
+            out_mem = out.tolist()
+        else:
+            out_mem = _scatter_int(self.mem_map, di, n)
 
         indices_arr, offsets_arr = self._remap_deps_numpy(
             di, n, n_rows, single_run, node0, run_maps
@@ -513,6 +650,7 @@ class ColumnarSink:
         recs = self._records
         if recs is not None and len(recs) == len(self.sids):
             return recs
+        self._flush_sparse()
         recs = []
         append = recs.append
         runs = self.runs

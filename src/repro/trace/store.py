@@ -51,7 +51,7 @@ import os
 import re
 import struct
 from array import array
-from bisect import bisect_right
+from bisect import bisect_left, bisect_right
 from typing import Dict, Iterator, List, NamedTuple, Optional, Tuple
 
 from repro.errors import TraceError
@@ -173,6 +173,100 @@ class SegmentedSink(ColumnarSink):
             else:
                 self._late_stores.setdefault(row + self.base_row, addr)
 
+    def bulk_append(self, node0, loop_id, n, sids, opcodes, dep_counts,
+                    dep_flat, marker_offsets=(), addr_runs=(),
+                    mem_runs=(), store_items=()):
+        """Batch append that cuts segments at exactly the rows where
+        per-record :meth:`emit` would have cut.
+
+        The batch is sliced at each spill trigger — the first
+        loop-marker row that lands at or past ``segment_rows``, or the
+        unconditional ``2x``-budget row, whichever per-record emission
+        would hit first — and each slice is appended through the parent
+        and spilled with the same ``aligned`` flag.  Store notes are
+        applied with their own slice, so the section-entry vs late-patch
+        classification (which depends on what had spilled when the note
+        arrived) also matches step-mode tracing row for row.
+        """
+        if n <= 0:
+            return
+        if len(self.sids) + n < self.segment_rows:
+            # No record in this batch can reach the cut threshold.
+            ColumnarSink.bulk_append(
+                self, node0, loop_id, n, sids, opcodes, dep_counts,
+                dep_flat, marker_offsets, addr_runs, mem_runs,
+                store_items)
+            return
+        # Keys are absolute node ids; the cut search runs in batch
+        # offsets, so markers convert once, and the sparse runs flatten
+        # to sorted item lists whose keys compare against the cut's
+        # absolute node.
+        markers = [m - node0 for m in marker_offsets]
+        addr_items = sorted(
+            (k, v) for ks, vs in addr_runs for k, v in zip(ks, vs))
+        mem_items = sorted(
+            (k, v) for ks, vs in mem_runs for k, v in zip(ks, vs))
+        store_items = list(store_items)
+        nmark = len(markers)
+        mk = ai = mi = si = 0
+        i = 0
+        dep_pos = 0
+        while i < n:
+            chunk_len = len(self.sids)
+            # First batch offset >= i whose emission triggers a cut.
+            # A marker at offset m cuts once the chunk holds
+            # ``segment_rows`` rows (aligned); any row cuts at the
+            # ``_force_rows`` hard cap (unaligned).  A marker at the
+            # force offset would already have qualified for the aligned
+            # cut, so the force branch never lands on a marker.
+            need = max(i, i + self.segment_rows - chunk_len - 1)
+            force = i + self._force_rows - chunk_len - 1
+            j = bisect_left(markers, need)
+            cut_marker = markers[j] if j < nmark else -1
+            if 0 <= cut_marker <= force and cut_marker < n:
+                end = cut_marker + 1
+                spill, aligned = True, True
+            elif force < n:
+                end = force + 1
+                spill, aligned = True, False
+            else:
+                end = n
+                spill = aligned = False
+            span = 0
+            for c in dep_counts[i:end]:
+                span += c
+            node_end = node0 + end
+            sl_markers = []
+            while mk < nmark and markers[mk] < end:
+                sl_markers.append(node0 + markers[mk])
+                mk += 1
+            sl_ak, sl_av = [], []
+            while ai < len(addr_items) and addr_items[ai][0] < node_end:
+                k, v = addr_items[ai]
+                sl_ak.append(k)
+                sl_av.append(v)
+                ai += 1
+            sl_mk, sl_mv = [], []
+            while mi < len(mem_items) and mem_items[mi][0] < node_end:
+                k, v = mem_items[mi]
+                sl_mk.append(k)
+                sl_mv.append(v)
+                mi += 1
+            sl_stores = []
+            while si < len(store_items) and store_items[si][0] < node_end:
+                sl_stores.append(store_items[si])
+                si += 1
+            ColumnarSink.bulk_append(
+                self, node0 + i, loop_id, end - i, sids[i:end],
+                opcodes[i:end], dep_counts[i:end],
+                dep_flat[dep_pos:dep_pos + span], sl_markers,
+                ((sl_ak, sl_av),) if sl_ak else (),
+                ((sl_mk, sl_mv),) if sl_mk else (), sl_stores)
+            dep_pos += span
+            i = end
+            if spill:
+                self._spill(aligned=aligned)
+
     # -- spilling ----------------------------------------------------------
 
     def _count_marker_free_spans(self, marker_rows, n_rows,
@@ -199,6 +293,7 @@ class SegmentedSink(ColumnarSink):
             return
         if self._finished:
             raise TraceError("segmented sink already finalized")
+        self._flush_sparse()
         tel = get_telemetry()
         with tel.span("trace_store.spill"):
             runs = self.runs

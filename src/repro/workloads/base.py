@@ -35,6 +35,8 @@ def analyze_workload(
     tel=None,
     spill_dir: Optional[str] = None,
     segment_rows: Optional[int] = None,
+    compile_loops: bool = True,
+    compile_threshold: Optional[int] = None,
 ) -> BenchmarkReport:
     """Analyze the named ``loops`` of one program (compile once, profile
     once, then per-loop fused windowed analysis — the §4.1 methodology
@@ -57,7 +59,9 @@ def analyze_workload(
             decisions = analyze_program_loops(program, analyzer, vec_config)
 
         with tel.span("profile.run"):
-            interp = Interpreter(module, fuel=fuel)
+            interp = Interpreter(module, fuel=fuel,
+                                 compile_loops=compile_loops,
+                                 compile_threshold=compile_threshold)
             interp.run(entry, args)
             profiles = profile_loops(module, interp)
         if tel.enabled:
@@ -79,6 +83,8 @@ def analyze_workload(
             source, benchmark, module, list(loops), entry, args, instance,
             include_integer, relax_reductions, fuel, jobs, tel=tel,
             spill_dir=spill_dir, segment_rows=segment_rows,
+            compile_loops=compile_loops,
+            compile_threshold=compile_threshold,
         )
         report = BenchmarkReport(benchmark=benchmark)
         for info, loop_report in zip(infos, loop_reports):
@@ -139,6 +145,8 @@ class Workload:
                 jobs: int = 1,
                 spill_dir: Optional[str] = None,
                 segment_rows: Optional[int] = None,
+                compile_loops: bool = True,
+                compile_threshold: Optional[int] = None,
                 **overrides) -> BenchmarkReport:
         return analyze_workload(
             self.source(**overrides),
@@ -153,4 +161,6 @@ class Workload:
             jobs=jobs,
             spill_dir=spill_dir,
             segment_rows=segment_rows,
+            compile_loops=compile_loops,
+            compile_threshold=compile_threshold,
         )

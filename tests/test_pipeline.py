@@ -226,8 +226,20 @@ class TestParallelTelemetryMerge:
     """--jobs N must report the same counter totals as serial (worker
     snapshots merged into the parent)."""
 
+    # Loops long enough (>= the 16-iteration hot threshold) that the
+    # trace-replay compiler kicks in inside each worker.
+    SRC3 = """
+double A[64]; double B[64];
+int main() {
+  int i;
+  P: for (i = 0; i < 64; i++) A[i] = (double)i * 2.0;
+  Q: for (i = 0; i < 64; i++) B[i] = A[i] + 1.0;
+  return 0;
+}
+"""
+
     def test_counters_identical_serial_vs_pool(self):
-        src = TestSerialFallback.SRC2
+        src = self.SRC3
         module = compile_source(src)
         tel1 = Telemetry()
         r1 = run_loop_analyses(src, "demo", module, ["P", "Q"], jobs=1,
@@ -242,6 +254,13 @@ class TestParallelTelemetryMerge:
         c2 = {k: v for k, v in tel2.counters.items()
               if not k.startswith("pipeline.pool")}
         assert c1 == c2
+        # The trace-replay compiler runs inside the pool workers; its
+        # counters must ride home in the snapshots like everything else.
+        compile_keys = [k for k in c1 if k.startswith("interp.compile.")]
+        assert "interp.compile.kernels" in compile_keys
+        assert "interp.compile.batches" in compile_keys
+        for key in compile_keys:
+            assert c2[key] == c1[key] > 0
 
 
 REDUCTION_SRC = """
