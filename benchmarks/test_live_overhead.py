@@ -1,0 +1,128 @@
+"""Live-observability overhead measurements (PR 8 acceptance support).
+
+Two claims are gated here:
+
+- **Off is free.** The default :class:`NullStatusBus` run must execute
+  the pre-PR hot path: the interpreter registers nothing (the
+  ``bus.enabled`` check short-circuits before any sampler exists) and
+  stage boundaries cost a few attribute lookups.  The analysis report
+  must be byte-identical with the live layer on or off.
+- **On is cheap.** With a real :class:`StatusBus` and a
+  :class:`StatusTicker` writing frames at the default 1 s interval, the
+  end-to-end analysis must stay within the 2% bar — all per-record
+  progress flows through one pull-based sampler read at frame time, so
+  the tick cost is O(frames), not O(records).
+
+``BENCH_live.json`` records the measured off/on comparison.
+"""
+
+import os
+import time
+
+from repro.analysis.pipeline import analyze_loop
+from repro.frontend import compile_source
+from repro.obs.live import (
+    DEFAULT_STATUS_INTERVAL,
+    NULL_STATUS_BUS,
+    StatusBus,
+    StatusTicker,
+    use_status_bus,
+)
+
+from benchmarks.conftest import write_bench_json
+
+SRC = """
+double A[64];
+double B[64];
+
+int main() {
+  int i, r;
+  hot: for (r = 0; r < 40; r++) {
+    body: for (i = 0; i < 64; i++) {
+      A[i] = A[i] * 0.999 + B[i] * 0.5;
+    }
+  }
+  return 0;
+}
+"""
+
+
+def _analyze(module):
+    return analyze_loop(module, "body")
+
+
+def test_analysis_null_status_bus(benchmark):
+    module = compile_source(SRC)
+    with use_status_bus(NULL_STATUS_BUS):
+        benchmark(lambda: _analyze(module))
+
+
+def test_analysis_live_status_bus(benchmark):
+    module = compile_source(SRC)
+    bus = StatusBus()
+    with open(os.devnull, "w") as sink:
+        ticker = StatusTicker(bus, interval=DEFAULT_STATUS_INTERVAL,
+                              stream=sink)
+        ticker.start()
+        try:
+            with use_status_bus(bus):
+                benchmark(lambda: _analyze(module))
+        finally:
+            ticker.close(exit_code=0)
+
+
+def test_live_overhead_artifact():
+    """Measure off vs. on back-to-back and record ``BENCH_live.json``;
+    the report itself must be identical either way (the live layer
+    writes only to its own sink, never into the analysis)."""
+    module = compile_source(SRC)
+    reps = 15
+
+    def timed(fn):
+        result = fn()  # warm caches outside the measurement
+        best = min(_one_rep(fn) for _ in range(reps))
+        return best, result
+
+    def _one_rep(fn):
+        t0 = time.perf_counter()
+        fn()
+        return time.perf_counter() - t0
+
+    with use_status_bus(NULL_STATUS_BUS):
+        off_s, off_report = timed(lambda: _analyze(module))
+
+    bus = StatusBus()
+    with open(os.devnull, "w") as sink:
+        ticker = StatusTicker(bus, interval=DEFAULT_STATUS_INTERVAL,
+                              stream=sink)
+        ticker.start()
+        try:
+            with use_status_bus(bus):
+                on_s, on_report = timed(lambda: _analyze(module))
+        finally:
+            ticker.close(exit_code=0)
+
+    identical = off_report.row() == on_report.row()
+    overhead_pct = round((on_s - off_s) / off_s * 100.0, 1)
+    write_bench_json("BENCH_live.json", {
+        "benchmark": "benchmarks/test_live_overhead.py windowed analysis "
+                     "of one 2560-iteration loop",
+        "metric": "end-to-end analyze_loop min-of-reps seconds, NullStatusBus vs "
+                  "StatusBus + StatusTicker at the default 1 s interval",
+        "acceptance": "live ticker on within 2% of off; analysis report "
+                      "byte-identical either way; off path is the "
+                      "pre-PR hot path (bus.enabled short-circuit)",
+        "off": {"analyze_loop_min_s": round(off_s, 4), "reps": reps},
+        "on": {"analyze_loop_min_s": round(on_s, 4), "reps": reps,
+               "status_interval_s": DEFAULT_STATUS_INTERVAL},
+        "overhead_pct": overhead_pct,
+        "identical_report": identical,
+        "note": "Progress is pull-based: the interpreter registers one "
+                "sampler per run and the ticker reads it at frame time, "
+                "so per-record work is untouched and tick cost is "
+                "O(frames). Timing deltas at this runtime are dominated "
+                "by machine noise; the structural guarantee is the "
+                "identical_report bit plus the CLI byte-identity test "
+                "in tests/test_cli.py.",
+    })
+    assert identical

@@ -52,7 +52,9 @@ from repro.obs import (
     EventLog,
     Telemetry,
     get_logger,
+    get_status_bus,
     get_telemetry,
+    pool_heartbeat,
     use_telemetry,
 )
 from repro.profiler.costmodel import CostModel
@@ -215,6 +217,7 @@ def analyze_loop(
     # Algorithm 1 scan) records into the same place whether this call is
     # serial with an explicit ``tel=`` or inside a pool worker.
     tel.instant("loop.analyze.start", {"loop": loop_name})
+    get_status_bus().phase(f"loop.{loop_name}")
     with use_telemetry(tel):
         ddg, rows = windowed_loop_ddg(module, info.loop_id, loop_name,
                                       entry, args, instance, fuel, tel,
@@ -245,6 +248,7 @@ def analyze_loop(
             "avg_vec_size_nonunit": report.avg_vec_size_nonunit,
         })
     tel.instant("loop.analyze.finish", {"loop": loop_name})
+    get_status_bus().count("loops")
     return report
 
 
@@ -321,6 +325,8 @@ def run_loop_analyses(
         max(1, min(int(jobs), len(names)))
     )
     tel.gauge("pipeline.jobs", jobs)
+    bus = get_status_bus()
+    bus.set_total("loops", len(names))
 
     def serial() -> List[LoopReport]:
         return [
@@ -349,13 +355,21 @@ def run_loop_analyses(
          tel.events is not None, compile_loops, compile_threshold)
         for name in names
     ]
+    initializer, initargs = pool_heartbeat(bus)
     try:
         try:
             ctx = multiprocessing.get_context("fork")
         except ValueError:
             ctx = multiprocessing.get_context()
-        with ProcessPoolExecutor(max_workers=jobs, mp_context=ctx) as pool:
-            results = list(pool.map(_loop_worker, payloads))
+        with ProcessPoolExecutor(max_workers=jobs, mp_context=ctx,
+                                 initializer=initializer,
+                                 initargs=initargs) as pool:
+            # pool.map yields in submission order as results land, so
+            # loop progress advances while later loops are still running.
+            results = []
+            for result in pool.map(_loop_worker, payloads):
+                results.append(result)
+                bus.count("loops")
     except (OSError, PermissionError, ImportError, RuntimeError) as exc:
         _log.warning(
             "process pool startup failed (%s: %s); analyzing %d loop(s) "
@@ -365,7 +379,9 @@ def run_loop_analyses(
         tel.count("pipeline.pool_fallbacks")
         tel.instant("pipeline.pool_fallback",
                     {"loops": len(names), "error": type(exc).__name__})
+        bus.retire_workers()
         return serial()
+    bus.retire_workers()
     reports: List[LoopReport] = []
     for report, snapshot in results:
         reports.append(report)
@@ -402,7 +418,9 @@ def analyze_program(
     """
     if tel is None:
         tel = get_telemetry()
+    bus = get_status_bus()
     with tel.span("analysis.total"):
+        bus.phase("frontend")
         with tel.span("frontend.parse_lower"):
             program, analyzer = parse_source(source)
             module = lower(analyzer, benchmark or "module")
@@ -411,6 +429,7 @@ def analyze_program(
                 vec_config = VectorizerConfig()
             decisions = analyze_program_loops(program, analyzer, vec_config)
 
+        bus.phase("profile")
         with tel.span("profile.run"):
             interp = Interpreter(module, fuel=fuel,
                                  compile_loops=compile_loops,
@@ -440,6 +459,7 @@ def analyze_program(
                 profiles
             )
             report.loops.append(loop_report)
+        bus.phase("report")
         tel.record_memory()
     return report
 
@@ -463,7 +483,9 @@ def analyze_module(
     serial — without source text there is nothing to ship to workers)."""
     if tel is None:
         tel = get_telemetry()
+    bus = get_status_bus()
     with tel.span("analysis.total"):
+        bus.phase("profile")
         with tel.span("profile.run"):
             interp = Interpreter(module, fuel=fuel,
                                  compile_loops=compile_loops,
@@ -474,6 +496,7 @@ def analyze_module(
             tel.count("interp.runs")
             tel.count("interp.instructions", interp.executed_instructions)
             tel.count("pipeline.hot_loops", len(hot))
+        bus.set_total("loops", len(hot))
         report = BenchmarkReport(benchmark=module.name)
         for prof in hot:
             info = module.loops[prof.loop_id]

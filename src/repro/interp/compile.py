@@ -70,7 +70,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.ir.types import FloatType, IntType
 from repro.ir.values import Constant, VirtualReg
-from repro.obs import get_logger, get_telemetry
+from repro.obs import get_logger, get_status_bus, get_telemetry
 
 #: Iterations of a batch dispatched per kernel invocation.
 BATCH_ITERS = 1024
@@ -461,6 +461,7 @@ class LoopKernel:
             self._fns[recording] = f
             if tel.enabled:
                 tel.count("interp.compile.kernels")
+            get_status_bus().count("kernels")
             _log.debug("compiled loop %d (%s, %d records/iter)",
                        self.loop_id, tag, self.length)
         return f
@@ -992,17 +993,29 @@ class TraceCompiler:
     def begin(self, loop_id: int, block, pc: int) -> _Recording:
         return _Recording(loop_id, block, pc)
 
-    def reject(self, loop_id: int) -> None:
-        """Permanently exclude a loop (call/nested loop/oversized path)."""
+    def reject(self, loop_id: int, reason: str = "unspecified") -> None:
+        """Permanently exclude a loop (call/nested loop/oversized path).
+
+        The rejection drops a ``compile.kernel.rejected`` timeline
+        instant carrying the reason, so a Perfetto view shows *why* a
+        loop fell back to the step interpreter.
+        """
         self.kernels[loop_id] = REJECTED
-        _log.debug("loop %d rejected for compilation", loop_id)
+        get_telemetry().instant("compile.kernel.rejected",
+                                {"loop": loop_id, "reason": reason})
+        _log.debug("loop %d rejected for compilation: %s", loop_id,
+                   reason)
 
     def abort(self, loop_id: int) -> None:
         """Transient recording failure (the loop exited mid-recording);
         rejected outright after :data:`MAX_RECORD_FAILURES` strikes."""
         self._fails[loop_id] += 1
         if self._fails[loop_id] >= MAX_RECORD_FAILURES:
-            self.kernels[loop_id] = REJECTED
+            self.reject(
+                loop_id,
+                f"recording aborted {MAX_RECORD_FAILURES} times "
+                f"(loop exits mid-path)",
+            )
 
     def build(self, rec: _Recording, cur_loop: int) -> None:
         """Validate a completed recording and construct its kernel."""
@@ -1021,7 +1034,7 @@ class TraceCompiler:
             opc = instr.opcode._value_
             if opc == 71:
                 if i != n - 1:
-                    self.reject(lid)
+                    self.reject(lid, "loop_next mid-path")
                     return
                 taken = False
             elif opc == 61:
@@ -1031,12 +1044,17 @@ class TraceCompiler:
             else:
                 # call/ret/markers should have aborted during capture;
                 # any other opcode simply is not specialized.
-                self.reject(lid)
+                self.reject(lid, f"unspecialized opcode {opc}")
                 return
             entries.append((instr, blk, pc, taken))
         kern = LoopKernel(lid, entries, (rec.block, rec.pc),
                           self.interp.global_addr)
         self.kernels[lid] = kern
+        get_telemetry().instant(
+            "compile.kernel.recorded",
+            {"loop": lid, "records_per_iter": kern.length,
+             "legacy_addr": kern.plan.legacy},
+        )
 
     # -- batch dispatch -----------------------------------------------------
 
@@ -1097,15 +1115,30 @@ class TraceCompiler:
                 break
         kern.calls += 1
         kern.gained += total
+        tel = get_telemetry()
         if kern.calls >= MIN_USEFUL_CALLS and kern.gained < kern.calls:
             # Guards fail nearly every dispatch: batching buys nothing
             # for this loop, so retire the kernel and step instead.
             self.kernels[kern.loop_id] = REJECTED
-        tel = get_telemetry()
+            tel.instant(
+                "compile.kernel.retired",
+                {"loop": kern.loop_id, "calls": kern.calls,
+                 "iterations": kern.gained},
+            )
+            _log.debug("loop %d kernel retired (%d iterations over %d "
+                       "dispatches)", kern.loop_id, kern.gained,
+                       kern.calls)
+        if guard_exit:
+            tel.instant(
+                "compile.kernel.deopt",
+                {"loop": kern.loop_id, "at": dpc,
+                 "iterations": total},
+            )
         if tel.enabled:
             tel.count("interp.compile.batches", batches)
             tel.count("interp.compile.iterations", total)
             tel.count("interp.compile.deopts")
             if guard_exit:
                 tel.count("interp.compile.guard_exits")
+        get_status_bus().count("batches", batches)
         return resume[0], resume[1], total

@@ -32,7 +32,7 @@ from repro.interp.compile import (
     TraceCompiler,
 )
 from repro.ir.instructions import Opcode
-from repro.obs import get_logger, get_telemetry
+from repro.obs import get_logger, get_status_bus, get_telemetry
 from repro.ir.module import Module
 from repro.ir.types import FloatType, IntType, PointerType
 from repro.ir.values import Constant, GlobalRef, VirtualReg
@@ -175,7 +175,20 @@ class Interpreter:
             )
         triples = [(self._coerce_arg(v, t), -1, 0)
                    for v, t in zip(args, fn.param_types)]
-        value, _, _ = self._exec_function(fn, triples)
+        bus = get_status_bus()
+        if not bus.enabled:
+            value, _, _ = self._exec_function(fn, triples)
+            return value
+        # Live progress rides a pull sampler: the ticker reads the
+        # executed-instruction counter at frame time, so the dispatch
+        # loop above carries zero per-record instrumentation.
+        base = self._executed
+        bus.set_total("records", self.fuel)
+        bus.track("records", lambda: self._executed - base)
+        try:
+            value, _, _ = self._exec_function(fn, triples)
+        finally:
+            bus.untrack("records", self._executed - base)
         return value
 
     @staticmethod
@@ -255,7 +268,7 @@ class Interpreter:
                 if rec is not None:
                     rec_path.append((instr, block, pc - 1))
                     if len(rec_path) > _MAX_PATH:
-                        comp.reject(rec.loop_id)
+                        comp.reject(rec.loop_id, "path too long")
                         rec = None
                 node = self._node
                 self._node = node + 1
@@ -431,7 +444,7 @@ class Interpreter:
                         # A nested loop inside a recorded body means the
                         # path is not straight-line: never compilable.
                         if rec is not None:
-                            comp.reject(rec.loop_id)
+                            comp.reject(rec.loop_id, "nested loop")
                             rec = None
                         instance = self._loop_instance_counters[lid]
                         self._loop_instance_counters[lid] = instance + 1
@@ -600,7 +613,7 @@ class Interpreter:
                 if opc is _OP_CALL:
                     # Calls (intrinsic or not) end straight-line paths.
                     if rec is not None:
-                        comp.reject(rec.loop_id)
+                        comp.reject(rec.loop_id, "call in body")
                         rec = None
                     triples = [ev(a) for a in instr.operands]
                     if recording:

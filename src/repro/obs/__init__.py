@@ -10,8 +10,27 @@ caller — typically the CLI's ``--profile`` / ``--metrics-json`` /
 instant event on a Chrome-trace-exportable run timeline;
 :mod:`repro.obs.history` accumulates run reports in a JSONL ledger and
 :mod:`repro.obs.compare` diffs and threshold-gates two reports.
+
+:mod:`repro.obs.live` is the during-the-run counterpart: stages feed the
+active :class:`StatusBus` (default: the no-op :data:`NULL_STATUS_BUS`)
+and a :class:`StatusTicker` thread streams ``vectra.live/1`` status
+frames — progress, rates/ETA, resource gauges, worker heartbeats, and
+the stall watchdog — to the CLI's ``--status-json`` / ``--progress``
+consumers.
 """
 
+from repro.obs.live import (
+    LIVE_SCHEMA,
+    NULL_STATUS_BUS,
+    NullStatusBus,
+    StatusBus,
+    StatusTicker,
+    WorkerStallWarning,
+    get_status_bus,
+    pool_heartbeat,
+    set_status_bus,
+    use_status_bus,
+)
 from repro.obs.logs import configure_logging, get_logger
 from repro.obs.telemetry import (
     KNOWN_SCHEMAS,
@@ -42,4 +61,14 @@ __all__ = [
     "write_chrome_trace",
     "get_logger",
     "configure_logging",
+    "LIVE_SCHEMA",
+    "StatusBus",
+    "NullStatusBus",
+    "NULL_STATUS_BUS",
+    "StatusTicker",
+    "WorkerStallWarning",
+    "get_status_bus",
+    "set_status_bus",
+    "use_status_bus",
+    "pool_heartbeat",
 ]

@@ -18,6 +18,9 @@ Subcommands:
 - ``compare <base> <head>`` — diff two run reports (or a ledger's
   baseline vs latest), gate on ``--fail-on`` thresholds, optionally
   emit a machine-readable ``--json`` delta document.
+- ``watch <status.jsonl>`` — tail a ``--status-json`` file from another
+  run into a live terminal dashboard (``--validate`` instead checks
+  every frame against the ``vectra.live/1`` schema — the CI gate).
 
 Every subcommand additionally accepts the observability options:
 ``--profile`` (stage/counter table on stderr after the run),
@@ -25,8 +28,18 @@ Every subcommand additionally accepts the observability options:
 writes to stdout), ``--metrics-append LEDGER.jsonl`` (accumulate run
 reports across invocations), ``--trace-json PATH`` (Chrome trace-event
 timeline for Perfetto/``chrome://tracing``; ``-`` writes to stdout),
-and ``--log-level LEVEL`` (the ``vectra.*`` logger hierarchy — surfaces
-e.g. pool-to-serial fallbacks and fuel exhaustion as warnings).
+``--log-level LEVEL`` (the ``vectra.*`` logger hierarchy — surfaces
+e.g. pool-to-serial fallbacks and fuel exhaustion as warnings), and the
+live-status options ``--status-json PATH`` (stream ``vectra.live/1``
+status frames, one JSON line per ``--status-interval``; ``-`` for
+stdout, ``fd:N`` for an inherited descriptor), ``--stall-timeout S``
+(flag pool workers silent past S seconds), and ``--progress``
+(single-line live progress on stderr).
+
+At most one of ``--metrics-json`` / ``--trace-json`` /
+``--status-json`` / ``compare --json`` may target ``-``: two JSON
+documents interleaved on stdout are corrupt, so the CLI refuses the
+combination up front, naming the colliding flags.
 
 ``analyze`` and ``analyze-file`` additionally accept ``--spill-dir DIR``
 / ``--segment-rows N``: the windowed traces stream through the
@@ -389,6 +402,70 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_watch(args) -> int:
+    """Tail a ``--status-json`` file into a terminal dashboard (or, with
+    ``--validate``, check every frame against the live schema)."""
+    import time
+
+    from repro.obs.live import (
+        LIVE_SCHEMA,
+        read_frames,
+        render_dashboard,
+        validate_frames,
+    )
+
+    if args.validate:
+        frames = read_frames(args.path)
+        validate_frames(frames, source=args.path)
+        print(f"{args.path}: {len(frames)} valid {LIVE_SCHEMA} frame(s)")
+        return 0
+    last_seq = None
+    clear = sys.stdout.isatty() and not args.once
+    try:
+        while True:
+            frames = read_frames(args.path)
+            if frames:
+                frame = frames[-1]
+                if frame.get("seq") != last_seq:
+                    last_seq = frame.get("seq")
+                    if clear:
+                        print("\x1b[2J\x1b[H", end="")
+                    print(render_dashboard(frame))
+                if frame.get("event") == "done":
+                    return 0
+            elif args.once:
+                print(f"{args.path}: no complete status frames yet")
+            if args.once:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 130
+    except BrokenPipeError:  # watch | head is fine
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+def _check_stdout_collisions(args) -> None:
+    """Refuse flag combinations that would interleave multiple JSON
+    documents on stdout."""
+    owners = [
+        flag
+        for flag, attr in (("--metrics-json", "metrics_json"),
+                           ("--trace-json", "trace_json"),
+                           ("--status-json", "status_json"),
+                           ("--json", "json"))
+        if getattr(args, attr, None) == "-"
+    ]
+    if len(owners) > 1:
+        raise VectraError(
+            f"{' and '.join(owners)} would interleave multiple JSON "
+            f"documents on stdout; pass '-' to at most one of them and "
+            f"give the rest file paths"
+        )
+
+
 def _run_opts(args):
     """Interpreter/analysis options shared by several subcommands,
     forwarded only when set so library defaults stay authoritative."""
@@ -474,6 +551,11 @@ def _parse_params(items):
 def _obs_options() -> argparse.ArgumentParser:
     """Shared observability options, attached to every subcommand."""
     from repro.obs import REPORT_SCHEMA
+    from repro.obs.live import (
+        DEFAULT_STALL_TIMEOUT,
+        DEFAULT_STATUS_INTERVAL,
+        LIVE_SCHEMA,
+    )
 
     common = argparse.ArgumentParser(add_help=False)
     g = common.add_argument_group("observability")
@@ -494,6 +576,26 @@ def _obs_options() -> argparse.ArgumentParser:
     g.add_argument("--log-level", metavar="LEVEL", default=None,
                    help="enable vectra.* logging at LEVEL "
                         "(debug|info|warning|error)")
+    live = common.add_argument_group("live status")
+    live.add_argument("--status-json", metavar="PATH", default=None,
+                      help=f"stream {LIVE_SCHEMA} status frames (one "
+                           f"JSON line per interval: progress, rates/"
+                           f"ETA, resource gauges, worker heartbeats) "
+                           f"to PATH ('-' for stdout, 'fd:N' for an "
+                           f"inherited descriptor); tail with "
+                           f"'vectra watch PATH'")
+    live.add_argument("--status-interval", type=float,
+                      default=DEFAULT_STATUS_INTERVAL, metavar="S",
+                      help="seconds between status frames (default: "
+                           "%(default)s)")
+    live.add_argument("--stall-timeout", type=float,
+                      default=DEFAULT_STALL_TIMEOUT, metavar="S",
+                      help="seconds of heartbeat silence before a pool "
+                           "worker is reported stalled (default: "
+                           "%(default)s; worker death is reported "
+                           "separately)")
+    live.add_argument("--progress", action="store_true",
+                      help="single-line live progress updates on stderr")
     return common
 
 
@@ -644,6 +746,23 @@ def build_parser() -> argparse.ArgumentParser:
                         "stdout), with per-metric violated flags")
     p.set_defaults(func=_cmd_compare)
 
+    p = sub.add_parser("watch",
+                       help="tail a --status-json file into a live "
+                            "terminal dashboard",
+                       parents=[obs])
+    p.add_argument("path", help="status-frame JSONL file another run is "
+                                "writing via --status-json")
+    p.add_argument("--interval", type=float, default=1.0, metavar="S",
+                   help="seconds between re-reads (default: %(default)s)")
+    p.add_argument("--once", action="store_true",
+                   help="render the latest frame once and exit")
+    p.add_argument("--validate", action="store_true",
+                   help="validate every frame against the vectra.live/1 "
+                        "schema (monotonic progress, increasing seq, "
+                        "final done frame) and exit nonzero on any "
+                        "violation — the CI gate")
+    p.set_defaults(func=_cmd_watch)
+
     p = sub.add_parser("dot", help="Graphviz export of a loop's DDG",
                        parents=[obs])
     p.add_argument("workload")
@@ -667,6 +786,7 @@ def main(argv=None) -> int:
         Telemetry,
         configure_logging,
         dump_report,
+        use_status_bus,
         use_telemetry,
         write_chrome_trace,
     )
@@ -677,6 +797,7 @@ def main(argv=None) -> int:
     try:
         if args.log_level:
             configure_logging(args.log_level)
+        _check_stdout_collisions(args)
     except VectraError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -684,14 +805,40 @@ def main(argv=None) -> int:
                  or args.trace_json)
     tel = (Telemetry(events=EventLog() if args.trace_json else None)
            if profiling else NULL_TELEMETRY)
+    bus = None
+    ticker = None
+    if args.status_json or args.progress:
+        from repro.obs.live import StatusBus, StatusTicker
+
+        # Workers heartbeat a few times per stall window, and at least
+        # as often as frames are cut, so stalls resolve within one
+        # timeout and every frame sees fresh ages.
+        heartbeat = max(0.05, min(args.status_interval,
+                                  args.stall_timeout / 4.0))
+        bus = StatusBus(heartbeat_interval=heartbeat)
+        try:
+            ticker = StatusTicker(
+                bus, interval=args.status_interval,
+                stall_timeout=args.stall_timeout, path=args.status_json,
+                progress_stream=sys.stderr if args.progress else None,
+                tel=tel, command=args.command)
+        except VectraError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        ticker.start()
     code = 0
     try:
-        with use_telemetry(tel), tel.span(f"command.{args.command}"):
+        with use_telemetry(tel), use_status_bus(bus), \
+                tel.span(f"command.{args.command}"):
             code = args.func(args)
     except VectraError as exc:
         print(f"error: {exc}", file=sys.stderr)
         code = 1
     finally:
+        # The final 'done' frame carries the exit code and lands even on
+        # failure — a watcher sees how the run ended either way.
+        if ticker is not None:
+            ticker.close(exit_code=code)
         # Reports/timelines are written even when the run failed — a
         # truncated run's telemetry is exactly what debugging needs.
         if tel.enabled:

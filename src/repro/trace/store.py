@@ -55,7 +55,7 @@ from bisect import bisect_left, bisect_right
 from typing import Dict, Iterator, List, NamedTuple, Optional, Tuple
 
 from repro.errors import TraceError
-from repro.obs import get_logger, get_telemetry
+from repro.obs import get_logger, get_status_bus, get_telemetry, pool_heartbeat
 from repro.trace.columnar import ColumnarLoopSink, ColumnarSink, _np
 from repro.trace.events import MARKER_ENTER
 from repro.trace.trace import Trace
@@ -144,6 +144,7 @@ class SegmentedSink(ColumnarSink):
         }
         self._open_span = False
         self._finished = False
+        get_status_bus().note_spill_dir(spill_dir)
         os.makedirs(spill_dir, exist_ok=True)
         # A fresh run owns the directory: drop any stale store so a
         # rerun with fewer segments cannot leave orphans behind the new
@@ -371,6 +372,10 @@ class SegmentedSink(ColumnarSink):
             tel.count("trace_store.bytes_written", nbytes)
             if not aligned:
                 tel.count("trace_store.unaligned_cuts")
+        bus = get_status_bus()
+        if bus.enabled:
+            bus.count("segments")
+            bus.count("spill_bytes", nbytes)
         # Reset the chunk in place (the parent's cached bound methods
         # keep pointing at the same column objects) and rebase.
         self.base_row += n
@@ -996,16 +1001,23 @@ class SegmentStore:
         global _POOL_STORE
         self.context()  # build before fork so workers inherit it
         _POOL_STORE = self
+        bus = get_status_bus()
+        initializer, initargs = pool_heartbeat(bus)
         try:
             try:
                 mp_ctx = multiprocessing.get_context("fork")
             except ValueError:
                 mp_ctx = multiprocessing.get_context()
             with ProcessPoolExecutor(max_workers=jobs,
-                                     mp_context=mp_ctx) as pool:
-                return list(pool.map(_segment_worker,
-                                     [(self.path, i)
-                                      for i in range(len(self.segments))]))
+                                     mp_context=mp_ctx,
+                                     initializer=initializer,
+                                     initargs=initargs) as pool:
+                chunks = list(pool.map(
+                    _segment_worker,
+                    [(self.path, i)
+                     for i in range(len(self.segments))]))
+            bus.retire_workers()
+            return chunks
         except (OSError, PermissionError, ImportError,
                 RuntimeError) as exc:
             _log.warning(

@@ -12,7 +12,7 @@ from repro.frontend import parse_source
 from repro.frontend.lower import lower
 from repro.interp.interpreter import DEFAULT_FUEL, Interpreter
 from repro.ir.verifier import verify_module
-from repro.obs import get_telemetry
+from repro.obs import get_status_bus, get_telemetry
 from repro.profiler.hotloops import profile_loops
 from repro.vectorizer.autovec import VectorizerConfig, analyze_program_loops
 from repro.vectorizer.packed import percent_packed
@@ -49,7 +49,9 @@ def analyze_workload(
     through the segment store — reports stay bit-identical."""
     if tel is None:
         tel = get_telemetry()
+    bus = get_status_bus()
     with tel.span("analysis.total"):
+        bus.phase("frontend")
         with tel.span("frontend.parse_lower"):
             program, analyzer = parse_source(source)
             module = lower(analyzer, benchmark)
@@ -58,6 +60,7 @@ def analyze_workload(
                 vec_config = VectorizerConfig()
             decisions = analyze_program_loops(program, analyzer, vec_config)
 
+        bus.phase("profile")
         with tel.span("profile.run"):
             interp = Interpreter(module, fuel=fuel,
                                  compile_loops=compile_loops,
@@ -97,6 +100,7 @@ def analyze_workload(
                 profiles
             )
             report.loops.append(loop_report)
+        bus.phase("report")
         tel.record_memory()
     return report
 

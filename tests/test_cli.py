@@ -300,3 +300,124 @@ class TestObservability:
         assert code == 1
         assert "vectra.interp" in err
         assert "fuel exhausted" in err
+
+
+class TestLiveStatus:
+    """--status-json / --progress / watch and the stdout-collision rule."""
+
+    ARGS = ["analyze", "utdsp_fir_array", "-p", "nout=16", "-p", "ntap=4"]
+
+    def test_status_json_emits_valid_frames(self, capsys, tmp_path):
+        from repro.obs.live import read_frames, validate_frames
+
+        path = tmp_path / "st.jsonl"
+        code = main(self.ARGS + ["--status-json", str(path),
+                                 "--status-interval", "0.05"])
+        capsys.readouterr()
+        assert code == 0
+        frames = read_frames(str(path))
+        validate_frames(frames, source=str(path))
+        final = frames[-1]
+        assert final["event"] == "done"
+        assert final["exit_code"] == 0
+        assert final["progress"]["loops"] == {"done": 1, "total": 1}
+        assert final["progress"]["records"]["done"] > 0
+
+    def test_status_json_leaves_stdout_identical(self, capsys, tmp_path):
+        code_off, plain = run_cli(capsys, *self.ARGS)
+        code_on, live = run_cli(capsys, *self.ARGS, "--status-json",
+                                str(tmp_path / "st.jsonl"), "--progress")
+        assert code_off == code_on == 0
+        assert live == plain
+
+    def test_done_frame_records_failure_exit_code(self, capsys, tmp_path):
+        from repro.obs.live import read_frames
+
+        path = tmp_path / "st.jsonl"
+        code = main(["analyze", "utdsp_fir_array", "--fuel", "50",
+                     "--status-json", str(path)])
+        capsys.readouterr()
+        assert code == 1
+        final = read_frames(str(path))[-1]
+        assert final["event"] == "done"
+        assert final["exit_code"] == 1
+
+    def test_progress_paints_stderr(self, capsys):
+        code = main(self.ARGS + ["--progress"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "[analyze]" in captured.err
+        assert "rec " in captured.err
+
+    def test_stdout_collision_names_both_flags(self, capsys):
+        code = main(self.ARGS + ["--metrics-json", "-",
+                                 "--status-json", "-"])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "--metrics-json and --status-json" in err
+        assert "interleave" in err
+
+    def test_three_way_collision_names_all(self, capsys):
+        code = main(self.ARGS + ["--metrics-json", "-", "--trace-json", "-",
+                                 "--status-json", "-"])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "--metrics-json and --trace-json and --status-json" in err
+
+    def test_single_stdout_owner_allowed(self, capsys, tmp_path):
+        code = main(self.ARGS + ["--metrics-json", "-",
+                                 "--status-json", str(tmp_path / "s.jsonl")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert '"schema": "vectra.run-report/3"' in out
+
+    def test_bad_status_interval_fails_cleanly(self, capsys):
+        code = main(self.ARGS + ["--progress", "--status-interval", "0"])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "--status-interval must be positive" in err
+
+    def test_watch_validate(self, capsys, tmp_path):
+        path = tmp_path / "st.jsonl"
+        code = main(self.ARGS + ["--status-json", str(path)])
+        capsys.readouterr()
+        assert code == 0
+        code, out = run_cli(capsys, "watch", str(path), "--validate")
+        assert code == 0
+        assert "valid vectra.live/1 frame(s)" in out
+
+    def test_watch_validate_rejects_truncated_run(self, capsys, tmp_path):
+        path = tmp_path / "st.jsonl"
+        code = main(self.ARGS + ["--status-json", str(path)])
+        capsys.readouterr()
+        lines = path.read_text().strip().split("\n")
+        path.write_text("\n".join(lines[:-1]) + "\n")  # drop done frame
+        code = main(["watch", str(path), "--validate"])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "never finished" in err
+
+    def test_watch_once_renders_dashboard(self, capsys, tmp_path):
+        path = tmp_path / "st.jsonl"
+        code = main(self.ARGS + ["--status-json", str(path)])
+        capsys.readouterr()
+        code, out = run_cli(capsys, "watch", str(path), "--once")
+        assert code == 0
+        assert "vectra analyze" in out
+        assert "records" in out
+
+    def test_watch_once_empty_file(self, capsys, tmp_path):
+        path = tmp_path / "st.jsonl"
+        path.write_text("")
+        code, out = run_cli(capsys, "watch", str(path), "--once")
+        assert code == 0
+        assert "no complete status frames yet" in out
+
+    def test_watch_malformed_file_fails_cleanly(self, capsys, tmp_path):
+        path = tmp_path / "st.jsonl"
+        path.write_text('{"schema":"vectra.live/1","seq":0}\n{garbage\n'
+                        '{"schema":"vectra.live/1","seq":1}\n')
+        code = main(["watch", str(path), "--validate"])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "malformed status frame" in err

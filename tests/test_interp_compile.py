@@ -328,3 +328,91 @@ int main() {{
         assert d0.mem_addrs == d1.mem_addrs
         assert d0.store_addrs == d1.store_addrs
         assert list(d0.pred_indices) == list(d1.pred_indices)
+
+
+class TestLifecycleInstants:
+    """Kernel lifecycle events land on the timeline (and the live bus)
+    so a watcher can see compilation happen during a run."""
+
+    def _instants(self, src, threshold=4):
+        from repro.obs import EventLog
+
+        log = EventLog(capacity=4096)
+        tel = Telemetry(events=log)
+        module = compile_source(src)
+        with use_telemetry(tel):
+            interp = Interpreter(module, sink=ColumnarSink(),
+                                 compile_threshold=threshold)
+            interp.run("main", ())
+        return [e for e in log.snapshot()
+                if e["name"].startswith("compile.kernel.")], interp
+
+    def test_recorded_instant_carries_kernel_shape(self):
+        instants, interp = self._instants(STENCIL)
+        recorded = [e for e in instants
+                    if e["name"] == "compile.kernel.recorded"]
+        assert recorded
+        args = recorded[0]["args"]
+        assert args["loop"] in interp._compiler.kernels
+        assert args["records_per_iter"] > 0
+
+    def test_rejected_instant_names_reason(self):
+        src = """
+float A[64];
+float f(float x) { return x * 2.0; }
+int main() {
+    int i; int r;
+    for (r = 0; r < 4; r = r + 1) {
+        for (i = 0; i < 64; i = i + 1) { A[i] = f(A[i] + 1.0); }
+    }
+    return 0;
+}
+"""
+        instants, _ = self._instants(src)
+        rejected = [e for e in instants
+                    if e["name"] == "compile.kernel.rejected"]
+        assert rejected
+        assert all("reason" in e["args"] for e in rejected)
+        assert any("call in body" in e["args"]["reason"] for e in rejected)
+
+    def test_retirement_emits_retired_instant(self):
+        src = """
+float A[8];
+int main() {
+    int i; int r;
+    for (r = 0; r < 64; r = r + 1) {
+        for (i = 0; i < 2; i = i + 1) { A[i] = A[i] + 1.0; }
+    }
+    return 0;
+}
+"""
+        instants, interp = self._instants(src)
+        retired = [e for e in instants
+                   if e["name"] == "compile.kernel.retired"]
+        assert retired
+        assert REJECTED in interp._compiler.kernels.values()
+
+    def test_deopt_emits_instant_with_position(self):
+        instants, _ = self._instants(BRANCHY)
+        deopts = [e for e in instants if e["name"] == "compile.kernel.deopt"]
+        assert deopts
+        for e in deopts:
+            assert e["args"]["at"] >= 0
+            assert e["args"]["iterations"] >= 0
+
+    def test_status_bus_counts_kernels_and_batches(self):
+        from repro.obs.live import StatusBus, use_status_bus
+
+        bus = StatusBus()
+        module = compile_source(STENCIL)
+        with use_status_bus(bus):
+            interp = Interpreter(module, sink=ColumnarSink(),
+                                 compile_threshold=4)
+            interp.run("main", ())
+        assert bus.counters["kernels"] >= 1
+        assert bus.counters["batches"] >= 1
+        # off state: no live counters touched
+        plain = Interpreter(module, sink=ColumnarSink(),
+                            compile_threshold=4)
+        plain.run("main", ())
+        assert interp.executed_instructions == plain.executed_instructions

@@ -1,0 +1,95 @@
+"""The ``vectra.*`` logger hierarchy (:mod:`repro.obs.logs`)."""
+
+import io
+import logging
+
+import pytest
+
+from repro.errors import VectraError
+from repro.obs.logs import ROOT_LOGGER, configure_logging, get_logger
+
+
+@pytest.fixture(autouse=True)
+def _reset_vectra_logging():
+    """Leave the vectra root logger the way the suite found it."""
+    root = logging.getLogger(ROOT_LOGGER)
+    before_level = root.level
+    before_handlers = list(root.handlers)
+    yield
+    root.setLevel(before_level)
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    for handler in before_handlers:
+        root.addHandler(handler)
+
+
+class TestGetLogger:
+    def test_names_live_under_vectra(self):
+        assert get_logger("pipeline").name == "vectra.pipeline"
+        assert get_logger("live").name == "vectra.live"
+
+    def test_empty_name_is_the_root(self):
+        assert get_logger().name == ROOT_LOGGER
+
+    def test_child_propagates_to_root_handler(self):
+        stream = io.StringIO()
+        configure_logging("info", stream=stream)
+        get_logger("live").info("worker %d recovered", 42)
+        assert "INFO vectra.live: worker 42 recovered" in stream.getvalue()
+
+    def test_grandchild_propagates_too(self):
+        stream = io.StringIO()
+        configure_logging("warning", stream=stream)
+        logging.getLogger("vectra.interp.compile").warning("deopt at %d", 7)
+        assert "vectra.interp.compile: deopt at 7" in stream.getvalue()
+
+
+class TestConfigureLogging:
+    @pytest.mark.parametrize("name,level", [
+        ("debug", logging.DEBUG),
+        ("info", logging.INFO),
+        ("warning", logging.WARNING),
+        ("error", logging.ERROR),
+        ("critical", logging.CRITICAL),
+    ])
+    def test_level_names_parse(self, name, level):
+        logger = configure_logging(name, stream=io.StringIO())
+        assert logger.level == level
+
+    def test_level_parsing_is_case_insensitive(self):
+        logger = configure_logging("INFO", stream=io.StringIO())
+        assert logger.level == logging.INFO
+
+    def test_unknown_level_raises_named_error(self):
+        with pytest.raises(VectraError,
+                           match="unknown log level 'loud'"):
+            configure_logging("loud", stream=io.StringIO())
+
+    def test_threshold_filters_below(self):
+        stream = io.StringIO()
+        configure_logging("warning", stream=stream)
+        log = get_logger("pipeline")
+        log.info("quiet")
+        log.warning("loud")
+        text = stream.getvalue()
+        assert "quiet" not in text
+        assert "loud" in text
+
+    def test_reconfigure_replaces_handler_not_stacks(self):
+        first = io.StringIO()
+        second = io.StringIO()
+        configure_logging("info", stream=first)
+        configure_logging("info", stream=second)
+        get_logger("pipeline").info("once")
+        assert first.getvalue() == ""
+        assert second.getvalue().count("once") == 1
+
+    def test_foreign_handlers_survive_reconfigure(self):
+        root = logging.getLogger(ROOT_LOGGER)
+        foreign = logging.NullHandler()
+        root.addHandler(foreign)
+        try:
+            configure_logging("info", stream=io.StringIO())
+            assert foreign in root.handlers
+        finally:
+            root.removeHandler(foreign)
