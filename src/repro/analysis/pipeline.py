@@ -50,11 +50,14 @@ from repro.ir.module import Module
 from repro.ir.verifier import verify_module
 from repro.obs import (
     EventLog,
+    SamplingProfiler,
     Telemetry,
     get_logger,
+    get_sampler,
     get_status_bus,
     get_telemetry,
     pool_heartbeat,
+    use_sampler,
     use_telemetry,
 )
 from repro.profiler.costmodel import CostModel
@@ -137,7 +140,7 @@ def windowed_loop_ddg(module: Module, loop_id: int, loop_name: str,
         )
     else:
         sink = ColumnarLoopSink(loop_id, instances={instance})
-    with tel.span("loop.rerun"):
+    with tel.span("loop.rerun", hist=True):
         interp = Interpreter(module, sink=sink, fuel=fuel,
                              compile_loops=compile_loops,
                              compile_threshold=compile_threshold)
@@ -218,7 +221,9 @@ def analyze_loop(
     # serial with an explicit ``tel=`` or inside a pool worker.
     tel.instant("loop.analyze.start", {"loop": loop_name})
     get_status_bus().phase(f"loop.{loop_name}")
-    with use_telemetry(tel):
+    # hist=True: one occurrence per analyzed loop, so --profile can
+    # report p50/p95 per-loop analysis latency across the whole run.
+    with use_telemetry(tel), tel.span("loop.analyze", hist=True):
         ddg, rows = windowed_loop_ddg(module, info.loop_id, loop_name,
                                       entry, args, instance, fuel, tel,
                                       spill_dir=spill_dir,
@@ -263,23 +268,38 @@ def _loop_worker(payload):
     When the parent additionally keeps a timeline, the worker records
     its own :class:`EventLog` (stamped with the worker pid) and the
     events ride home inside the snapshot — a ``--jobs N`` trace renders
-    as N worker tracks."""
+    as N worker tracks.
+
+    When the parent samples (``sample_hz > 0``), the worker runs its own
+    :class:`SamplingProfiler` and folds the resolved sample table into
+    its telemetry before snapshotting, so profiler samples ride home the
+    same way counters do and the merged flamegraph covers all workers."""
     (source, benchmark, loop_name, entry, args, instance,
      include_integer, relax_reductions, fuel, profiled, timeline,
-     compile_loops, compile_threshold) = payload
+     compile_loops, compile_threshold, sample_hz) = payload
     tel = None
     if profiled:
         tel = Telemetry(events=EventLog() if timeline else None)
+    sampler = (SamplingProfiler(hz=sample_hz)
+               if profiled and sample_hz else None)
     # Install the worker's telemetry as the process-active one too: with
     # a fork start method the child inherits the parent's (doomed) copy,
     # and any instrumentation that resolves the active telemetry would
     # otherwise record into it and be lost.
-    with use_telemetry(tel):
-        module = compile_source(source, benchmark or "module")
-        report = analyze_loop(module, loop_name, entry, args, instance,
-                              include_integer, relax_reductions, fuel=fuel,
-                              tel=tel, compile_loops=compile_loops,
-                              compile_threshold=compile_threshold)
+    with use_telemetry(tel), use_sampler(sampler):
+        if sampler is not None:
+            sampler.start()
+        try:
+            module = compile_source(source, benchmark or "module")
+            report = analyze_loop(module, loop_name, entry, args, instance,
+                                  include_integer, relax_reductions,
+                                  fuel=fuel, tel=tel,
+                                  compile_loops=compile_loops,
+                                  compile_threshold=compile_threshold)
+        finally:
+            if sampler is not None:
+                sampler.stop()
+                tel.add_samples(sampler.folded_counts())
     return report, (tel.snapshot() if profiled else None)
 
 
@@ -349,10 +369,13 @@ def run_loop_analyses(
         return serial()
     if jobs <= 1 or len(names) <= 1:
         return serial()
+    sampler = get_sampler()
+    sample_hz = sampler.hz if sampler.enabled else 0
     payloads = [
         (source, benchmark, name, entry, tuple(args), instance,
          include_integer, relax_reductions, fuel, tel.enabled,
-         tel.events is not None, compile_loops, compile_threshold)
+         tel.events is not None, compile_loops, compile_threshold,
+         sample_hz)
         for name in names
     ]
     initializer, initargs = pool_heartbeat(bus)

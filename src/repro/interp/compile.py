@@ -1083,11 +1083,18 @@ class TraceCompiler:
         total = 0
         batches = 0
         guard_exit = False
+        tel = get_telemetry()
+        # Per-batch iteration counts (k) feed the batch_iterations
+        # histogram; collected only under telemetry so the disabled
+        # dispatch path is unchanged.
+        ks = [] if tel.enabled else None
         while True:
             B = batch if batch < room else room
             N0 = interp._node
             k, dpc, ma, lw, ap = fn(B, N0, values, defa, mem, mw, alloc)
             batches += 1
+            if ks is not None:
+                ks.append(k)
             part = dpc if dpc > 0 else 0
             nrec = k * L + part
             if nrec:
@@ -1115,7 +1122,6 @@ class TraceCompiler:
                 break
         kern.calls += 1
         kern.gained += total
-        tel = get_telemetry()
         if kern.calls >= MIN_USEFUL_CALLS and kern.gained < kern.calls:
             # Guards fail nearly every dispatch: batching buys nothing
             # for this loop, so retire the kernel and step instead.
@@ -1140,5 +1146,7 @@ class TraceCompiler:
             tel.count("interp.compile.deopts")
             if guard_exit:
                 tel.count("interp.compile.guard_exits")
+            for k in ks:
+                tel.observe("interp.compile.batch_iterations", k)
         get_status_bus().count("batches", batches)
         return resume[0], resume[1], total

@@ -32,7 +32,7 @@ from repro.interp.compile import (
     TraceCompiler,
 )
 from repro.ir.instructions import Opcode
-from repro.obs import get_logger, get_status_bus, get_telemetry
+from repro.obs import get_logger, get_sampler, get_status_bus, get_telemetry
 from repro.ir.module import Module
 from repro.ir.types import FloatType, IntType, PointerType
 from repro.ir.values import Constant, GlobalRef, VirtualReg
@@ -153,6 +153,12 @@ class Interpreter:
             sink is None or hasattr(sink, "bulk_append")
         ):
             self._compiler = TraceCompiler(self, compile_threshold)
+        # One check at construction, zero per-record cost: the sampling
+        # profiler resolves (loop id, sid) samples against this module
+        # at fold time.
+        sampler = get_sampler()
+        if sampler.enabled:
+            sampler.attach_module(module)
 
     # -- setup -------------------------------------------------------------
 
@@ -707,7 +713,11 @@ def run_and_trace(
     interp = Interpreter(module, sink=sink, fuel=fuel,
                          compile_loops=compile_loops,
                          compile_threshold=compile_threshold)
-    with tel.span("trace.run" if loop is None else "loop.rerun"):
+    # Re-traces recur once per analyzed loop, so their latency is a
+    # distribution worth keeping (hist=True); the whole-program run
+    # happens once per pipeline and stays a plain span.
+    with tel.span("trace.run" if loop is None else "loop.rerun",
+                  hist=loop is not None):
         interp.run(entry, args)
     if tel.enabled:
         tel.count("interp.runs")

@@ -17,6 +17,16 @@ and a :class:`StatusTicker` thread streams ``vectra.live/1`` status
 frames — progress, rates/ETA, resource gauges, worker heartbeats, and
 the stall watchdog — to the CLI's ``--status-json`` / ``--progress``
 consumers.
+
+The deep-profiling layer rides the same opt-in machinery:
+:mod:`repro.obs.sampling` is a timer-thread sampling profiler (default:
+the no-op :data:`NULL_SAMPLER`) whose samples attribute wall time to
+workload IR (loop, sid) and render as flamegraphs via
+:mod:`repro.obs.flamegraph`; histograms (``Telemetry.observe`` /
+``span(..., hist=True)``) carry log-bucketed latency/size
+distributions through worker merges; and :mod:`repro.obs.statsdb`
+indexes the JSONL ledger into sqlite for ``vectra stats`` trend queries
+and MAD-based regression detection.
 """
 
 from repro.obs.live import (
@@ -31,11 +41,22 @@ from repro.obs.live import (
     set_status_bus,
     use_status_bus,
 )
+from repro.obs.flamegraph import write_flame
 from repro.obs.logs import configure_logging, get_logger
+from repro.obs.sampling import (
+    DEFAULT_SAMPLE_HZ,
+    NULL_SAMPLER,
+    NullSampler,
+    SamplingProfiler,
+    get_sampler,
+    set_sampler,
+    use_sampler,
+)
 from repro.obs.telemetry import (
     KNOWN_SCHEMAS,
     NULL_TELEMETRY,
     REPORT_SCHEMA,
+    Histogram,
     NullTelemetry,
     Telemetry,
     dump_report,
@@ -50,6 +71,15 @@ __all__ = [
     "Telemetry",
     "NullTelemetry",
     "NULL_TELEMETRY",
+    "Histogram",
+    "SamplingProfiler",
+    "NullSampler",
+    "NULL_SAMPLER",
+    "DEFAULT_SAMPLE_HZ",
+    "get_sampler",
+    "set_sampler",
+    "use_sampler",
+    "write_flame",
     "REPORT_SCHEMA",
     "KNOWN_SCHEMAS",
     "EventLog",

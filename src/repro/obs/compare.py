@@ -8,8 +8,11 @@ uses as a regression gate over a checked-in baseline report.
 
 A ``--fail-on`` spec is ``kind:name:limit``:
 
-- ``kind`` — ``span`` (compares ``total_s``), ``counter``, ``gauge``, or
-  ``section`` (``name`` is then ``section-name.field``);
+- ``kind`` — ``span`` (compares ``total_s``), ``counter``, ``gauge``,
+  ``hist`` (``name`` is ``histogram-name.stat`` where stat is one of
+  ``count``/``mean``/``max``/``p50``/``p90``/``p95``/``p99``, derived
+  from the report's log-bucketed histograms), or ``section`` (``name``
+  is then ``section-name.field``);
 - ``name`` — the metric key as it appears in the report;
 - ``limit`` — a signed change bound, relative (``+10%`` fails when HEAD
   exceeds BASE by more than 10%) or absolute (``+250000`` fails when
@@ -28,7 +31,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import VectraError
-from repro.obs.telemetry import validate_report_schema
+from repro.obs.telemetry import Histogram, validate_report_schema
 
 __all__ = [
     "COMPARE_SCHEMA",
@@ -36,6 +39,7 @@ __all__ = [
     "Threshold",
     "load_report",
     "diff_reports",
+    "metric_items",
     "parse_fail_on",
     "evaluate_thresholds",
     "format_diff_table",
@@ -47,7 +51,11 @@ __all__ = [
 COMPARE_SCHEMA = "vectra.compare/1"
 
 #: Metric namespaces a spec/diff can address.
-KINDS = ("span", "counter", "gauge", "section")
+KINDS = ("span", "counter", "gauge", "hist", "section")
+
+#: Histogram stats the ``hist`` namespace exposes per histogram.
+HIST_STATS = (("count", None), ("mean", None), ("max", None),
+              ("p50", 0.50), ("p90", 0.90), ("p95", 0.95), ("p99", 0.99))
 
 
 def load_report(path: str) -> dict:
@@ -74,12 +82,39 @@ def _metric_values(report: dict, kind: str) -> Dict[str, float]:
         return dict(report.get("counters", {}))
     if kind == "gauge":
         return dict(report.get("gauges", {}))
-    values: Dict[str, float] = {}
+    if kind == "hist":
+        # Synthetic baselines (obs.history.median_report) carry the
+        # already-flattened stats; real reports carry bucket snapshots.
+        if "hist_flat" in report:
+            return dict(report["hist_flat"])
+        values: Dict[str, float] = {}
+        for name, rec in report.get("histograms", {}).items():
+            hist = Histogram.from_snapshot(rec)
+            values[f"{name}.count"] = hist.count
+            if hist.count:
+                values[f"{name}.mean"] = hist.mean
+                values[f"{name}.max"] = hist.vmax
+                for stat, q in HIST_STATS:
+                    if q is not None:
+                        values[f"{name}.{stat}"] = hist.percentile(q)
+        return values
+    if "section_flat" in report:
+        return dict(report["section_flat"])
+    values = {}
     for sec_name, data in report.get("sections", {}).items():
         for field, value in data.items():
             if isinstance(value, (int, float)) and not isinstance(value, bool):
                 values[f"{sec_name}.{field}"] = value
     return values
+
+
+def metric_items(report: dict):
+    """Every numeric metric of a report as ``(kind, name, value)``
+    triples, sorted within each kind — the flat view the run-stats
+    database ingests and the median baseline aggregates."""
+    for kind in KINDS:
+        for name, value in sorted(_metric_values(report, kind).items()):
+            yield kind, name, value
 
 
 @dataclass

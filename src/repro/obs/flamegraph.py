@@ -1,0 +1,207 @@
+"""Self-contained flamegraph rendering from folded profiler samples.
+
+Input is the collapsed-stack table the sampling profiler produces
+(``"frame;frame;frame" -> count``, see :mod:`repro.obs.sampling`);
+output is one of three formats picked by the ``--flame PATH`` suffix:
+
+- ``*.svg`` — a static flamegraph SVG, no external references, hover
+  titles carry exact sample counts;
+- ``*.html`` — the same SVG wrapped in a minimal page with a substring
+  search box that highlights matching frames;
+- anything else (or ``-`` for stdout) — the folded text itself, the
+  lingua franca of ``flamegraph.pl`` / speedscope / inferno, so the
+  samples stay greppable and pipeable.
+
+Workload-IR frames (``[ir] ...``) are colored in a separate cold
+palette so interpreter time attributable to a workload (loop, sid)
+stands out against the warm Python-frame background.  Rendering is
+fully deterministic: colors hash the frame name with crc32 and children
+lay out in name order.
+"""
+
+from __future__ import annotations
+
+import sys
+import zlib
+from html import escape
+from typing import Dict, Tuple
+
+__all__ = ["build_tree", "render_folded", "render_svg", "render_html",
+           "write_flame"]
+
+#: Layout constants (pixels).
+WIDTH = 1200
+FRAME_HEIGHT = 17
+FONT_SIZE = 11
+PAD_TOP = 40
+PAD_BOTTOM = 24
+#: Frames narrower than this are dropped from the drawing (their
+#: samples still count toward every ancestor's width).
+MIN_FRAME_PX = 0.3
+
+
+def build_tree(samples: Dict[str, int]) -> dict:
+    """Fold the sample table into a call tree.
+
+    Each node is ``{"name", "value", "children": {name: node}}`` where
+    ``value`` counts all samples passing through the node; the root
+    (named ``all``) carries the grand total.
+    """
+    root = {"name": "all", "value": 0, "children": {}}
+    for stack, n in samples.items():
+        if n <= 0 or not stack:
+            continue
+        root["value"] += n
+        node = root
+        for part in stack.split(";"):
+            child = node["children"].get(part)
+            if child is None:
+                child = {"name": part, "value": 0, "children": {}}
+                node["children"][part] = child
+            child["value"] += n
+            node = child
+    return root
+
+
+def _depth(node: dict) -> int:
+    if not node["children"]:
+        return 1
+    return 1 + max(_depth(c) for c in node["children"].values())
+
+
+def _color(name: str) -> str:
+    """Deterministic per-name fill color; IR frames get the cold
+    palette, generated kernel frames violet, Python frames warm."""
+    crc = zlib.crc32(name.encode("utf-8"))
+    if name.startswith("[ir] "):
+        return (f"rgb({40 + crc % 60},{150 + (crc >> 8) % 76},"
+                f"{70 + (crc >> 16) % 80})")
+    if name.startswith("kernel:"):
+        return (f"rgb({140 + crc % 60},{60 + (crc >> 8) % 50},"
+                f"{160 + (crc >> 16) % 70})")
+    return (f"rgb({200 + crc % 56},{int(60 + (crc >> 8) % 110)},"
+            f"{(crc >> 16) % 30})")
+
+
+def render_folded(samples: Dict[str, int]) -> str:
+    """The canonical collapsed-stack text, one ``stack count`` line,
+    sorted by stack for reproducible diffs."""
+    lines = [f"{stack} {n}" for stack, n in sorted(samples.items()) if n > 0]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_svg(samples: Dict[str, int],
+               title: str = "vectra flamegraph") -> str:
+    """A static, self-contained flamegraph SVG (root at the bottom,
+    leaves on top — time attribution reads upward)."""
+    root = build_tree(samples)
+    total = root["value"]
+    depth = _depth(root) if total else 1
+    height = PAD_TOP + depth * FRAME_HEIGHT + PAD_BOTTOM
+    out = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" '
+        f'height="{height}" viewBox="0 0 {WIDTH} {height}" '
+        f'font-family="monospace" font-size="{FONT_SIZE}">',
+        f'<rect width="{WIDTH}" height="{height}" fill="#fdf6e3"/>',
+        f'<text x="{WIDTH // 2}" y="22" text-anchor="middle" '
+        f'font-size="15">{escape(title)}</text>',
+    ]
+    if total == 0:
+        out.append(
+            f'<text x="{WIDTH // 2}" y="{height // 2}" '
+            f'text-anchor="middle" fill="#888">no samples recorded</text>'
+        )
+        out.append("</svg>")
+        return "\n".join(out)
+    px = WIDTH / total
+    bottom = height - PAD_BOTTOM
+
+    def walk(node: dict, x: float, level: int) -> None:
+        w = node["value"] * px
+        if w < MIN_FRAME_PX:
+            return
+        y = bottom - (level + 1) * FRAME_HEIGHT
+        name = node["name"]
+        pct = 100.0 * node["value"] / total
+        out.append(
+            f'<g class="frame" data-name="{escape(name, quote=True)}">'
+            f'<title>{escape(name)} ({node["value"]} samples, '
+            f"{pct:.2f}%)</title>"
+            f'<rect x="{x:.2f}" y="{y}" width="{w:.2f}" '
+            f'height="{FRAME_HEIGHT - 1}" fill="{_color(name)}" '
+            f'rx="2"/>'
+        )
+        max_chars = int(w / (FONT_SIZE * 0.62))
+        if max_chars >= 4:
+            text = name if len(name) <= max_chars else (
+                name[: max_chars - 2] + ".."
+            )
+            out.append(
+                f'<text x="{x + 3:.2f}" y="{y + FRAME_HEIGHT - 5}" '
+                f'fill="#1a1a1a">{escape(text)}</text>'
+            )
+        out.append("</g>")
+        cx = x
+        for cname in sorted(node["children"]):
+            child = node["children"][cname]
+            walk(child, cx, level + 1)
+            cx += child["value"] * px
+
+    walk(root, 0.0, 0)
+    out.append("</svg>")
+    return "\n".join(out)
+
+
+def render_html(samples: Dict[str, int],
+                title: str = "vectra flamegraph") -> str:
+    """The SVG wrapped in a standalone page with a substring search box
+    (matching frames get an outline; everything stays offline-safe)."""
+    svg = render_svg(samples, title)
+    return f"""<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8"/>
+<title>{escape(title)}</title>
+<style>
+body {{ font-family: monospace; margin: 12px; background: #fdf6e3; }}
+#search {{ width: 24em; margin-bottom: 8px; }}
+g.frame rect.hit {{ stroke: #d30102; stroke-width: 1.5; }}
+</style>
+</head>
+<body>
+<input id="search" type="search"
+       placeholder="highlight frames containing..."/>
+{svg}
+<script>
+document.getElementById("search").addEventListener("input", function () {{
+  var q = this.value.toLowerCase();
+  document.querySelectorAll("g.frame").forEach(function (g) {{
+    var hit = q && g.dataset.name.toLowerCase().indexOf(q) >= 0;
+    g.querySelector("rect").classList.toggle("hit", hit);
+  }});
+}});
+</script>
+</body>
+</html>
+"""
+
+
+def write_flame(samples: Dict[str, int], path: str,
+                title: str = "vectra flamegraph") -> str:
+    """Write the samples to ``path`` in the format its suffix implies
+    (see module docstring); ``-`` streams folded text to stdout.
+    Returns the format written (``"svg"``, ``"html"`` or ``"folded"``).
+    """
+    if path == "-":
+        sys.stdout.write(render_folded(samples))
+        return "folded"
+    lower = path.lower()
+    if lower.endswith(".svg"):
+        content, fmt = render_svg(samples, title), "svg"
+    elif lower.endswith((".html", ".htm")):
+        content, fmt = render_html(samples, title), "html"
+    else:
+        content, fmt = render_folded(samples), "folded"
+    with open(path, "w") as fh:
+        fh.write(content)
+    return fmt

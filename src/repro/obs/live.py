@@ -454,6 +454,16 @@ def suspend_worker_heartbeat(suspend: bool = True) -> None:
 # resource gauges
 
 
+def _sampler_samples() -> Optional[int]:
+    """Samples taken by the active profiler so far (``None`` when
+    sampling is off) — lets ``vectra watch`` confirm the sampler is
+    alive during a long run."""
+    from repro.obs.sampling import get_sampler
+
+    sampler = get_sampler()
+    return sampler.total_samples if sampler.enabled else None
+
+
 def _rss_kb() -> Optional[int]:
     """Current resident set size in KiB (Linux ``/proc``; peak-RSS
     fallback elsewhere)."""
@@ -628,6 +638,9 @@ class StatusTicker(threading.Thread):
                 "rss_kb": _rss_kb(),
                 "spill_dir_bytes": spill_bytes,
                 "open_segments": open_segments,
+                # Additive within vectra.live/1: readers require the
+                # section, not its exact key set (validate_frames).
+                "profiler_samples": _sampler_samples(),
             },
             "workers": bus.worker_rows(),
             "stalls": bus.stalls,

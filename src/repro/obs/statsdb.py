@@ -1,0 +1,271 @@
+"""Queryable run-stats database over the JSONL metrics ledger.
+
+``vectra stats LEDGER.jsonl`` ingests every run report of a
+``--metrics-append`` ledger into a sqlite database (in-memory by
+default, persisted with ``--db PATH``) and answers the question the
+first-vs-latest ``compare`` cannot: *how has each metric trended over
+the last N runs, and is the latest run an outlier?*
+
+Schema (``vectra.statsdb/1``)::
+
+    runs    (source, run_idx, command, exit_code, schema)
+    metrics (source, run_idx, kind, name, value)
+
+``run_idx`` is the 0-based ledger position (oldest first); ``kind`` and
+``name`` follow the flat namespace of :func:`repro.obs.compare.
+metric_items` — spans by ``total_s``, counters, gauges, histogram stats
+as ``hist:name.p95`` etc., section fields.  Re-ingesting a source
+replaces its rows, so the database is an index over the ledger, never a
+second source of truth.
+
+Regression detection is median-absolute-deviation based: for each
+metric with at least 3 runs, the latest value is scored against the
+median and MAD of all *previous* runs —
+``score = |latest - median| / max(1.4826 * MAD, 1% of |median|, 1e-9)``
+— and flagged when the score exceeds the threshold (default 3.5, the
+conventional modified-z-score cut).  The 1%-of-median floor keeps a
+metric that was perfectly stable for N runs from tripping on a
+sub-percent wiggle just because its MAD is 0.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import sqlite3
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from statistics import median
+
+from repro.errors import VectraError
+from repro.obs.compare import metric_items
+
+__all__ = [
+    "STATS_SCHEMA",
+    "DEFAULT_MAD_THRESHOLD",
+    "MetricTrend",
+    "open_db",
+    "ingest_reports",
+    "metric_trends",
+    "sparkline",
+    "format_trend_table",
+    "stats_json_doc",
+]
+
+#: Schema tag of the ``vectra stats --json`` trend document.
+STATS_SCHEMA = "vectra.stats/1"
+
+#: Modified-z-score cut above which the latest run counts as a
+#: regression (3.5 is the standard Iglewicz–Hoaglin recommendation).
+DEFAULT_MAD_THRESHOLD = 3.5
+
+#: Minimum runs before the MAD check can fire (median+MAD over fewer
+#: than 2 prior runs is meaningless).
+MIN_RUNS_FOR_MAD = 3
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def open_db(path: Optional[str] = None) -> sqlite3.Connection:
+    """A sqlite connection with the statsdb tables ensured; ``None``
+    opens an in-memory database (the default for one-shot queries)."""
+    try:
+        conn = sqlite3.connect(path or ":memory:")
+    except sqlite3.Error as exc:
+        raise VectraError(f"cannot open stats db {path!r}: {exc}") from exc
+    conn.executescript(
+        """
+        CREATE TABLE IF NOT EXISTS runs (
+            source TEXT NOT NULL,
+            run_idx INTEGER NOT NULL,
+            command TEXT,
+            exit_code INTEGER,
+            schema TEXT,
+            PRIMARY KEY (source, run_idx)
+        );
+        CREATE TABLE IF NOT EXISTS metrics (
+            source TEXT NOT NULL,
+            run_idx INTEGER NOT NULL,
+            kind TEXT NOT NULL,
+            name TEXT NOT NULL,
+            value REAL NOT NULL,
+            PRIMARY KEY (source, run_idx, kind, name)
+        );
+        CREATE INDEX IF NOT EXISTS metrics_by_name
+            ON metrics (source, kind, name, run_idx);
+        """
+    )
+    return conn
+
+
+def ingest_reports(conn: sqlite3.Connection, reports: Sequence[dict],
+                   source: str) -> int:
+    """(Re-)ingest a ledger's reports under ``source``; returns the
+    number of metric rows written.  Prior rows for the source are
+    replaced wholesale, so ingest is idempotent."""
+    with conn:
+        conn.execute("DELETE FROM runs WHERE source = ?", (source,))
+        conn.execute("DELETE FROM metrics WHERE source = ?", (source,))
+        rows = 0
+        for idx, report in enumerate(reports):
+            conn.execute(
+                "INSERT INTO runs VALUES (?, ?, ?, ?, ?)",
+                (source, idx, report.get("command"),
+                 report.get("exit_code"), report.get("schema")),
+            )
+            items = [(source, idx, kind, name, float(value))
+                     for kind, name, value in metric_items(report)]
+            conn.executemany(
+                "INSERT INTO metrics VALUES (?, ?, ?, ?, ?)", items
+            )
+            rows += len(items)
+    return rows
+
+
+@dataclass
+class MetricTrend:
+    """One metric's trajectory over the queried window."""
+
+    kind: str
+    name: str
+    values: List[float] = field(default_factory=list)
+    regression: Optional[str] = None  # violation text when MAD tripped
+
+    @property
+    def latest(self) -> float:
+        return self.values[-1]
+
+    @property
+    def med(self) -> float:
+        return median(self.values)
+
+    def check_mad(self, threshold: float = DEFAULT_MAD_THRESHOLD) -> None:
+        """Score the latest value against the previous runs' median/MAD
+        and set :attr:`regression` when it is an outlier."""
+        if len(self.values) < MIN_RUNS_FOR_MAD:
+            return
+        prev = self.values[:-1]
+        med = median(prev)
+        mad = median(abs(v - med) for v in prev)
+        scale = max(1.4826 * mad, 0.01 * abs(med), 1e-9)
+        score = abs(self.latest - med) / scale
+        if score > threshold:
+            self.regression = (
+                f"{self.kind}:{self.name}: latest {self.latest:g} vs "
+                f"median {med:g} of previous {len(prev)} runs "
+                f"(MAD score {score:.1f} > {threshold:g})"
+            )
+
+
+def metric_trends(
+    conn: sqlite3.Connection,
+    source: str,
+    last_n: Optional[int] = None,
+    patterns: Sequence[str] = (),
+    threshold: float = DEFAULT_MAD_THRESHOLD,
+) -> Tuple[List[MetricTrend], int]:
+    """All metric trajectories for ``source`` over its last ``last_n``
+    runs (all runs when ``None``), MAD-checked; returns
+    ``(trends, runs_in_window)``.  ``patterns`` are ``fnmatch`` globs
+    against ``kind:name`` (e.g. ``counter:*`` or ``hist:loop.*.p95``);
+    no patterns selects everything."""
+    idxs = [row[0] for row in conn.execute(
+        "SELECT run_idx FROM runs WHERE source = ? ORDER BY run_idx",
+        (source,),
+    )]
+    if not idxs:
+        raise VectraError(f"stats db has no runs for source {source!r}")
+    if last_n is not None:
+        if last_n < 1:
+            raise VectraError(f"--last must be >= 1, got {last_n}")
+        idxs = idxs[-last_n:]
+    window = set(idxs)
+    by_key: Dict[Tuple[str, str], Dict[int, float]] = {}
+    for run_idx, kind, name, value in conn.execute(
+        "SELECT run_idx, kind, name, value FROM metrics WHERE source = ? "
+        "ORDER BY kind, name, run_idx",
+        (source,),
+    ):
+        if run_idx not in window:
+            continue
+        by_key.setdefault((kind, name), {})[run_idx] = value
+    trends: List[MetricTrend] = []
+    for (kind, name), by_run in sorted(by_key.items()):
+        label = f"{kind}:{name}"
+        if patterns and not any(fnmatch.fnmatch(label, p)
+                                for p in patterns):
+            continue
+        # Runs where the metric is absent count as 0, mirroring compare.
+        trend = MetricTrend(kind, name,
+                            [by_run.get(idx, 0.0) for idx in idxs])
+        trend.check_mad(threshold)
+        trends.append(trend)
+    return trends, len(idxs)
+
+
+def sparkline(values: Sequence[float], width: int = 16) -> str:
+    """A unicode mini-chart of the last ``width`` values."""
+    tail = list(values)[-width:]
+    if not tail:
+        return ""
+    lo, hi = min(tail), max(tail)
+    if hi == lo:
+        return _SPARK_CHARS[3] * len(tail)
+    span = hi - lo
+    top = len(_SPARK_CHARS) - 1
+    return "".join(
+        _SPARK_CHARS[round((v - lo) / span * top)] for v in tail
+    )
+
+
+def format_trend_table(trends: Sequence[MetricTrend],
+                       runs: int, changed_only: bool = False) -> str:
+    """The human ``vectra stats`` table: one metric per row with its
+    sparkline, median, latest value and MAD flag."""
+    lines = [
+        f"{'kind':<8} {'name':<44} {'runs':>4} {'trend':<16} "
+        f"{'median':>12} {'latest':>12} {'flag':<4}"
+    ]
+    shown = 0
+    for trend in trends:
+        if changed_only and len(set(trend.values)) == 1:
+            continue
+        shown += 1
+        flag = "MAD!" if trend.regression else ""
+        lines.append(
+            f"{trend.kind:<8} {trend.name:<44} {len(trend.values):>4} "
+            f"{sparkline(trend.values):<16} {trend.med:>12g} "
+            f"{trend.latest:>12g} {flag:<4}"
+        )
+    if shown == 0:
+        lines.append("(no metrics matched)")
+    regressions = [t.regression for t in trends if t.regression]
+    if regressions:
+        lines.append("-- regressions --")
+        lines.extend(regressions)
+    lines.append(f"({runs} runs in window)")
+    return "\n".join(lines)
+
+
+def stats_json_doc(trends: Sequence[MetricTrend], runs: int,
+                   source: str) -> dict:
+    """The machine-readable ``--json`` trend document."""
+    regressions = [t.regression for t in trends if t.regression]
+    return {
+        "schema": STATS_SCHEMA,
+        "source": source,
+        "runs": runs,
+        "metrics": [
+            {
+                "kind": t.kind,
+                "name": t.name,
+                "values": t.values,
+                "median": t.med,
+                "latest": t.latest,
+                "regression": t.regression,
+            }
+            for t in trends
+        ],
+        "regressions": regressions,
+        "verdict": "FAIL" if regressions else "OK",
+    }

@@ -13,6 +13,13 @@ One :class:`Telemetry` object rides along a pipeline run and collects
   identical to a serial run.
 - **gauges** — level/peak samples (peak RSS, configured job count).
   Merged by max, not sum.
+- **histograms** — log-bucketed value distributions (per-loop analysis
+  latency, per-batch compiled-kernel iteration counts, per-segment
+  spill/read times, DDG chunk sizes).  Buckets are a pure function of
+  the observed value, so histograms merge across pool-worker snapshots
+  exactly like counters do: bucket counts sum, and any merge order
+  yields the same distribution.  ``--profile`` derives p50/p90/p99
+  from the buckets.
 
 The default is the no-op :class:`NullTelemetry` singleton: every method
 is a ``pass`` and :meth:`NullTelemetry.span` hands back one shared,
@@ -32,6 +39,7 @@ snapshot dict, plus a schema tag, is the ``--metrics-json`` run report.
 from __future__ import annotations
 
 import json
+import math
 import sys
 import time
 from contextlib import contextmanager
@@ -40,16 +48,18 @@ from typing import Dict, List, Optional, Union
 from repro.errors import VectraError
 
 #: Version tag of the machine-readable run report (bump on shape changes).
-REPORT_SCHEMA = "vectra.run-report/3"
+REPORT_SCHEMA = "vectra.run-report/4"
 
 #: Schema tags :meth:`Telemetry.merge` and the report loaders accept.
 #: ``/1`` reports are a strict subset of ``/2`` (no ``sections`` or
-#: ``events``), and ``/2`` of ``/3`` (no optional ``explain`` mapping or
-#: ``timeline_dropped`` counter), so ingesting older tags is safe;
-#: anything else is refused.
+#: ``events``), ``/2`` of ``/3`` (no optional ``explain`` mapping or
+#: ``timeline_dropped`` counter), and ``/3`` of ``/4`` (no
+#: ``histograms`` or profiler ``samples``), so ingesting older tags is
+#: safe; anything else is refused.
 KNOWN_SCHEMAS = (
     "vectra.run-report/1",
     "vectra.run-report/2",
+    "vectra.run-report/3",
     REPORT_SCHEMA,
 )
 
@@ -68,15 +78,134 @@ def validate_report_schema(report: dict, source: str = "snapshot") -> None:
         )
 
 
+#: Log-bucket growth factor.  2**0.25 gives four buckets per doubling
+#: (~19% bucket width), so any percentile estimate taken from a bucket
+#: midpoint is within ~9.5% of the true observed value — tight enough
+#: for latency gating, small enough that a long run's histogram stays a
+#: few dozen keys.
+HIST_GROWTH = 2.0 ** 0.25
+
+_LOG_GROWTH = math.log(HIST_GROWTH)
+
+
+class Histogram:
+    """A log-bucketed distribution of observed values.
+
+    Positive values land in bucket ``ceil(log(v) / log(HIST_GROWTH))``
+    — a pure function of the value, independent of observation order or
+    of which process observed it.  That makes histograms *mergeable
+    like counters*: folding worker snapshots sums bucket counts, and
+    every merge order yields the identical distribution.  Zero and
+    negative values (a spill that took "0.0 s" under a coarse clock, an
+    empty chunk) are tallied separately in ``zeros`` so the log buckets
+    stay well-defined.
+
+    Exact ``count``/``sum``/``min``/``max`` ride alongside the buckets;
+    percentiles are estimated from bucket midpoints and clamped to the
+    observed ``[min, max]`` range, so a single-sample histogram reports
+    its one value exactly at every quantile.
+    """
+
+    __slots__ = ("count", "total", "vmin", "vmax", "zeros", "buckets")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.vmin: Optional[float] = None
+        self.vmax: Optional[float] = None
+        self.zeros = 0
+        #: bucket index -> observation count
+        self.buckets: Dict[int, int] = {}
+
+    def observe(self, value: float, n: int = 1) -> None:
+        """Record ``value`` as if observed ``n`` times."""
+        value = float(value)
+        self.count += n
+        self.total += value * n
+        if self.vmin is None or value < self.vmin:
+            self.vmin = value
+        if self.vmax is None or value > self.vmax:
+            self.vmax = value
+        if value <= 0.0:
+            self.zeros += n
+        else:
+            idx = math.ceil(math.log(value) / _LOG_GROWTH)
+            self.buckets[idx] = self.buckets.get(idx, 0) + n
+
+    def merge(self, other: Union["Histogram", dict]) -> None:
+        """Fold another histogram (or its snapshot dict) into this one.
+        Commutative and associative up to float summation of ``sum``."""
+        if isinstance(other, dict):
+            other = Histogram.from_snapshot(other)
+        if other.count == 0:
+            return
+        self.count += other.count
+        self.total += other.total
+        if self.vmin is None or other.vmin < self.vmin:
+            self.vmin = other.vmin
+        if self.vmax is None or other.vmax > self.vmax:
+            self.vmax = other.vmax
+        self.zeros += other.zeros
+        for idx, n in other.buckets.items():
+            self.buckets[idx] = self.buckets.get(idx, 0) + n
+
+    def percentile(self, q: float) -> Optional[float]:
+        """The estimated ``q``-quantile (``q`` in [0, 1]), or ``None``
+        for an empty histogram."""
+        if self.count == 0:
+            return None
+        rank = max(1, math.ceil(q * self.count))
+        seen = self.zeros
+        if rank <= seen:
+            est = 0.0
+        else:
+            est = self.vmax
+            for idx in sorted(self.buckets):
+                seen += self.buckets[idx]
+                if rank <= seen:
+                    est = HIST_GROWTH ** (idx - 0.5)
+                    break
+        return min(max(est, self.vmin), self.vmax)
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+    def snapshot(self) -> dict:
+        """JSON- and pickle-safe dict form (bucket keys stringified)."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.vmin,
+            "max": self.vmax,
+            "zeros": self.zeros,
+            "buckets": {str(idx): n
+                        for idx, n in sorted(self.buckets.items())},
+        }
+
+    @classmethod
+    def from_snapshot(cls, rec: dict) -> "Histogram":
+        hist = cls()
+        hist.count = rec["count"]
+        hist.total = rec["sum"]
+        hist.vmin = rec["min"]
+        hist.vmax = rec["max"]
+        hist.zeros = rec.get("zeros", 0)
+        hist.buckets = {int(idx): n
+                        for idx, n in rec.get("buckets", {}).items()}
+        return hist
+
+
 class _Span:
     """A running timed span; records itself into the owner on exit."""
 
-    __slots__ = ("_tel", "name", "_t0")
+    __slots__ = ("_tel", "name", "_t0", "_hist")
 
-    def __init__(self, tel: "Telemetry", name: str):
+    def __init__(self, tel: "Telemetry", name: str, hist: bool = False):
         self._tel = tel
         self.name = name
         self._t0 = 0.0
+        self._hist = hist
 
     def __enter__(self) -> "_Span":
         self._t0 = time.perf_counter()
@@ -84,7 +213,8 @@ class _Span:
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         self._tel._record_span(self.name, self._t0,
-                               time.perf_counter() - self._t0)
+                               time.perf_counter() - self._t0,
+                               hist=self._hist)
         return False
 
 
@@ -111,13 +241,19 @@ class NullTelemetry:
     enabled = False
     events = None
 
-    def span(self, name: str) -> _NullSpan:
+    def span(self, name: str, hist: bool = False) -> _NullSpan:
         return _NULL_SPAN
 
     def count(self, name: str, n: int = 1) -> None:
         pass
 
     def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float, n: int = 1) -> None:
+        pass
+
+    def add_samples(self, table: Optional[Dict[str, int]]) -> None:
         pass
 
     def instant(self, name: str, args: Optional[dict] = None) -> None:
@@ -137,7 +273,8 @@ class NullTelemetry:
 
     def snapshot(self) -> dict:
         return {"schema": REPORT_SCHEMA, "spans": {}, "counters": {},
-                "gauges": {}, "sections": {}, "events": []}
+                "gauges": {}, "histograms": {}, "sections": {},
+                "events": []}
 
 
 #: The process-wide default telemetry (see :func:`get_telemetry`).
@@ -150,8 +287,8 @@ class Telemetry:
     attached (``events=``), every span occurrence and instant event also
     lands on the run timeline."""
 
-    __slots__ = ("spans", "counters", "gauges", "sections", "explain",
-                 "events")
+    __slots__ = ("spans", "counters", "gauges", "histograms", "samples",
+                 "sections", "explain", "events")
     enabled = True
 
     def __init__(self, events=None):
@@ -159,6 +296,11 @@ class Telemetry:
         self.spans: Dict[str, List[float]] = {}
         self.counters: Dict[str, int] = {}
         self.gauges: Dict[str, float] = {}
+        #: name -> Histogram of observed values
+        self.histograms: Dict[str, Histogram] = {}
+        #: folded profiler stack -> sample count (see obs.sampling);
+        #: merged by sum, exactly like counters.
+        self.samples: Dict[str, int] = {}
         #: name -> dict of result fields (e.g. one section per analyzed
         #: loop), making the run report self-contained.
         self.sections: Dict[str, dict] = {}
@@ -170,12 +312,16 @@ class Telemetry:
 
     # -- recording ---------------------------------------------------------
 
-    def span(self, name: str) -> _Span:
+    def span(self, name: str, hist: bool = False) -> _Span:
         """A context manager timing one stage; re-entering the same name
-        accumulates (total, calls, max)."""
-        return _Span(self, name)
+        accumulates (total, calls, max).  With ``hist=True`` every
+        occurrence is additionally observed into the like-named
+        histogram, so ``--profile`` can report p50/p95 latency for the
+        stage, not just its mean."""
+        return _Span(self, name, hist)
 
-    def _record_span(self, name: str, t0: float, dt: float) -> None:
+    def _record_span(self, name: str, t0: float, dt: float,
+                     hist: bool = False) -> None:
         rec = self.spans.get(name)
         if rec is None:
             self.spans[name] = [dt, 1, dt]
@@ -184,6 +330,8 @@ class Telemetry:
             rec[1] += 1
             if dt > rec[2]:
                 rec[2] = dt
+        if hist:
+            self.observe(name, dt)
         if self.events is not None:
             self.events.complete(name, t0, dt)
 
@@ -196,6 +344,22 @@ class Telemetry:
         cur = self.gauges.get(name)
         if cur is None or value > cur:
             self.gauges[name] = value
+
+    def observe(self, name: str, value: float, n: int = 1) -> None:
+        """Record ``value`` (``n`` times) into the histogram ``name``."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.observe(value, n)
+
+    def add_samples(self, table: Optional[Dict[str, int]]) -> None:
+        """Fold a profiler sample table (folded stack -> count) into
+        this telemetry; repeated folds and worker tables sum."""
+        if not table:
+            return
+        samples = self.samples
+        for stack, n in table.items():
+            samples[stack] = samples.get(stack, 0) + n
 
     def instant(self, name: str, args: Optional[dict] = None) -> None:
         """Record a point-in-time event on the attached timeline (no-op
@@ -258,6 +422,8 @@ class Telemetry:
             )
             counters = other.get("counters", {})
             gauges = other.get("gauges", {})
+            histograms = other.get("histograms", {})
+            samples = other.get("samples", {})
             sections = other.get("sections", {})
             explain = other.get("explain", {})
             events = other.get("events", ())
@@ -265,6 +431,8 @@ class Telemetry:
             span_items = ((n, tuple(r)) for n, r in other.spans.items())
             counters = other.counters
             gauges = other.gauges
+            histograms = other.histograms
+            samples = other.samples
             sections = other.sections
             explain = other.explain
             events = other.events.snapshot() if other.events else ()
@@ -281,6 +449,12 @@ class Telemetry:
             self.counters[name] = self.counters.get(name, 0) + n
         for name, value in gauges.items():
             self.gauge(name, value)
+        for name, other_hist in histograms.items():
+            hist = self.histograms.get(name)
+            if hist is None:
+                hist = self.histograms[name] = Histogram()
+            hist.merge(other_hist)
+        self.add_samples(samples)
         for name, data in sections.items():
             self.sections[name] = dict(data)
         for name, data in explain.items():
@@ -309,10 +483,14 @@ class Telemetry:
             },
             "counters": counters,
             "gauges": dict(self.gauges),
+            "histograms": {name: hist.snapshot()
+                           for name, hist in self.histograms.items()},
             "sections": {name: dict(data)
                          for name, data in self.sections.items()},
             "events": self.events.snapshot() if self.events else [],
         }
+        if self.samples:
+            out["samples"] = dict(self.samples)
         if self.explain:
             out["explain"] = {name: dict(data)
                               for name, data in self.explain.items()}
@@ -336,21 +514,50 @@ class Telemetry:
     def format_table(self) -> str:
         """The human-readable ``--profile`` stage/counter table.
 
-        Stages are sorted by total time descending with a percent-of-wall
-        column (wall = the largest stage total, i.e. the enclosing
+        Stages are sorted by total time descending, ties broken by name
+        so the order is deterministic, with a percent-of-wall column
+        (wall = the largest stage total, i.e. the enclosing
         ``command.*`` span on CLI runs), so the hot stage is always the
-        first line.
+        first line.  Spans backed by a histogram (``span(..., hist=True)``
+        sites) additionally print p50/p95 per-occurrence latency; all
+        histograms get their own p50/p90/p99 section below.
         """
+        span_hists = {name for name in self.spans if name in self.histograms}
         lines = ["-- stages --"]
-        lines.append(f"{'stage':<32} {'total_s':>10} {'%wall':>7} "
-                     f"{'calls':>8} {'max_s':>10}")
+        header = (f"{'stage':<32} {'total_s':>10} {'%wall':>7} "
+                  f"{'calls':>8} {'max_s':>10}")
+        if span_hists:
+            header += f" {'p50_s':>10} {'p95_s':>10}"
+        lines.append(header)
         wall = max((rec[0] for rec in self.spans.values()), default=0.0)
         ordered = sorted(self.spans.items(),
                          key=lambda item: (-item[1][0], item[0]))
         for name, (total, calls, mx) in ordered:
             pct = 100.0 * total / wall if wall > 0 else 0.0
-            lines.append(f"{name:<32} {total:>10.4f} {pct:>6.1f}% "
-                         f"{calls:>8} {mx:>10.4f}")
+            line = (f"{name:<32} {total:>10.4f} {pct:>6.1f}% "
+                    f"{calls:>8} {mx:>10.4f}")
+            if span_hists:
+                if name in span_hists:
+                    hist = self.histograms[name]
+                    line += (f" {hist.percentile(0.50):>10.4f}"
+                             f" {hist.percentile(0.95):>10.4f}")
+                else:
+                    line += f" {'-':>10} {'-':>10}"
+            lines.append(line)
+        if self.histograms:
+            lines.append("-- histograms --")
+            lines.append(f"{'histogram':<32} {'count':>8} {'mean':>10} "
+                         f"{'p50':>10} {'p90':>10} {'p99':>10} {'max':>10}")
+            for name in sorted(self.histograms):
+                hist = self.histograms[name]
+                if hist.count == 0:
+                    lines.append(f"{name:<32} {0:>8}")
+                    continue
+                lines.append(
+                    f"{name:<32} {hist.count:>8} {hist.mean:>10.4f} "
+                    f"{hist.percentile(0.50):>10.4f} "
+                    f"{hist.percentile(0.90):>10.4f} "
+                    f"{hist.percentile(0.99):>10.4f} {hist.vmax:>10.4f}")
         if self.counters:
             lines.append("-- counters --")
             for name in sorted(self.counters):

@@ -16,8 +16,15 @@ Subcommands:
   dependence witnesses, stride-break provenance with layout culprits,
   and the static refusal reasons cross-examined against the trace.
 - ``compare <base> <head>`` — diff two run reports (or a ledger's
-  baseline vs latest), gate on ``--fail-on`` thresholds, optionally
-  emit a machine-readable ``--json`` delta document.
+  baseline vs latest; ``--baseline median:N`` gates against the
+  per-metric median of the last N prior runs instead of the first
+  entry), gate on ``--fail-on`` thresholds, optionally emit a
+  machine-readable ``--json`` delta document.
+- ``stats <ledger.jsonl>`` — ingest a ``--metrics-append`` ledger into
+  sqlite and print per-metric trend rows (sparkline, median, latest)
+  over the last N runs, with a median-absolute-deviation regression
+  check that makes the exit code nonzero when the latest run is an
+  outlier (``--json`` emits the ``vectra.stats/1`` document).
 - ``watch <status.jsonl>`` — tail a ``--status-json`` file from another
   run into a live terminal dashboard (``--validate`` instead checks
   every frame against the ``vectra.live/1`` schema — the CI gate).
@@ -36,10 +43,18 @@ stdout, ``fd:N`` for an inherited descriptor), ``--stall-timeout S``
 (flag pool workers silent past S seconds), and ``--progress``
 (single-line live progress on stderr).
 
+Deep profiling rides the same options: ``--sample-hz N`` starts the
+timer-thread sampling profiler (pool workers sample themselves and ship
+their tables home), and ``--flame PATH`` exports the samples — with
+workload-IR (loop, sid) leaf frames — as a flamegraph SVG/HTML or
+collapsed-stack folded text, picked by suffix (``-`` streams folded
+text to stdout).  ``--flame`` alone implies sampling at the default
+rate.
+
 At most one of ``--metrics-json`` / ``--trace-json`` /
-``--status-json`` / ``compare --json`` may target ``-``: two JSON
-documents interleaved on stdout are corrupt, so the CLI refuses the
-combination up front, naming the colliding flags.
+``--status-json`` / ``--flame`` / ``compare``/``stats`` ``--json`` may
+target ``-``: two JSON documents interleaved on stdout are corrupt, so
+the CLI refuses the combination up front, naming the colliding flags.
 
 ``analyze`` and ``analyze-file`` additionally accept ``--spill-dir DIR``
 / ``--segment-rows N``: the windowed traces stream through the
@@ -349,7 +364,7 @@ def _cmd_compare(args) -> int:
         load_report,
         parse_fail_on,
     )
-    from repro.obs.history import baseline_and_latest, read_ledger
+    from repro.obs.history import read_ledger, select_baseline
 
     # Parse the gate specs before touching any report: a malformed
     # --fail-on is CI misconfiguration and must fail naming the exact
@@ -361,8 +376,15 @@ def _cmd_compare(args) -> int:
                 "compare takes either BASE HEAD report paths or --ledger, "
                 "not both"
             )
-        base, head = baseline_and_latest(read_ledger(args.ledger))
+        reports = read_ledger(args.ledger)
+        base = select_baseline(reports, args.baseline)
+        head = reports[-1]
     else:
+        if args.baseline != "first":
+            raise VectraError(
+                "--baseline requires --ledger (a single BASE report has "
+                "no run history to take a median over)"
+            )
         if not args.base or not args.head:
             raise VectraError(
                 "compare needs BASE and HEAD report paths "
@@ -399,6 +421,55 @@ def _cmd_compare(args) -> int:
     if args.fail_on:
         print(f"verdict: OK ({len(args.fail_on)} threshold(s) satisfied)",
               file=sys.stderr if json_to_stdout else sys.stdout)
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    """Trend table + MAD regression check over a metrics ledger."""
+    import json
+
+    from repro.obs.history import read_ledger
+    from repro.obs.statsdb import (
+        format_trend_table,
+        ingest_reports,
+        metric_trends,
+        open_db,
+        stats_json_doc,
+    )
+
+    reports = read_ledger(args.ledger)
+    conn = open_db(args.db)
+    try:
+        ingest_reports(conn, reports, source=args.ledger)
+        trends, runs = metric_trends(
+            conn, args.ledger, last_n=args.last,
+            patterns=args.metric or (), threshold=args.mad_threshold)
+    finally:
+        conn.close()
+    json_to_stdout = args.json == "-"
+    if not json_to_stdout:
+        print(format_trend_table(trends, runs,
+                                 changed_only=args.changed_only))
+    if args.json:
+        payload = json.dumps(stats_json_doc(trends, runs, args.ledger),
+                             indent=2, sort_keys=True)
+        if json_to_stdout:
+            print(payload)
+        else:
+            try:
+                with open(args.json, "w") as fh:
+                    fh.write(payload + "\n")
+            except OSError as exc:
+                raise VectraError(
+                    f"cannot write stats JSON to {args.json!r}: {exc}"
+                ) from exc
+    regressions = [t.regression for t in trends if t.regression]
+    if regressions:
+        for line in regressions:
+            print(f"FAIL {line}", file=sys.stderr)
+        print(f"verdict: FAIL ({len(regressions)} metric(s) regressed "
+              f"by the MAD check)", file=sys.stderr)
+        return 0 if args.no_fail else 1
     return 0
 
 
@@ -455,6 +526,7 @@ def _check_stdout_collisions(args) -> None:
         for flag, attr in (("--metrics-json", "metrics_json"),
                            ("--trace-json", "trace_json"),
                            ("--status-json", "status_json"),
+                           ("--flame", "flame"),
                            ("--json", "json"))
         if getattr(args, attr, None) == "-"
     ]
@@ -550,7 +622,7 @@ def _parse_params(items):
 
 def _obs_options() -> argparse.ArgumentParser:
     """Shared observability options, attached to every subcommand."""
-    from repro.obs import REPORT_SCHEMA
+    from repro.obs import DEFAULT_SAMPLE_HZ, REPORT_SCHEMA
     from repro.obs.live import (
         DEFAULT_STALL_TIMEOUT,
         DEFAULT_STATUS_INTERVAL,
@@ -576,6 +648,20 @@ def _obs_options() -> argparse.ArgumentParser:
     g.add_argument("--log-level", metavar="LEVEL", default=None,
                    help="enable vectra.* logging at LEVEL "
                         "(debug|info|warning|error)")
+    prof = common.add_argument_group("sampling profiler")
+    prof.add_argument("--sample-hz", type=float, default=None, metavar="N",
+                      help="sample the run N times per second from a "
+                           "timer thread, attributing wall time to "
+                           "Python frames and workload IR (loop, sid); "
+                           "pool workers sample themselves and ship "
+                           "tables home")
+    prof.add_argument("--flame", metavar="PATH", default=None,
+                      help="write the profiler samples to PATH: a "
+                           "self-contained flamegraph (.svg/.html) or "
+                           "collapsed-stack folded text (any other "
+                           "suffix; '-' for stdout); implies sampling "
+                           f"at {DEFAULT_SAMPLE_HZ} Hz when --sample-hz "
+                           f"is not given")
     live = common.add_argument_group("live status")
     live.add_argument("--status-json", metavar="PATH", default=None,
                       help=f"stream {LIVE_SCHEMA} status frames (one "
@@ -732,6 +818,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="compare the baseline (first) vs latest (last) "
                         "entries of a --metrics-append ledger instead of "
                         "two report files")
+    p.add_argument("--baseline", metavar="SPEC", default="first",
+                   help="with --ledger: which baseline the latest run is "
+                        "gated against — 'first' (the ledger's first "
+                        "entry, the default) or 'median:N' (per-metric "
+                        "median of the last N runs before the latest, "
+                        "robust to one noisy baseline run)")
     p.add_argument("--fail-on", action="append", metavar="SPEC",
                    help="threshold KIND:NAME:LIMIT (e.g. "
                         "\"span:analysis.total:+10%%\" or "
@@ -745,6 +837,34 @@ def build_parser() -> argparse.ArgumentParser:
                         "(vectra.compare/1 JSON) to PATH ('-' for "
                         "stdout), with per-metric violated flags")
     p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser("stats",
+                       help="trend table + MAD regression check over a "
+                            "--metrics-append ledger",
+                       parents=[obs])
+    p.add_argument("ledger",
+                   help="the --metrics-append JSONL ledger to analyze")
+    p.add_argument("--last", type=int, default=None, metavar="N",
+                   help="only consider the last N runs (default: all)")
+    p.add_argument("--metric", action="append", metavar="GLOB",
+                   help="fnmatch filter on KIND:NAME (e.g. 'counter:*' "
+                        "or 'hist:loop.analyze.p95'); repeatable, "
+                        "default: every metric")
+    p.add_argument("--mad-threshold", type=float, default=3.5,
+                   metavar="X",
+                   help="modified-z-score above which the latest run "
+                        "counts as a regression (default: %(default)s)")
+    p.add_argument("--db", metavar="PATH", default=None,
+                   help="persist the sqlite stats database at PATH "
+                        "(default: in-memory for this query only)")
+    p.add_argument("--changed-only", action="store_true",
+                   help="only print metrics whose value ever moved")
+    p.add_argument("--json", metavar="PATH", default=None,
+                   help="also write the machine-readable trend document "
+                        "(vectra.stats/1 JSON) to PATH ('-' for stdout)")
+    p.add_argument("--no-fail", action="store_true",
+                   help="report regressions but keep the exit code 0")
+    p.set_defaults(func=_cmd_stats)
 
     p = sub.add_parser("watch",
                        help="tail a --status-json file into a live "
@@ -801,10 +921,22 @@ def main(argv=None) -> int:
     except VectraError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    sampling = args.sample_hz is not None or bool(args.flame)
     profiling = (args.profile or args.metrics_json or args.metrics_append
-                 or args.trace_json)
+                 or args.trace_json or sampling)
     tel = (Telemetry(events=EventLog() if args.trace_json else None)
            if profiling else NULL_TELEMETRY)
+    sampler = None
+    if sampling:
+        from repro.obs.sampling import DEFAULT_SAMPLE_HZ, SamplingProfiler
+
+        hz = (args.sample_hz if args.sample_hz is not None
+              else DEFAULT_SAMPLE_HZ)
+        try:
+            sampler = SamplingProfiler(hz=hz)
+        except VectraError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
     bus = None
     ticker = None
     if args.status_json or args.progress:
@@ -828,8 +960,13 @@ def main(argv=None) -> int:
         ticker.start()
     code = 0
     try:
+        from repro.obs.sampling import use_sampler
+
         with use_telemetry(tel), use_status_bus(bus), \
+                use_sampler(sampler), \
                 tel.span(f"command.{args.command}"):
+            if sampler is not None:
+                sampler.start()
             code = args.func(args)
     except VectraError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -841,8 +978,28 @@ def main(argv=None) -> int:
             ticker.close(exit_code=code)
         # Reports/timelines are written even when the run failed — a
         # truncated run's telemetry is exactly what debugging needs.
+        if sampler is not None:
+            sampler.stop()
+            tel.add_samples(sampler.folded_counts())
+            tel.count("sampling.samples", sampler.total_samples)
+            tel.count("sampling.ir_samples", sampler.ir_samples)
         if tel.enabled:
             tel.record_memory()
+            if args.flame:
+                from repro.obs.flamegraph import write_flame
+
+                try:
+                    fmt = write_flame(tel.samples, args.flame,
+                                      title=f"vectra {args.command}")
+                except OSError as exc:
+                    print(f"error: cannot write flamegraph: {exc}",
+                          file=sys.stderr)
+                    code = 1
+                else:
+                    if args.flame != "-":
+                        n = sum(tel.samples.values())
+                        print(f"flamegraph ({fmt}, {n} samples) written "
+                              f"to {args.flame}", file=sys.stderr)
             if args.profile:
                 print(tel.format_table(), file=sys.stderr)
             if args.metrics_json or args.metrics_append:

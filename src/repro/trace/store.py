@@ -50,6 +50,7 @@ import mmap
 import os
 import re
 import struct
+import time
 from array import array
 from bisect import bisect_left, bisect_right
 from typing import Dict, Iterator, List, NamedTuple, Optional, Tuple
@@ -296,7 +297,9 @@ class SegmentedSink(ColumnarSink):
             raise TraceError("segmented sink already finalized")
         self._flush_sparse()
         tel = get_telemetry()
-        with tel.span("trace_store.spill"):
+        # hist=True: one occurrence per spilled segment, so --profile
+        # reports the p50/p95 per-segment spill latency distribution.
+        with tel.span("trace_store.spill", hist=True):
             runs = self.runs
             breaks = self.loop_breaks
             if runs and runs[0][1] == 0:
@@ -922,10 +925,26 @@ class SegmentStore:
     def iter_ddg_chunks(self) -> Iterator[DDGChunk]:
         """The DDG, one segment window at a time — the streaming-consumer
         interface (the chunked Algorithm 1 scan and the windowed
-        assembly in :meth:`to_ddg` both walk these)."""
+        assembly in :meth:`to_ddg` both walk these).
+
+        Under telemetry, each segment's load+remap latency feeds the
+        ``trace_store.segment_read`` histogram and each chunk's node
+        count feeds ``ddg.chunk_nodes`` — the distributions that show
+        whether out-of-core reads are uniform or one segment dominates.
+        """
         ctx = self.context()
+        tel = get_telemetry()
+        if not tel.enabled:
+            for seg in self.iter_segments():
+                yield self._chunk(seg, ctx)
+            return
         for seg in self.iter_segments():
-            yield self._chunk(seg, ctx)
+            t0 = time.perf_counter()
+            chunk = self._chunk(seg, ctx)
+            tel.observe("trace_store.segment_read",
+                        time.perf_counter() - t0)
+            tel.observe("ddg.chunk_nodes", len(chunk.sids))
+            yield chunk
 
     def to_ddg(self, jobs: int = 1, tel=None):
         """Assemble the CSR DDG by streaming segment windows.
@@ -963,6 +982,12 @@ class SegmentStore:
             else:
                 chunks = self.iter_ddg_chunks()
             for chunk in chunks:
+                if used_jobs > 1 and tel.enabled:
+                    # Serial walks observe chunk sizes inside
+                    # iter_ddg_chunks; pool workers return bare chunks
+                    # (no telemetry ride-home on this path), so the
+                    # parent records them here — never both.
+                    tel.observe("ddg.chunk_nodes", len(chunk.sids))
                 out_sids += chunk.sids
                 out_ops += chunk.opcodes
                 out_addrs += chunk.addrs

@@ -219,7 +219,7 @@ class TestObservability:
                      str(path), "-p", "nout=16", "-p", "ntap=4"])
         assert code == 0
         report = json.loads(path.read_text())
-        assert report["schema"] == "vectra.run-report/3"
+        assert report["schema"] == "vectra.run-report/4"
         assert report["command"] == "analyze"
         assert report["exit_code"] == 0
         counters = report["counters"]
@@ -369,13 +369,67 @@ class TestLiveStatus:
                                  "--status-json", str(tmp_path / "s.jsonl")])
         out = capsys.readouterr().out
         assert code == 0
-        assert '"schema": "vectra.run-report/3"' in out
+        assert '"schema": "vectra.run-report/4"' in out
 
     def test_bad_status_interval_fails_cleanly(self, capsys):
         code = main(self.ARGS + ["--progress", "--status-interval", "0"])
         err = capsys.readouterr().err
         assert code == 1
         assert "--status-interval must be positive" in err
+
+
+class TestSamplingCli:
+    """--sample-hz / --flame wiring and their stdout-collision rule."""
+
+    ARGS = ["analyze", "utdsp_fir_array", "-p", "nout=16", "-p", "ntap=4"]
+
+    def test_flame_svg_written_with_confirmation(self, capsys, tmp_path):
+        path = tmp_path / "flame.svg"
+        code = main(self.ARGS + ["--sample-hz", "500",
+                                 "--flame", str(path)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert path.read_text().startswith("<svg")
+        assert "flamegraph (svg," in captured.err
+        assert str(path) in captured.err
+
+    def test_flame_dash_streams_folded_stdout(self, capsys):
+        code = main(self.ARGS + ["--flame", "-", "--sample-hz", "500"])
+        captured = capsys.readouterr()
+        assert code == 0
+        # folded lines land after the report text; no confirmation noise
+        assert "flamegraph (" not in captured.err
+
+    def test_flame_alone_enables_default_rate_sampling(self, capsys,
+                                                       tmp_path):
+        path = tmp_path / "flame.folded"
+        code = main(self.ARGS + ["--flame", str(path), "--metrics-json",
+                                 str(tmp_path / "m.json")])
+        capsys.readouterr()
+        assert code == 0
+        import json as _json
+
+        report = _json.loads((tmp_path / "m.json").read_text())
+        assert "sampling.samples" in report["counters"]
+
+    def test_bad_sample_hz_fails_cleanly(self, capsys):
+        code = main(self.ARGS + ["--sample-hz", "0"])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "--sample-hz must be positive" in err
+
+    def test_flame_metrics_collision_names_both(self, capsys):
+        code = main(self.ARGS + ["--metrics-json", "-", "--flame", "-"])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "--metrics-json and --flame" in err
+        assert "interleave" in err
+
+    def test_flame_dash_with_metrics_file_allowed(self, capsys, tmp_path):
+        code = main(self.ARGS + ["--flame", "-", "--metrics-json",
+                                 str(tmp_path / "m.json")])
+        capsys.readouterr()
+        assert code == 0
 
     def test_watch_validate(self, capsys, tmp_path):
         path = tmp_path / "st.jsonl"

@@ -371,7 +371,7 @@ class TestExplainCLI:
         assert "AoS" in out
 
         report = json.loads(path.read_text())
-        assert report["schema"] == "vectra.run-report/3"
+        assert report["schema"] == "vectra.run-report/4"
         payload = report["explain"]["loop.sites_loop"]
         deps = payload["dependence_witnesses"]
         assert len(deps) >= 1

@@ -1,0 +1,104 @@
+"""Flamegraph rendering (:mod:`repro.obs.flamegraph`)."""
+
+import pytest
+
+from repro.obs.flamegraph import (
+    build_tree,
+    render_folded,
+    render_html,
+    render_svg,
+    write_flame,
+)
+
+SAMPLES = {
+    "main;run;hot": 6,
+    "main;run;cold": 2,
+    "main;io": 1,
+    "main;run;hot;[ir] loop mv_j (L5);[ir] mul sid 7 line 3": 3,
+}
+
+
+class TestBuildTree:
+    def test_counts_roll_up_through_ancestors(self):
+        root = build_tree(SAMPLES)
+        assert root["name"] == "all"
+        assert root["value"] == 12
+        main = root["children"]["main"]
+        assert main["value"] == 12
+        run = main["children"]["run"]
+        assert run["value"] == 11
+        assert run["children"]["hot"]["value"] == 9
+
+    def test_empty_and_nonpositive_samples_skipped(self):
+        root = build_tree({"a;b": 0, "": 5})
+        assert root["value"] == 0
+        assert root["children"] == {}
+
+
+class TestFolded:
+    def test_sorted_one_line_per_stack(self):
+        text = render_folded({"b;c": 2, "a": 1})
+        assert text == "a 1\nb;c 2\n"
+
+    def test_empty_table_is_empty_string(self):
+        assert render_folded({}) == ""
+
+    def test_roundtrip_through_parse(self):
+        text = render_folded(SAMPLES)
+        back = {}
+        for line in text.splitlines():
+            stack, n = line.rsplit(" ", 1)
+            back[stack] = int(n)
+        assert back == SAMPLES
+
+
+class TestSvg:
+    def test_contains_frames_counts_and_title(self):
+        svg = render_svg(SAMPLES, title="vectra analyze")
+        assert svg.startswith("<svg")
+        assert "vectra analyze" in svg
+        assert "hot" in svg
+        assert "(9 samples" in svg  # hover title carries exact counts
+        assert "[ir] loop mv_j (L5)" in svg
+
+    def test_empty_samples_render_placeholder(self):
+        svg = render_svg({})
+        assert "no samples recorded" in svg
+        assert svg.count("<rect") == 1  # background only
+
+    def test_deterministic(self):
+        assert render_svg(SAMPLES) == render_svg(SAMPLES)
+
+    def test_frame_names_escaped(self):
+        svg = render_svg({"a<b>;c&d": 1})
+        assert "a<b>" not in svg
+        assert "a&lt;b&gt;" in svg
+
+
+class TestHtml:
+    def test_wraps_svg_with_search_box(self):
+        html = render_html(SAMPLES, title="t")
+        assert "<!DOCTYPE html>" in html
+        assert '<input id="search"' in html
+        assert "<svg" in html
+
+
+class TestWriteFlame:
+    def test_suffix_dispatch(self, tmp_path):
+        svg = tmp_path / "f.svg"
+        html = tmp_path / "f.html"
+        folded = tmp_path / "f.folded"
+        assert write_flame(SAMPLES, str(svg)) == "svg"
+        assert write_flame(SAMPLES, str(html)) == "html"
+        assert write_flame(SAMPLES, str(folded)) == "folded"
+        assert svg.read_text().startswith("<svg")
+        assert "<!DOCTYPE html>" in html.read_text()
+        assert folded.read_text() == render_folded(SAMPLES)
+
+    def test_dash_streams_folded_to_stdout(self, capsys):
+        assert write_flame(SAMPLES, "-") == "folded"
+        assert capsys.readouterr().out == render_folded(SAMPLES)
+
+    def test_unwritable_path_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            write_flame(SAMPLES, str(tmp_path / "no" / "dir" / "f.svg"))

@@ -276,7 +276,8 @@ class TestStatusTicker:
         assert set(frame["rates"]) >= {"records_per_s", "loops_per_s",
                                        "eta_s"}
         assert set(frame["resources"]) == {"rss_kb", "spill_dir_bytes",
-                                           "open_segments"}
+                                           "open_segments",
+                                           "profiler_samples"}
         assert frame["resources"]["rss_kb"] is None or \
             frame["resources"]["rss_kb"] > 0
         assert frame["workers"] == []

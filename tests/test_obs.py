@@ -3,6 +3,7 @@
 import itertools
 import json
 import logging
+import math
 
 import pytest
 
@@ -252,6 +253,228 @@ class TestMergeAssociativity:
         right.merge(snaps[3])
         left.merge(right.snapshot())
         assert left.snapshot() == flat.snapshot()
+
+
+class TestHistogram:
+    def test_observe_tracks_exact_stats(self):
+        from repro.obs import Histogram
+
+        h = Histogram()
+        for v in (0.25, 0.5, 1.0, 4.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == 5.75
+        assert h.vmin == 0.25
+        assert h.vmax == 4.0
+        assert h.mean == 5.75 / 4
+
+    def test_empty_percentile_is_none(self):
+        from repro.obs import Histogram
+
+        h = Histogram()
+        assert h.percentile(0.5) is None
+        assert h.mean is None
+
+    def test_single_sample_exact_at_every_quantile(self):
+        from repro.obs import Histogram
+
+        h = Histogram()
+        h.observe(0.37)
+        for q in (0.0, 0.5, 0.9, 0.99, 1.0):
+            assert h.percentile(q) == 0.37
+
+    def test_percentile_within_bucket_error(self):
+        """Log bucketing at 4 buckets/doubling bounds relative error
+        around 10%; check against the true empirical quantiles."""
+        from repro.obs import Histogram
+
+        values = [0.001 * (i + 1) for i in range(1000)]
+        h = Histogram()
+        for v in values:
+            h.observe(v)
+        for q in (0.5, 0.9, 0.99):
+            true = values[math.ceil(q * len(values)) - 1]
+            est = h.percentile(q)
+            assert abs(est - true) / true < 0.11, (q, est, true)
+
+    def test_zeros_and_negatives_counted_separately(self):
+        from repro.obs import Histogram
+
+        h = Histogram()
+        h.observe(0.0, n=3)
+        h.observe(-1.0)
+        h.observe(2.0)
+        assert h.count == 5
+        assert h.zeros == 4
+        assert sum(h.buckets.values()) == 1
+        # over half the mass is at <= 0: the zeros bucket estimates 0.0
+        assert h.percentile(0.5) == 0.0
+        assert h.vmin == -1.0
+        assert h.percentile(1.0) == 2.0
+
+    def test_snapshot_roundtrip(self):
+        from repro.obs import Histogram
+
+        h = Histogram()
+        for v in (0.25, 0.5, 0.5, 3.0, 0.0):
+            h.observe(v)
+        snap = h.snapshot()
+        json.dumps(snap)  # JSON-safe as-is (string bucket keys)
+        back = Histogram.from_snapshot(snap)
+        assert back.snapshot() == snap
+        assert back.percentile(0.9) == h.percentile(0.9)
+
+    def test_merge_is_commutative_and_associative(self):
+        """Bucketing is a pure function of the value, so every merge
+        order must produce the identical snapshot (values chosen
+        exactly representable so float sums are order-proof)."""
+        from repro.obs import Histogram
+
+        def make(i):
+            h = Histogram()
+            h.observe(0.25 * (i + 1), n=i + 1)
+            h.observe(0.5)
+            if i == 0:
+                h.observe(0.0)
+            return h
+
+        parts = [make(i) for i in range(3)]
+        serial = Histogram()
+        for part in parts:
+            serial.merge(part)
+        expected = serial.snapshot()
+
+        for perm in itertools.permutations(range(3)):
+            merged = Histogram()
+            for i in perm:
+                merged.merge(parts[i].snapshot())
+            assert merged.snapshot() == expected, perm
+
+        # associativity: (a + b) + c == a + (b + c)
+        left = Histogram()
+        left.merge(parts[0])
+        left.merge(parts[1])
+        left.merge(parts[2])
+        bc = Histogram()
+        bc.merge(parts[1])
+        bc.merge(parts[2])
+        right = Histogram()
+        right.merge(parts[0])
+        right.merge(bc.snapshot())
+        assert left.snapshot() == right.snapshot() == expected
+
+
+class TestTelemetryHistograms:
+    def test_observe_creates_and_accumulates(self):
+        tel = Telemetry()
+        tel.observe("chunk.nodes", 4.0)
+        tel.observe("chunk.nodes", 16.0, n=2)
+        hist = tel.histograms["chunk.nodes"]
+        assert hist.count == 3
+        assert hist.vmax == 16.0
+
+    def test_hist_span_records_span_and_histogram(self):
+        tel = Telemetry()
+        with tel.span("loop.analyze", hist=True):
+            pass
+        with tel.span("loop.analyze", hist=True):
+            pass
+        assert tel.spans["loop.analyze"][1] == 2
+        assert tel.histograms["loop.analyze"].count == 2
+
+    def test_plain_span_records_no_histogram(self):
+        tel = Telemetry()
+        with tel.span("stage"):
+            pass
+        assert "stage" not in tel.histograms
+
+    def test_snapshot_carries_histograms_and_schema_v4(self):
+        tel = Telemetry()
+        tel.observe("h", 1.0)
+        snap = tel.snapshot()
+        assert snap["schema"] == "vectra.run-report/4"
+        assert snap["histograms"]["h"]["count"] == 1
+        json.dumps(snap)
+
+    def test_merge_histograms_any_order_matches_serial(self):
+        def worker(i):
+            tel = Telemetry()
+            tel.observe("lat", 0.25 * (i + 1), n=i + 1)
+            return tel
+
+        workers = [worker(i) for i in range(3)]
+        serial = Telemetry()
+        for w in workers:
+            serial.histograms.setdefault(
+                "lat", type(w.histograms["lat"])()
+            ).merge(w.histograms["lat"])
+        expected = serial.snapshot()["histograms"]
+
+        snaps = [w.snapshot() for w in workers]
+        for perm in itertools.permutations(range(3)):
+            merged = Telemetry()
+            for i in perm:
+                merged.merge(snaps[i])
+            assert merged.snapshot()["histograms"] == expected, perm
+
+    def test_merge_accepts_older_schemas_without_histograms(self):
+        tel = Telemetry()
+        tel.observe("h", 1.0)
+        for version in ("1", "2", "3"):
+            tel.merge({"schema": f"vectra.run-report/{version}",
+                       "counters": {"c": 1}})
+        assert tel.counters["c"] == 3
+        assert tel.histograms["h"].count == 1
+
+    def test_sample_tables_merge_by_sum(self):
+        parent = Telemetry()
+        parent.add_samples({"main;run": 2})
+        worker = Telemetry()
+        worker.add_samples({"main;run": 3, "main;spill": 1})
+        snap = worker.snapshot()
+        assert snap["samples"] == {"main;run": 3, "main;spill": 1}
+        parent.merge(snap)
+        assert parent.samples == {"main;run": 5, "main;spill": 1}
+
+    def test_snapshot_omits_samples_key_when_empty(self):
+        tel = Telemetry()
+        tel.count("c")
+        assert "samples" not in tel.snapshot()
+
+    def test_format_table_hist_columns_and_section(self):
+        tel = Telemetry()
+        with tel.span("loop.analyze", hist=True):
+            pass
+        with tel.span("plain"):
+            pass
+        tel.observe("ddg.chunk_nodes", 64.0)
+        table = tel.format_table()
+        assert "p50_s" in table and "p95_s" in table
+        assert "-- histograms --" in table
+        assert "ddg.chunk_nodes" in table
+        # non-hist spans show '-' placeholders in the new columns
+        plain_line = next(ln for ln in table.splitlines()
+                          if ln.startswith("plain"))
+        assert "-" in plain_line.split()[-1]
+
+    def test_format_table_tie_sort_is_stable_by_name(self):
+        tel = Telemetry()
+        tel._record_span("b.stage", 0.0, 0.5)
+        tel._record_span("a.stage", 0.0, 0.5)
+        tel._record_span("command.run", 0.0, 1.0)
+        lines = [ln.split()[0]
+                 for ln in tel.format_table().splitlines()[2:5]]
+        assert lines == ["command.run", "a.stage", "b.stage"]
+
+    def test_null_telemetry_histogram_noops(self):
+        tel = NullTelemetry()
+        tel.observe("h", 1.0)
+        tel.add_samples({"x": 1})
+        with tel.span("s", hist=True):
+            pass
+        snap = tel.snapshot()
+        assert snap["histograms"] == {}
+        assert "samples" not in snap or not snap.get("samples")
 
 
 class TestNullTelemetry:

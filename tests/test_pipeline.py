@@ -262,6 +262,48 @@ int main() {
         for key in compile_keys:
             assert c2[key] == c1[key] > 0
 
+    def test_histograms_merge_serial_vs_pool(self):
+        """Histograms ride home in worker snapshots like counters.
+        Deterministic histograms (batch iteration counts are a pure
+        function of the workload) must be bucket-identical; latency
+        histograms can only promise identical observation counts."""
+        src = self.SRC3
+        module = compile_source(src)
+        tel1 = Telemetry()
+        run_loop_analyses(src, "demo", module, ["P", "Q"], jobs=1,
+                          tel=tel1)
+        tel2 = Telemetry()
+        run_loop_analyses(src, "demo", module, ["P", "Q"], jobs=2,
+                          tel=tel2)
+        h1 = tel1.snapshot()["histograms"]
+        h2 = tel2.snapshot()["histograms"]
+        assert set(h1) == set(h2)
+        det = h1["interp.compile.batch_iterations"]
+        assert h2["interp.compile.batch_iterations"] == det
+        assert det["count"] > 0
+        for name in ("loop.analyze", "loop.rerun"):
+            assert h2[name]["count"] == h1[name]["count"] > 0
+
+    def test_pool_histogram_merge_matches_manual_fold(self):
+        """Merging the two per-loop serial analyses by hand equals the
+        pooled run's merged histograms for deterministic metrics."""
+        from repro.obs import Histogram
+
+        src = self.SRC3
+        module = compile_source(src)
+        folded = Histogram()
+        for name in ("P", "Q"):
+            tel = Telemetry()
+            run_loop_analyses(src, "demo", module, [name], jobs=1,
+                              tel=tel)
+            folded.merge(tel.histograms["interp.compile.batch_iterations"])
+        tel2 = Telemetry()
+        run_loop_analyses(src, "demo", module, ["P", "Q"], jobs=2,
+                          tel=tel2)
+        pooled = tel2.histograms["interp.compile.batch_iterations"]
+        assert pooled.buckets == folded.buckets
+        assert pooled.count == folded.count
+
 
 REDUCTION_SRC = """
 double A[48];
