@@ -402,6 +402,16 @@ def run_loop_analyses(
         tel.count("pipeline.pool_fallbacks")
         tel.instant("pipeline.pool_fallback",
                     {"loops": len(names), "error": type(exc).__name__})
+        # Leave the worker forensics where a post-mortem can find them:
+        # after the fallback the pool (and its pids) are gone.
+        from repro.obs.blackbox import blackbox_note
+
+        blackbox_note("pool_failure", {
+            "error": type(exc).__name__,
+            "detail": str(exc),
+            "loops": list(names),
+            "workers": bus.worker_rows() if bus.enabled else [],
+        })
         bus.retire_workers()
         return serial()
     bus.retire_workers()

@@ -27,7 +27,31 @@ workload IR (loop, sid) and render as flamegraphs via
 distributions through worker merges; and :mod:`repro.obs.statsdb`
 indexes the JSONL ledger into sqlite for ``vectra stats`` trend queries
 and MAD-based regression detection.
+
+The outward-facing layer: :mod:`repro.obs.monitor` serves the live run
+over loopback HTTP (``--monitor-port`` → ``/metrics`` OpenMetrics,
+``/status`` live frame, ``/healthz``, ``/flame``), and
+:mod:`repro.obs.blackbox` is the crash flight recorder — on an unhandled
+exception or fatal signal it writes a ``vectra.blackbox/1`` bundle that
+``vectra autopsy`` renders as a post-mortem.
 """
+
+from repro.obs.blackbox import (
+    BLACKBOX_SCHEMA,
+    FlightRecorder,
+    blackbox_note,
+    get_blackbox,
+    install_blackbox,
+    load_blackbox,
+    render_autopsy,
+    uninstall_blackbox,
+)
+from repro.obs.monitor import (
+    OPENMETRICS_CONTENT_TYPE,
+    MonitorServer,
+    get_monitor,
+    render_openmetrics,
+)
 
 from repro.obs.live import (
     LIVE_SCHEMA,
@@ -101,4 +125,16 @@ __all__ = [
     "set_status_bus",
     "use_status_bus",
     "pool_heartbeat",
+    "MonitorServer",
+    "OPENMETRICS_CONTENT_TYPE",
+    "get_monitor",
+    "render_openmetrics",
+    "BLACKBOX_SCHEMA",
+    "FlightRecorder",
+    "install_blackbox",
+    "uninstall_blackbox",
+    "get_blackbox",
+    "blackbox_note",
+    "load_blackbox",
+    "render_autopsy",
 ]

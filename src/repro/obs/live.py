@@ -52,6 +52,7 @@ import sys
 import threading
 import time
 import warnings
+from collections import deque
 from contextlib import contextmanager
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
@@ -103,6 +104,11 @@ PROGRESS_KEYS = (
 
 #: EWMA smoothing factor for per-tick rates.
 EWMA_ALPHA = 0.3
+
+#: Status frames the ticker retains for post-mortems (the blackbox
+#: bundles this ring; ~16 frames at the default 1 s interval is the
+#: last quarter minute of a run's life).
+RECENT_FRAMES = 16
 
 _log = get_logger("live")
 
@@ -181,6 +187,10 @@ class StatusBus:
         self.stalls = 0
         self.heartbeat_interval = heartbeat_interval
         self._hb_queue = None
+        #: bound port of the HTTP monitor plane, when one is serving
+        #: (recorded into every frame's resources section so a watcher
+        #: can discover the scrape endpoint from the frame stream).
+        self.monitor_port: Optional[int] = None
 
     # -- feeding (pipeline side) -------------------------------------------
 
@@ -552,6 +562,12 @@ class StatusTicker(threading.Thread):
         self._rates: Dict[str, float] = {}
         self._last_sample: Optional[Tuple[float, Dict[str, int]]] = None
         self._closed = False
+        #: the newest emitted frame (the monitor's ``/status`` body).
+        self.last_frame: Optional[dict] = None
+        #: when (on ``clock``) the newest frame was cut.
+        self.last_tick_at: Optional[float] = None
+        #: ring of the newest frames (the blackbox bundles these).
+        self.recent_frames = deque(maxlen=RECENT_FRAMES)
 
     # -- thread body -------------------------------------------------------
 
@@ -564,6 +580,9 @@ class StatusTicker(threading.Thread):
              exit_code: Optional[int] = None) -> dict:
         """Emit one frame now; returns it (tests poke this directly)."""
         frame = self.build_frame(event=event, exit_code=exit_code)
+        self.last_frame = frame
+        self.last_tick_at = self._clock()
+        self.recent_frames.append(frame)
         line = json.dumps(frame, sort_keys=True, separators=(",", ":"))
         with self._write_lock:
             if self._fh is not None:
@@ -600,6 +619,13 @@ class StatusTicker(threading.Thread):
         if self._owns_fh and self._fh is not None:
             self._fh.close()
             self._fh = None
+
+    def last_tick_age(self) -> Optional[float]:
+        """Seconds since the newest frame was cut (``None`` before the
+        first tick) — the monitor's ``/healthz`` staleness signal."""
+        if self.last_tick_at is None:
+            return None
+        return self._clock() - self.last_tick_at
 
     # -- frame assembly ----------------------------------------------------
 
@@ -641,6 +667,7 @@ class StatusTicker(threading.Thread):
                 # Additive within vectra.live/1: readers require the
                 # section, not its exact key set (validate_frames).
                 "profiler_samples": _sampler_samples(),
+                "monitor_port": bus.monitor_port,
             },
             "workers": bus.worker_rows(),
             "stalls": bus.stalls,

@@ -31,6 +31,7 @@ sub-percent wiggle just because its MAD is 0.
 from __future__ import annotations
 
 import fnmatch
+import math
 import sqlite3
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -204,18 +205,32 @@ def metric_trends(
 
 
 def sparkline(values: Sequence[float], width: int = 16) -> str:
-    """A unicode mini-chart of the last ``width`` values."""
+    """A unicode mini-chart of the last ``width`` values.
+
+    Constant windows render flat (no 0/0 division), and non-finite
+    values cannot poison the scale: the range comes from the finite
+    values only, ``nan`` renders as ``?``, and ``±inf`` clamp to the
+    extreme glyphs.
+    """
     tail = list(values)[-width:]
     if not tail:
         return ""
-    lo, hi = min(tail), max(tail)
-    if hi == lo:
-        return _SPARK_CHARS[3] * len(tail)
-    span = hi - lo
+    finite = [v for v in tail if math.isfinite(v)]
     top = len(_SPARK_CHARS) - 1
-    return "".join(
-        _SPARK_CHARS[round((v - lo) / span * top)] for v in tail
-    )
+    lo = min(finite) if finite else 0.0
+    hi = max(finite) if finite else 0.0
+    span = hi - lo
+
+    def glyph(v: float) -> str:
+        if math.isnan(v):
+            return "?"
+        if math.isinf(v):
+            return _SPARK_CHARS[top] if v > 0 else _SPARK_CHARS[0]
+        if span == 0:
+            return _SPARK_CHARS[3]
+        return _SPARK_CHARS[round((v - lo) / span * top)]
+
+    return "".join(glyph(v) for v in tail)
 
 
 def format_trend_table(trends: Sequence[MetricTrend],

@@ -171,6 +171,24 @@ class Histogram:
     def mean(self) -> Optional[float]:
         return self.total / self.count if self.count else None
 
+    def cumulative_buckets(self) -> List[tuple]:
+        """``[(upper_bound, cumulative_count), ...]`` in increasing
+        bound order — the OpenMetrics ``_bucket`` series (without the
+        final ``+Inf``, which is just :attr:`count`).  The zero/negative
+        tally becomes an ``le=0`` bucket; each log bucket's bound is its
+        exact upper edge ``HIST_GROWTH ** idx``, so a quantile read off
+        the exposition agrees with :meth:`percentile` to the documented
+        ~10% bucket error."""
+        out = []
+        cum = 0
+        if self.zeros:
+            cum = self.zeros
+            out.append((0.0, cum))
+        for idx in sorted(self.buckets):
+            cum += self.buckets[idx]
+            out.append((HIST_GROWTH ** idx, cum))
+        return out
+
     def snapshot(self) -> dict:
         """JSON- and pickle-safe dict form (bucket keys stringified)."""
         return {

@@ -105,6 +105,16 @@ class EventLog:
         """The recorded events as a plain picklable list (oldest first)."""
         return list(self._events)
 
+    def tail(self, n: int) -> List[Dict]:
+        """The newest ``n`` events (oldest first) — the ring tail the
+        crash-forensics blackbox bundles."""
+        if n <= 0:
+            return []
+        events = self._events
+        if len(events) <= n:
+            return list(events)
+        return list(events)[-n:]
+
     def extend(self, events: Optional[Iterable[Dict]]) -> None:
         """Fold events shipped home from another log (a pool worker's
         snapshot) into this ring."""

@@ -473,9 +473,24 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_autopsy(args) -> int:
+    """Render a ``--blackbox`` crash bundle as a human post-mortem."""
+    from repro.obs.blackbox import load_blackbox, render_autopsy
+
+    try:
+        print(render_autopsy(load_blackbox(args.path)))
+    except BrokenPipeError:  # autopsy | head is fine
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0
+
+
 def _cmd_watch(args) -> int:
     """Tail a ``--status-json`` file into a terminal dashboard (or, with
-    ``--validate``, check every frame against the live schema)."""
+    ``--validate``, check every frame against the live schema).  Exits
+    with the watched run's own exit code, read from its final ``done``
+    frame — so ``vectra watch`` in a script fails when the run did."""
     import time
 
     from repro.obs.live import (
@@ -503,7 +518,9 @@ def _cmd_watch(args) -> int:
                         print("\x1b[2J\x1b[H", end="")
                     print(render_dashboard(frame))
                 if frame.get("event") == "done":
-                    return 0
+                    # Propagate the watched run's outcome: the done
+                    # frame carries its exit code.
+                    return int(frame.get("exit_code", 0) or 0)
             elif args.once:
                 print(f"{args.path}: no complete status frames yet")
             if args.once:
@@ -682,6 +699,24 @@ def _obs_options() -> argparse.ArgumentParser:
                            "separately)")
     live.add_argument("--progress", action="store_true",
                       help="single-line live progress updates on stderr")
+    mon = common.add_argument_group("monitor / flight recorder")
+    mon.add_argument("--monitor-port", type=int, default=None, metavar="N",
+                     help="serve a loopback HTTP observability plane on "
+                          "port N while the command runs: GET /metrics "
+                          "(OpenMetrics text for Prometheus scrapes), "
+                          "/status (latest vectra.live/1 frame as JSON), "
+                          "/healthz (503 once the run stalls), /flame "
+                          "(folded profiler samples, with --sample-hz); "
+                          "0 binds an ephemeral port, printed to stderr "
+                          "and recorded in status frames")
+    mon.add_argument("--blackbox", metavar="PATH", default=None,
+                     help="crash flight recorder: on an unhandled "
+                          "exception, SIGTERM or Ctrl-C, atomically "
+                          "write a vectra.blackbox/1 post-mortem bundle "
+                          "(reason, active loop, worker heartbeats, "
+                          "event-ring tail, last status frames, final "
+                          "telemetry) to PATH; render it with "
+                          "'vectra autopsy PATH'")
     return common
 
 
@@ -883,6 +918,14 @@ def build_parser() -> argparse.ArgumentParser:
                         "violation — the CI gate")
     p.set_defaults(func=_cmd_watch)
 
+    p = sub.add_parser("autopsy",
+                       help="render a --blackbox crash bundle as a "
+                            "human-readable post-mortem",
+                       parents=[obs])
+    p.add_argument("path", help="a vectra.blackbox/1 bundle written by "
+                                "a crashed --blackbox run")
+    p.set_defaults(func=_cmd_autopsy)
+
     p = sub.add_parser("dot", help="Graphviz export of a loop's DDG",
                        parents=[obs])
     p.add_argument("workload")
@@ -922,9 +965,15 @@ def main(argv=None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     sampling = args.sample_hz is not None or bool(args.flame)
+    monitoring = args.monitor_port is not None
+    # The monitor serves /metrics and the blackbox snapshots telemetry
+    # at death, so either one turns recording on; the blackbox also
+    # wants the event ring for its bundle's tail.
     profiling = (args.profile or args.metrics_json or args.metrics_append
-                 or args.trace_json or sampling)
-    tel = (Telemetry(events=EventLog() if args.trace_json else None)
+                 or args.trace_json or sampling or monitoring
+                 or bool(args.blackbox))
+    tel = (Telemetry(events=EventLog() if (args.trace_json or args.blackbox)
+                     else None)
            if profiling else NULL_TELEMETRY)
     sampler = None
     if sampling:
@@ -939,7 +988,12 @@ def main(argv=None) -> int:
             return 1
     bus = None
     ticker = None
-    if args.status_json or args.progress:
+    # The monitor's /status and /healthz and the blackbox's frame ring
+    # both read the ticker, so either one brings the live plane up even
+    # without a --status-json sink (a sink-less ticker just retains
+    # frames in memory).
+    if (args.status_json or args.progress or monitoring
+            or args.blackbox):
         from repro.obs.live import StatusBus, StatusTicker
 
         # Workers heartbeat a few times per stall window, and at least
@@ -958,6 +1012,33 @@ def main(argv=None) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 1
         ticker.start()
+    monitor = None
+    if monitoring:
+        from repro.obs.monitor import MonitorServer
+
+        try:
+            monitor = MonitorServer(
+                port=args.monitor_port, tel=tel, ticker=ticker, bus=bus,
+                sampler=sampler, command=args.command,
+                stall_timeout=args.stall_timeout)
+        except VectraError as exc:
+            if ticker is not None:
+                ticker.close(exit_code=1)
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        monitor.start()
+        if bus is not None:
+            bus.monitor_port = monitor.port
+        print(f"monitor: serving /metrics /status /healthz /flame on "
+              f"http://{monitor.host}:{monitor.port}", file=sys.stderr)
+    recorder = None
+    if args.blackbox:
+        from repro.obs.blackbox import install_blackbox
+
+        recorder = install_blackbox(
+            args.blackbox, tel=tel, bus=bus, ticker=ticker,
+            command=args.command,
+            argv=list(argv) if argv is not None else sys.argv[1:])
     code = 0
     try:
         from repro.obs.sampling import use_sampler
@@ -971,11 +1052,24 @@ def main(argv=None) -> int:
     except VectraError as exc:
         print(f"error: {exc}", file=sys.stderr)
         code = 1
+    except BaseException as exc:
+        # The flight recorder must see the crash here: by the time the
+        # exception reaches sys.excepthook the finally block below has
+        # already torn the recorder down.
+        if recorder is not None:
+            recorder.record_exception(exc)
+        # The done frame should not claim success for a crashed run.
+        code = 130 if isinstance(exc, KeyboardInterrupt) else 1
+        raise
     finally:
         # The final 'done' frame carries the exit code and lands even on
         # failure — a watcher sees how the run ended either way.
         if ticker is not None:
             ticker.close(exit_code=code)
+        if monitor is not None:
+            monitor.close()
+        if recorder is not None:
+            recorder.uninstall()
         # Reports/timelines are written even when the run failed — a
         # truncated run's telemetry is exactly what debugging needs.
         if sampler is not None:

@@ -277,7 +277,8 @@ class TestStatusTicker:
                                        "eta_s"}
         assert set(frame["resources"]) == {"rss_kb", "spill_dir_bytes",
                                            "open_segments",
-                                           "profiler_samples"}
+                                           "profiler_samples",
+                                           "monitor_port"}
         assert frame["resources"]["rss_kb"] is None or \
             frame["resources"]["rss_kb"] > 0
         assert frame["workers"] == []

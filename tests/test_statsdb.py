@@ -184,6 +184,27 @@ class TestSparkline:
     def test_window_clamps_to_width(self):
         assert len(sparkline(list(range(40)), width=16)) == 16
 
+    def test_nan_renders_placeholder_not_crash(self):
+        out = sparkline([float("nan"), 1.0, 2.0])
+        assert out[0] == "?"
+        assert len(out) == 3
+
+    def test_infinities_clamp_to_extremes(self):
+        out = sparkline([1.0, float("inf"), 2.0, float("-inf")])
+        assert len(out) == 4
+        # the scale comes from the finite values; infinities clamp
+        assert out[1] == max(out)
+        assert out[3] == min(out)
+
+    def test_all_non_finite_is_flat_not_division_by_zero(self):
+        out = sparkline([float("nan"), float("inf")])
+        assert len(out) == 2
+
+    def test_constant_window_with_one_nan(self):
+        out = sparkline([5.0, float("nan"), 5.0])
+        assert out[0] == out[2]
+        assert out[1] == "?"
+
 
 class TestFormatting:
     def test_table_has_flag_and_regressions_section(self):
